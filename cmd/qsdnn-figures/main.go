@@ -1,0 +1,75 @@
+// Command qsdnn-figures regenerates the paper's figures as CSV series
+// (and an ASCII rendering of the learning curve):
+//
+//	-fig 1   greedy-trap demonstration (Fig. 1): per-layer-greedy vs
+//	         QS-DNN total time on a profiled network
+//	-fig 4   learning curve of one 1000-episode search (Fig. 4)
+//	-fig 5   RL vs Random Search across episode budgets, mean of N
+//	         complete searches per point (Fig. 5)
+//
+// Usage:
+//
+//	qsdnn-figures -fig 4 [-net mobilenet-v1] [-episodes 1000] [-repeats 5] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/platform"
+	"repro/internal/report"
+)
+
+func main() {
+	fig := flag.Int("fig", 4, "figure to regenerate: 1, 4 or 5")
+	nets := flag.String("net", "mobilenet-v1", "comma-separated zoo networks")
+	episodes := flag.Int("episodes", 1000, "episode budget")
+	samples := flag.Int("samples", 50, "profiling samples per measurement")
+	repeats := flag.Int("repeats", 5, "complete searches per Fig. 5 point")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	pl := platform.JetsonTX2Like()
+	opts := report.Options{Episodes: *episodes, Samples: *samples, Seed: *seed}
+	for _, net := range strings.Split(*nets, ",") {
+		if err := run(*fig, net, pl, *repeats, opts); err != nil {
+			fmt.Fprintln(os.Stderr, "qsdnn-figures:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func run(fig int, net string, pl *platform.Platform, repeats int, opts report.Options) error {
+	switch fig {
+	case 1:
+		greedy, rl, err := report.Fig1Demo(net, pl, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("# Fig. 1 — %s: greedy (fastest primitive per layer, penalties ignored) vs QS-DNN\n", net)
+		fmt.Printf("greedy_ms,%0.4f\nqsdnn_ms,%0.4f\ngreedy_over_qsdnn,%0.2f\n",
+			greedy*1e3, rl*1e3, greedy/rl)
+	case 4:
+		curve, err := report.Fig4(net, pl, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("# Fig. 4 — %s learning curve (%d episodes)\n", net, opts.Episodes)
+		fmt.Print(report.FormatCurveCSV(curve))
+		fmt.Println()
+		fmt.Print(report.ASCIIPlot(curve, 72, 14))
+	case 5:
+		points, err := report.Fig5(net, pl, repeats, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("# Fig. 5 — %s: RL vs Random Search, mean of %d complete searches per budget\n",
+			net, repeats)
+		fmt.Print(report.FormatFig5CSV(points))
+	default:
+		return fmt.Errorf("unknown figure %d (want 1, 4 or 5)", fig)
+	}
+	return nil
+}

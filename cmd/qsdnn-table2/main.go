@@ -1,0 +1,38 @@
+// Command qsdnn-table2 regenerates the paper's Table II: per-library,
+// Best-Single-Library, QS-DNN and Random-Search inference-time
+// speedups over the Vanilla baseline for every benchmark network, in
+// CPU and GPGPU modes, on the TX2-like platform model.
+//
+// Usage:
+//
+//	qsdnn-table2 [-networks lenet5,alexnet,...] [-episodes 1000] [-samples 50] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/models"
+	"repro/internal/platform"
+	"repro/internal/report"
+)
+
+func main() {
+	networks := flag.String("networks", strings.Join(models.TableIINetworks(), ","),
+		"comma-separated list of zoo networks")
+	episodes := flag.Int("episodes", 1000, "search episode budget per network")
+	samples := flag.Int("samples", 50, "profiling samples per measurement")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	pl := platform.JetsonTX2Like()
+	opts := report.Options{Episodes: *episodes, Samples: *samples, Seed: *seed}
+	rows, err := report.TableII(strings.Split(*networks, ","), pl, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qsdnn-table2:", err)
+		os.Exit(1)
+	}
+	fmt.Print(report.FormatTableII(rows))
+}

@@ -1,0 +1,358 @@
+// Command qsdnn is the CLI front end of the QS-DNN pipeline:
+//
+//	qsdnn models                      list the model zoo
+//	qsdnn profile  -net NAME [...]    run the inference phase, write the LUT as JSON
+//	qsdnn search   -net NAME [...]    profile (or load) and run the RL search
+//	qsdnn space    -net NAME          show the design-space size per network
+//
+// Common flags: -mode cpu|gpgpu, -episodes, -samples, -seed, -lut FILE.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/lut"
+	"repro/internal/models"
+	"repro/internal/plan"
+	"repro/internal/platform"
+	"repro/internal/primitives"
+	"repro/internal/profile"
+	"repro/internal/sched"
+
+	qsdnn "repro"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	netName := fs.String("net", "mobilenet-v1", "zoo network name")
+	modeStr := fs.String("mode", "gpgpu", "processor mode: cpu or gpgpu")
+	episodes := fs.Int("episodes", 1000, "search episode budget")
+	samples := fs.Int("samples", 50, "profiling samples per measurement")
+	seed := fs.Int64("seed", 1, "random seed")
+	lutFile := fs.String("lut", "", "LUT JSON file to write (profile) or read (search)")
+	platName := fs.String("platform", "tx2-like", "board preset (tx2-like, tx1-like, nano-like, xavier-like, cpu-only)")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+
+	if err := run(cmd, *netName, *modeStr, *episodes, *samples, *seed, *lutFile, *platName); err != nil {
+		fmt.Fprintln(os.Stderr, "qsdnn:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: qsdnn <command> [flags]
+
+commands:
+  models     list the model zoo
+  platforms  list the board presets
+  space      show design-space sizes
+  profile    run the inference phase and write the look-up table
+  search     run the full pipeline (or search a saved LUT) and report
+  pbqp       solve with partitioned boolean quadratic programming
+  pareto     sweep the latency/energy trade-off (multi-objective)
+  plan       search, then emit the deployment plan (+ Chrome trace with -lut FILE)
+  analyze    search, then report bottleneck layers, streaming throughput
+             and platform-sensitivity sweeps
+  export     write a network's architecture as JSON (-lut FILE.json) and
+             annotated Graphviz DOT (FILE.dot) after searching it
+
+flags: -net NAME -mode cpu|gpgpu -platform NAME -episodes N -samples N -seed N -lut FILE`)
+}
+
+func parseMode(s string) (primitives.Mode, error) {
+	switch s {
+	case "cpu":
+		return primitives.ModeCPU, nil
+	case "gpgpu":
+		return primitives.ModeGPGPU, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q (want cpu or gpgpu)", s)
+}
+
+func run(cmd, netName, modeStr string, episodes, samples int, seed int64, lutFile, platName string) error {
+	board, ok := platform.Preset(platName)
+	if !ok {
+		return fmt.Errorf("unknown platform %q", platName)
+	}
+	switch cmd {
+	case "models":
+		for _, name := range models.All() {
+			net := models.MustBuild(name)
+			fmt.Printf("%-14s %4d layers  %8.1f MFLOPs  %7.2fM params\n",
+				name, net.Len()-1, float64(net.TotalFLOPs())/1e6, float64(net.TotalWeights())/1e6)
+		}
+		return nil
+
+	case "platforms":
+		names := make([]string, 0, len(platform.Presets()))
+		for n := range platform.Presets() {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			p, _ := platform.Preset(n)
+			fmt.Printf("%-12s CPU %5.0f GFLOPs  GPU %5.0f GFLOPs  transfer %4.1f GB/s + %3.0f us\n",
+				n, p.CPUPeakGFLOPS, p.GPUPeakGFLOPS, p.TransferGBps, p.TransferFixedSec*1e6)
+		}
+		return nil
+
+	case "pbqp":
+		mode, err := parseMode(modeStr)
+		if err != nil {
+			return err
+		}
+		net, err := models.Build(netName)
+		if err != nil {
+			return err
+		}
+		tab, err := profile.Run(net, profile.NewSimSource(net, board), profile.Options{Mode: mode, Samples: samples})
+		if err != nil {
+			return err
+		}
+		pb := core.PBQP(tab)
+		rl := core.Search(tab, core.Config{Episodes: episodes, Seed: seed})
+		fmt.Printf("%s (%s, %s)\n  PBQP   : %10.3f ms\n  QS-DNN : %10.3f ms\n",
+			netName, mode, platName, pb.Time*1e3, rl.Time*1e3)
+		return nil
+
+	case "plan":
+		mode, err := parseMode(modeStr)
+		if err != nil {
+			return err
+		}
+		net, err := models.Build(netName)
+		if err != nil {
+			return err
+		}
+		tab, err := profile.Run(net, profile.NewSimSource(net, board), profile.Options{Mode: mode, Samples: samples})
+		if err != nil {
+			return err
+		}
+		res := core.Search(tab, core.Config{Episodes: episodes, Seed: seed})
+		p, err := plan.Build(net, tab, res.Assignment)
+		if err != nil {
+			return err
+		}
+		fmt.Print(p.Render())
+		fmt.Printf("\n%d transfers, %d conversions, %.3f ms total\n",
+			p.Transfers(), p.Conversions(), p.TotalSeconds*1e3)
+		if lutFile != "" {
+			trace, err := p.ChromeTrace()
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(lutFile, trace, 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("chrome trace written to %s\n", lutFile)
+		}
+		return nil
+
+	case "export":
+		mode, err := parseMode(modeStr)
+		if err != nil {
+			return err
+		}
+		net, err := models.Build(netName)
+		if err != nil {
+			return err
+		}
+		tab, err := profile.Run(net, profile.NewSimSource(net, board), profile.Options{Mode: mode, Samples: samples})
+		if err != nil {
+			return err
+		}
+		res := core.Search(tab, core.Config{Episodes: episodes, Seed: seed})
+		if lutFile == "" {
+			lutFile = netName + ".json"
+		}
+		arch, err := json.MarshalIndent(net, "", " ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(lutFile, arch, 0o644); err != nil {
+			return err
+		}
+		dot := net.ToDot(func(i int) string {
+			if i == 0 {
+				return ""
+			}
+			p := primitives.ByID(res.Assignment[i])
+			return fmt.Sprintf("%s (%s, %.3fms)", p.Name, p.Proc, tab.Time(i, p.Idx)*1e3)
+		})
+		dotFile := strings.TrimSuffix(lutFile, ".json") + ".dot"
+		if err := os.WriteFile(dotFile, []byte(dot), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (architecture JSON) and %s (annotated Graphviz)\n", lutFile, dotFile)
+		return nil
+
+	case "analyze":
+		mode, err := parseMode(modeStr)
+		if err != nil {
+			return err
+		}
+		net, err := models.Build(netName)
+		if err != nil {
+			return err
+		}
+		tab, err := profile.Run(net, profile.NewSimSource(net, board), profile.Options{Mode: mode, Samples: samples})
+		if err != nil {
+			return err
+		}
+		res := core.Search(tab, core.Config{Episodes: episodes, Seed: seed})
+		fmt.Printf("%s on %s (%s): optimized %.3f ms\n\n", netName, platName, mode, res.Time*1e3)
+
+		reports, err := analysis.Bottlenecks(net, tab, res.Assignment)
+		if err != nil {
+			return err
+		}
+		fmt.Print(analysis.RenderBottlenecks(reports, 8))
+
+		p, err := plan.Build(net, tab, res.Assignment)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		fmt.Print(sched.Analyze(p).Render())
+
+		if mode == primitives.ModeGPGPU {
+			fmt.Println()
+			points, err := analysis.Sensitivity(net, board, analysis.TransferCost, nil, episodes, seed)
+			if err != nil {
+				return err
+			}
+			fmt.Print(analysis.RenderSensitivity(analysis.TransferCost, points))
+		}
+		return nil
+
+	case "pareto":
+		mode, err := parseMode(modeStr)
+		if err != nil {
+			return err
+		}
+		net, err := models.Build(netName)
+		if err != nil {
+			return err
+		}
+		tt, et, err := profile.RunWithEnergy(net, profile.NewSimSource(net, board),
+			profile.Options{Mode: mode, Samples: samples})
+		if err != nil {
+			return err
+		}
+		front, err := core.ParetoFront(tt, et, nil, core.Config{Episodes: episodes, Seed: seed})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("latency/energy Pareto front for %s on %s:\n", netName, platName)
+		for _, p := range front {
+			fmt.Printf("  %10.3f ms  %10.3f mJ   (lambda %g)\n", p.Seconds*1e3, p.Joules*1e3, p.Lambda)
+		}
+		return nil
+
+	case "space":
+		net, err := models.Build(netName)
+		if err != nil {
+			return err
+		}
+		for _, mode := range []primitives.Mode{primitives.ModeCPU, primitives.ModeGPGPU} {
+			fmt.Printf("%s %-6s design space: %.3g configurations (max %d variants/layer)\n",
+				netName, mode, primitives.SpaceSize(net, mode), primitives.MaxCandidates(net, mode))
+		}
+		return nil
+
+	case "profile":
+		mode, err := parseMode(modeStr)
+		if err != nil {
+			return err
+		}
+		net, err := models.Build(netName)
+		if err != nil {
+			return err
+		}
+		tab, err := profile.Run(net, profile.NewSimSource(net, board), profile.Options{Mode: mode, Samples: samples})
+		if err != nil {
+			return err
+		}
+		data, err := json.MarshalIndent(tab, "", " ")
+		if err != nil {
+			return err
+		}
+		if lutFile == "" {
+			lutFile = netName + "-" + modeStr + ".lut.json"
+		}
+		if err := os.WriteFile(lutFile, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("profiled %s (%s): %d layers, %d edges -> %s (%d bytes)\n",
+			netName, mode, tab.NumLayers()-1, len(tab.Edges()), lutFile, len(data))
+		return nil
+
+	case "search":
+		mode, err := parseMode(modeStr)
+		if err != nil {
+			return err
+		}
+		net, err := models.Build(netName)
+		if err != nil {
+			return err
+		}
+		var tab *lut.Table
+		if lutFile != "" {
+			data, err := os.ReadFile(lutFile)
+			if err != nil {
+				return err
+			}
+			tab, err = lut.Load(data, net)
+			if err != nil {
+				return err
+			}
+		} else {
+			tab, err = profile.Run(net, profile.NewSimSource(net, board), profile.Options{Mode: mode, Samples: samples})
+			if err != nil {
+				return err
+			}
+		}
+		rep, err := qsdnn.OptimizeTable(net, tab, qsdnn.Options{
+			Mode: mode, Episodes: episodes, Samples: samples, Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(rep.Summary())
+		fmt.Printf("  random search    : %10.3f ms (same budget)\n",
+			core.RandomSearch(tab, episodes, seed).Time*1e3)
+		fmt.Printf("  greedy per layer : %10.3f ms\n", core.Greedy(tab).Time*1e3)
+		fmt.Println("\nlibrary mix:")
+		mix := rep.LibraryMix()
+		libs := make([]string, 0, len(mix))
+		for lib := range mix {
+			libs = append(libs, lib)
+		}
+		sort.Strings(libs)
+		for _, lib := range libs {
+			fmt.Printf("  %-10s %3d layers\n", lib, mix[lib])
+		}
+		fmt.Println("\nper-layer selection:")
+		for _, c := range rep.Choices {
+			fmt.Printf("  %-28s %-14s -> %-22s (%s, %.4f ms)\n",
+				c.Layer, c.Kind, c.Primitive, c.Processor, c.Seconds*1e3)
+		}
+		return nil
+	}
+	usage()
+	return fmt.Errorf("unknown command %q", cmd)
+}

@@ -1,0 +1,223 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture runs f with stdout redirected and returns what it printed.
+func capture(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := f()
+	w.Close()
+	os.Stdout = old
+	buf := make([]byte, 0, 1<<16)
+	tmp := make([]byte, 4096)
+	for {
+		n, err := r.Read(tmp)
+		buf = append(buf, tmp[:n]...)
+		if err != nil {
+			break
+		}
+	}
+	return string(buf), runErr
+}
+
+// fast settings keep CLI tests quick.
+const (
+	fastEpisodes = 200
+	fastSamples  = 3
+)
+
+func TestModelsCommand(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run("models", "", "gpgpu", fastEpisodes, fastSamples, 1, "", "tx2-like")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"lenet5", "vgg19", "mobilenet-v1", "params"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("models output missing %q", want)
+		}
+	}
+}
+
+func TestPlatformsCommand(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run("platforms", "", "gpgpu", fastEpisodes, fastSamples, 1, "", "tx2-like")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"tx2-like", "xavier-like", "GFLOPs"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("platforms output missing %q", want)
+		}
+	}
+}
+
+func TestSpaceCommand(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run("space", "lenet5", "gpgpu", fastEpisodes, fastSamples, 1, "", "tx2-like")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "design space") || !strings.Contains(out, "GPGPU") {
+		t.Errorf("space output: %s", out)
+	}
+}
+
+func TestProfileThenSearchWithLUTFile(t *testing.T) {
+	lutFile := filepath.Join(t.TempDir(), "lenet.lut.json")
+	if _, err := capture(t, func() error {
+		return run("profile", "lenet5", "cpu", fastEpisodes, fastSamples, 1, lutFile, "tx2-like")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(lutFile); err != nil || fi.Size() == 0 {
+		t.Fatalf("LUT file not written: %v", err)
+	}
+	out, err := capture(t, func() error {
+		return run("search", "lenet5", "cpu", fastEpisodes, fastSamples, 1, lutFile, "tx2-like")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Vanilla baseline", "QS-DNN", "per-layer selection", "library mix"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("search output missing %q", want)
+		}
+	}
+}
+
+func TestSearchWithoutLUT(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run("search", "lenet5", "gpgpu", fastEpisodes, fastSamples, 1, "", "nano-like")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "speedup vs Vanilla") {
+		t.Errorf("search output: %s", out)
+	}
+}
+
+func TestPlanCommand(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "trace.json")
+	out, err := capture(t, func() error {
+		return run("plan", "lenet5", "gpgpu", fastEpisodes, fastSamples, 1, trace, "tx2-like")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"deployment plan", "transfers", "chrome trace"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plan output missing %q", want)
+		}
+	}
+	if fi, err := os.Stat(trace); err != nil || fi.Size() == 0 {
+		t.Error("trace file not written")
+	}
+}
+
+func TestPBQPCommand(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run("pbqp", "lenet5", "gpgpu", fastEpisodes, fastSamples, 1, "", "tx2-like")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "PBQP") || !strings.Contains(out, "QS-DNN") {
+		t.Errorf("pbqp output: %s", out)
+	}
+}
+
+func TestParetoCommand(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run("pareto", "lenet5", "gpgpu", fastEpisodes, fastSamples, 1, "", "tx2-like")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Pareto front") || !strings.Contains(out, "mJ") {
+		t.Errorf("pareto output: %s", out)
+	}
+}
+
+func TestAnalyzeCommand(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run("analyze", "lenet5", "cpu", fastEpisodes, fastSamples, 1, "", "tx2-like")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"optimized", "top", "latency"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("analyze output missing %q", want)
+		}
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func() error
+	}{
+		{"unknown command", func() error {
+			return run("wat", "lenet5", "cpu", 10, 2, 1, "", "tx2-like")
+		}},
+		{"unknown model", func() error {
+			return run("search", "nope", "cpu", 10, 2, 1, "", "tx2-like")
+		}},
+		{"unknown mode", func() error {
+			return run("search", "lenet5", "turbo", 10, 2, 1, "", "tx2-like")
+		}},
+		{"unknown platform", func() error {
+			return run("search", "lenet5", "cpu", 10, 2, 1, "", "warpdrive")
+		}},
+		{"missing lut file", func() error {
+			return run("search", "lenet5", "cpu", 10, 2, 1, "/nonexistent/x.json", "tx2-like")
+		}},
+	}
+	for _, tc := range cases {
+		if _, err := capture(t, tc.f); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestExportCommand(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "lenet.json")
+	msg, err := capture(t, func() error {
+		return run("export", "lenet5", "cpu", fastEpisodes, fastSamples, 1, out, "tx2-like")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(msg, "Graphviz") {
+		t.Errorf("export output: %s", msg)
+	}
+	arch, err := os.ReadFile(out)
+	if err != nil || !strings.Contains(string(arch), `"kind": "Conv"`) {
+		t.Errorf("architecture JSON bad: %v", err)
+	}
+	dot, err := os.ReadFile(strings.TrimSuffix(out, ".json") + ".dot")
+	if err != nil || !strings.Contains(string(dot), "digraph") {
+		t.Errorf("dot file bad: %v", err)
+	}
+	// The DOT annotations carry the searched primitives.
+	if !strings.Contains(string(dot), "sparse-") && !strings.Contains(string(dot), "nnpack-") &&
+		!strings.Contains(string(dot), "openblas-") {
+		t.Error("dot missing primitive annotations")
+	}
+}

@@ -1,0 +1,39 @@
+// Compare search strategies on one profiled table: QS-DNN's RL agent
+// vs Random Search vs the per-layer Greedy pick vs the exact dynamic-
+// programming optimum (available because MobileNet-v1 is a chain).
+// This is the paper's §VI-B story in one program: RL converges close
+// to the optimum within a few hundred episodes; RS "only converges
+// towards the infinite"; Greedy walks into penalties.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	qsdnn "repro"
+)
+
+func main() {
+	net := qsdnn.MustModel("mobilenet-v1")
+	tab, err := qsdnn.Profile(net, qsdnn.NewTX2Platform(), qsdnn.ModeGPGPU, 50)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opt, err := qsdnn.Optimal(tab) // exact: MobileNet-v1 is a chain
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-22s %10.3f ms   (exact DP optimum)\n", "optimal", opt.Time*1e3)
+
+	greedy := qsdnn.Greedy(tab)
+	fmt.Printf("%-22s %10.3f ms   (%.2fx off optimal — the Fig. 1 trap)\n",
+		"greedy per layer", greedy.Time*1e3, greedy.Time/opt.Time)
+
+	for _, budget := range []int{25, 100, 350, 1000} {
+		rl := qsdnn.Search(tab, qsdnn.SearchConfig{Episodes: budget, Seed: 4})
+		rs := qsdnn.RandomSearch(tab, budget, 4)
+		fmt.Printf("%-22s %10.3f ms   vs RS %10.3f ms   (RS/RL %.2fx)\n",
+			fmt.Sprintf("QS-DNN @%d episodes", budget), rl.Time*1e3, rs.Time*1e3, rs.Time/rl.Time)
+	}
+}

@@ -1,0 +1,59 @@
+// Multi-objective: the paper's future-work direction made concrete.
+// Profile SqueezeNet for both latency and energy on the TX2-like
+// board, then sweep the trade-off weight: λ = 0 reproduces the
+// latency-optimal mapping (GPU-heavy, power-hungry); large λ pushes
+// work onto the low-power CPU. The non-dominated points form the
+// latency/energy Pareto front an embedded-systems engineer actually
+// deploys from.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	qsdnn "repro"
+)
+
+func main() {
+	net := qsdnn.MustModel("squeezenet")
+	board := qsdnn.NewTX2Platform()
+
+	timeTab, energyTab, err := qsdnn.ProfileWithEnergy(net, board, qsdnn.ModeGPGPU, 50)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("lambda sweep (cost = latency + lambda * energy):")
+	for _, lambda := range []float64{0, 0.01, 0.1, 1, 100} {
+		r, err := qsdnn.OptimizeMulti(timeTab, energyTab, lambda, qsdnn.SearchConfig{Episodes: 800, Seed: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  lambda %-7g -> %8.2f ms  %8.2f mJ\n", lambda, r.Seconds*1e3, r.Joules*1e3)
+	}
+
+	front, err := qsdnn.Pareto(timeTab, energyTab, nil, qsdnn.SearchConfig{Episodes: 800, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nPareto front (non-dominated):")
+	for _, p := range front {
+		fmt.Printf("  %8.2f ms  %8.2f mJ   (lambda %g)\n", p.Seconds*1e3, p.Joules*1e3, p.Lambda)
+	}
+
+	// The same trade-off on a different board.
+	nano, err := qsdnn.NewPlatform("nano-like")
+	if err != nil {
+		log.Fatal(err)
+	}
+	tn, en, err := qsdnn.ProfileWithEnergy(net, nano, qsdnn.ModeGPGPU, 50)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fast, err := qsdnn.OptimizeMulti(tn, en, 0, qsdnn.SearchConfig{Episodes: 800, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nnano-like board, latency-optimal: %.2f ms, %.2f mJ\n",
+		fast.Seconds*1e3, fast.Joules*1e3)
+}

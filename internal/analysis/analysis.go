@@ -1,0 +1,192 @@
+// Package analysis provides post-search diagnostics a deployment
+// engineer asks for: which layers dominate the optimized inference
+// time, what the runner-up primitive would cost per layer, and how
+// sensitive the found mapping is to platform parameters (e.g. would a
+// faster CPU<->GPU interconnect change what gets offloaded?). The
+// sensitivity sweep re-profiles and re-searches at each scale, so it
+// reflects the search's actual adaptation, not a fixed mapping.
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/lut"
+	"repro/internal/nn"
+	"repro/internal/platform"
+	"repro/internal/primitives"
+	"repro/internal/profile"
+)
+
+// LayerReport is one layer's share of the optimized inference time.
+type LayerReport struct {
+	// Layer is the layer index; Name its name.
+	Layer int
+	Name  string
+	// Primitive is the chosen implementation.
+	Primitive string
+	// Seconds is the layer's execution time plus its incoming
+	// penalties under the assignment.
+	Seconds float64
+	// Share is Seconds / total.
+	Share float64
+	// RunnerUpPrimitive is the best alternative primitive by isolated
+	// layer time, with its time.
+	RunnerUpPrimitive string
+	RunnerUpSeconds   float64
+}
+
+// Bottlenecks returns the layers sorted by their share of the total
+// assignment cost, largest first, with runner-up alternatives.
+func Bottlenecks(net *nn.Network, tab *lut.Table, assignment []primitives.ID) ([]LayerReport, error) {
+	if net.Name != tab.Network {
+		return nil, fmt.Errorf("analysis: table is for %q, network is %q", tab.Network, net.Name)
+	}
+	total := tab.TotalTime(assignment)
+	reports := make([]LayerReport, 0, tab.NumLayers()-1)
+	for i := 1; i < tab.NumLayers(); i++ {
+		chosen := assignment[i]
+		cost := tab.LayerCost(i, chosen, assignment)
+		r := LayerReport{
+			Layer:     i,
+			Name:      net.Layers[i].Name,
+			Primitive: primitives.ByID(chosen).Name,
+			Seconds:   cost,
+			Share:     cost / total,
+		}
+		best := math.Inf(1)
+		for _, p := range tab.Candidates(i) {
+			if p == chosen {
+				continue
+			}
+			if v := tab.Time(i, p); v < best {
+				best = v
+				r.RunnerUpPrimitive = primitives.ByID(p).Name
+				r.RunnerUpSeconds = v
+			}
+		}
+		reports = append(reports, r)
+	}
+	sort.Slice(reports, func(a, b int) bool { return reports[a].Seconds > reports[b].Seconds })
+	return reports, nil
+}
+
+// RenderBottlenecks formats the top-n layers.
+func RenderBottlenecks(reports []LayerReport, n int) string {
+	if n > len(reports) {
+		n = len(reports)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "top %d layers by share of optimized inference time:\n", n)
+	for _, r := range reports[:n] {
+		fmt.Fprintf(&b, "  %5.1f%%  %-28s %-22s %9.4f ms (runner-up %s, %.4f ms)\n",
+			r.Share*100, r.Name, r.Primitive, r.Seconds*1e3,
+			r.RunnerUpPrimitive, r.RunnerUpSeconds*1e3)
+	}
+	return b.String()
+}
+
+// SensitivityPoint is one step of a platform-parameter sweep.
+type SensitivityPoint struct {
+	// Scale multiplies the swept parameter.
+	Scale float64
+	// Seconds is the re-searched optimized inference time.
+	Seconds float64
+	// GPULayers counts layers mapped to the GPU after re-searching.
+	GPULayers int
+	// Transfers counts processor crossings in the mapping (including
+	// the input edge and the host return).
+	Transfers int
+}
+
+// Parameter identifies which platform knob a sweep scales.
+type Parameter uint8
+
+const (
+	// TransferCost scales both the fixed and per-byte transfer cost.
+	TransferCost Parameter = iota
+	// GPUSpeed scales the GPU's peak throughput.
+	GPUSpeed
+	// CPUSpeed scales the CPU's peak throughput.
+	CPUSpeed
+)
+
+// String returns the parameter name.
+func (p Parameter) String() string {
+	switch p {
+	case TransferCost:
+		return "transfer-cost"
+	case GPUSpeed:
+		return "gpu-speed"
+	case CPUSpeed:
+		return "cpu-speed"
+	}
+	return fmt.Sprintf("Parameter(%d)", uint8(p))
+}
+
+// Sensitivity sweeps one platform parameter across the given scales,
+// re-profiling and re-searching at each point, and reports how the
+// optimized time and the CPU/GPU split react.
+func Sensitivity(net *nn.Network, base *platform.Platform, param Parameter,
+	scales []float64, episodes int, seed int64) ([]SensitivityPoint, error) {
+	if len(scales) == 0 {
+		scales = []float64{0.25, 0.5, 1, 2, 4}
+	}
+	points := make([]SensitivityPoint, 0, len(scales))
+	for _, scale := range scales {
+		if scale <= 0 {
+			return nil, fmt.Errorf("analysis: non-positive scale %v", scale)
+		}
+		pl := *base // shallow copy: Spec is by value
+		switch param {
+		case TransferCost:
+			pl.TransferFixedSec *= scale
+			pl.TransferGBps /= scale
+		case GPUSpeed:
+			pl.GPUPeakGFLOPS *= scale
+			pl.GPUMemGBps *= scale
+		case CPUSpeed:
+			pl.CPUPeakGFLOPS *= scale
+			pl.CPUMemGBps *= scale
+		default:
+			return nil, fmt.Errorf("analysis: unknown parameter %v", param)
+		}
+		tab, err := profile.Run(net, profile.NewSimSource(net, &pl),
+			profile.Options{Mode: primitives.ModeGPGPU, Samples: 10})
+		if err != nil {
+			return nil, err
+		}
+		res := core.Search(tab, core.Config{Episodes: episodes, Seed: seed})
+		pt := SensitivityPoint{Scale: scale, Seconds: res.Time}
+		prevProc := primitives.CPU
+		for i := 1; i < len(res.Assignment); i++ {
+			p := primitives.ByID(res.Assignment[i])
+			if p.Proc == primitives.GPU {
+				pt.GPULayers++
+			}
+			if p.Proc != prevProc {
+				pt.Transfers++
+				prevProc = p.Proc
+			}
+		}
+		if prevProc != primitives.CPU {
+			pt.Transfers++ // host return
+		}
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
+// RenderSensitivity formats a sweep.
+func RenderSensitivity(param Parameter, points []SensitivityPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sensitivity to %s:\n", param)
+	for _, p := range points {
+		fmt.Fprintf(&b, "  x%-5.2f -> %9.3f ms, %3d GPU layers, %3d transfers\n",
+			p.Scale, p.Seconds*1e3, p.GPULayers, p.Transfers)
+	}
+	return b.String()
+}

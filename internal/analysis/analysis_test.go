@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/lut"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/platform"
+	"repro/internal/primitives"
+	"repro/internal/profile"
+)
+
+func searched(t *testing.T, name string) (*nn.Network, *lut.Table, []primitives.ID) {
+	t.Helper()
+	net := models.MustBuild(name)
+	pl := platform.JetsonTX2Like()
+	tab, err := profile.Run(net, profile.NewSimSource(net, pl),
+		profile.Options{Mode: primitives.ModeGPGPU, Samples: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := core.Search(tab, core.Config{Episodes: 500, Seed: 1})
+	return net, tab, res.Assignment
+}
+
+func TestBottlenecksAccounting(t *testing.T) {
+	net, tab, assignment := searched(t, "mobilenet-v1")
+	reports, err := Bottlenecks(net, tab, assignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != tab.NumLayers()-1 {
+		t.Fatalf("%d reports for %d layers", len(reports), tab.NumLayers()-1)
+	}
+	// Shares sum to 1 and are sorted descending.
+	var sum float64
+	for i, r := range reports {
+		sum += r.Share
+		if i > 0 && r.Seconds > reports[i-1].Seconds {
+			t.Fatal("reports not sorted by cost")
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("shares sum to %v", sum)
+	}
+	// Every layer has a runner-up (all layers here have >= 2 candidates).
+	for _, r := range reports {
+		if r.RunnerUpPrimitive == "" {
+			t.Errorf("layer %s has no runner-up", r.Name)
+		}
+	}
+	out := RenderBottlenecks(reports, 5)
+	if strings.Count(out, "%") < 5 {
+		t.Error("render should list five layers")
+	}
+	// Oversized n is clamped.
+	RenderBottlenecks(reports, 10_000)
+}
+
+func TestBottlenecksValidation(t *testing.T) {
+	net, tab, assignment := searched(t, "lenet5")
+	other := models.MustBuild("alexnet")
+	if _, err := Bottlenecks(other, tab, assignment); err == nil {
+		t.Error("network mismatch should error")
+	}
+	_ = net
+}
+
+func TestSensitivityTransferCost(t *testing.T) {
+	// As transfers get more expensive, the search should keep fewer
+	// layers on the GPU (or at least never more), and the optimized
+	// time should not improve.
+	net := models.MustBuild("squeezenet")
+	base := platform.JetsonTX2Like()
+	points, err := Sensitivity(net, base, TransferCost, []float64{0.25, 1, 16}, 400, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	if points[2].GPULayers > points[0].GPULayers {
+		t.Errorf("16x transfer cost kept %d GPU layers, cheap transfers %d — offload should shrink",
+			points[2].GPULayers, points[0].GPULayers)
+	}
+	if points[2].Seconds < points[0].Seconds {
+		t.Error("making transfers expensive should not speed inference up")
+	}
+	out := RenderSensitivity(TransferCost, points)
+	if !strings.Contains(out, "transfer-cost") {
+		t.Error("render missing parameter name")
+	}
+}
+
+func TestSensitivityGPUSpeed(t *testing.T) {
+	net := models.MustBuild("squeezenet")
+	base := platform.JetsonTX2Like()
+	points, err := Sensitivity(net, base, GPUSpeed, []float64{0.25, 4}, 400, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 16x faster GPU should yield a faster optimized time.
+	if points[1].Seconds >= points[0].Seconds {
+		t.Errorf("faster GPU gave %v, slower gave %v", points[1].Seconds, points[0].Seconds)
+	}
+}
+
+func TestSensitivityValidation(t *testing.T) {
+	net := models.MustBuild("lenet5")
+	base := platform.JetsonTX2Like()
+	if _, err := Sensitivity(net, base, TransferCost, []float64{0}, 10, 1); err == nil {
+		t.Error("zero scale should error")
+	}
+	if _, err := Sensitivity(net, base, Parameter(99), []float64{1}, 10, 1); err == nil {
+		t.Error("unknown parameter should error")
+	}
+	// Default scales path.
+	points, err := Sensitivity(net, base, CPUSpeed, nil, 50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 5 {
+		t.Errorf("default sweep has %d points", len(points))
+	}
+}
+
+func TestParameterString(t *testing.T) {
+	if TransferCost.String() != "transfer-cost" || GPUSpeed.String() != "gpu-speed" || CPUSpeed.String() != "cpu-speed" {
+		t.Error("parameter names")
+	}
+	if !strings.Contains(Parameter(9).String(), "9") {
+		t.Error("unknown parameter name")
+	}
+}

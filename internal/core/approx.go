@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/lut"
+	"repro/internal/nn"
+	"repro/internal/primitives"
+	"repro/internal/qlearn"
+)
+
+// Linear function-approximation search — the paper's §VII direction
+// toward value-function approximation. Instead of one Q-value per
+// (layer, primitive, action) cell, the agent learns weights over
+// features that generalize across layers: which library suits which
+// layer kind, whether the action keeps the layout/processor of the
+// previous layer, and where in the network it sits. On deep networks
+// this needs far fewer episodes than the tabular agent to reach a
+// good (if not always optimal) configuration.
+
+// approxFeaturizer maps (step, previous primitive, action) to a
+// sparse-ish feature vector.
+type approxFeaturizer struct {
+	net *nn.Network
+	dim int
+	// layout of the vector:
+	//   [0]                          bias
+	//   [1 + kind*numLibs + lib]     layer-kind x library indicator
+	//   [kindLibBase + ...] etc.
+	kindLibOff   int
+	sameLayout   int
+	sameProc     int
+	gpuAction    int
+	depthFrac    int
+	depthGPU     int
+	winogradPick int
+}
+
+const numLibs = 8
+
+func newApproxFeaturizer(net *nn.Network) *approxFeaturizer {
+	f := &approxFeaturizer{net: net}
+	f.kindLibOff = 1
+	nKinds := len(nn.AllOpKinds()) + 1 // + input kind slot
+	base := f.kindLibOff + nKinds*numLibs
+	f.sameLayout = base
+	f.sameProc = base + 1
+	f.gpuAction = base + 2
+	f.depthFrac = base + 3
+	f.depthGPU = base + 4
+	f.winogradPick = base + 5
+	f.dim = base + 6
+	return f
+}
+
+// features fills buf (len dim) for taking `action` at layer `step`
+// when layer step-1 used `prev`.
+func (f *approxFeaturizer) features(step int, prev, action primitives.ID, buf []float64) []float64 {
+	for i := range buf {
+		buf[i] = 0
+	}
+	l := f.net.Layers[step]
+	ap := primitives.ByID(action)
+	pp := primitives.ByID(prev)
+	buf[0] = 1
+	buf[f.kindLibOff+int(l.Kind)*numLibs+int(ap.Lib)] = 1
+	if ap.Layout == pp.Layout {
+		buf[f.sameLayout] = 1
+	}
+	if ap.Proc == pp.Proc {
+		buf[f.sameProc] = 1
+	}
+	if ap.Proc == primitives.GPU {
+		buf[f.gpuAction] = 1
+	}
+	depth := float64(step) / float64(f.net.Len())
+	buf[f.depthFrac] = depth
+	if ap.Proc == primitives.GPU {
+		buf[f.depthGPU] = depth
+	}
+	if ap.Algo == primitives.WinogradAlgo {
+		buf[f.winogradPick] = 1
+	}
+	return buf
+}
+
+// ApproxConfig extends Config with approximator settings.
+type ApproxConfig struct {
+	Config
+	// Alpha is the semi-gradient step size (default 0.01 — the
+	// tabular α is too aggressive for shared weights).
+	Alpha float64
+}
+
+// SearchApprox runs the ε-greedy episode walk with the linear
+// approximator instead of the Q-table. The network is required because
+// the features are built from layer kinds the LUT does not carry.
+func SearchApprox(tab *lut.Table, net *nn.Network, cfg ApproxConfig) (*Result, error) {
+	if tab.Network != net.Name {
+		return nil, fmt.Errorf("core: table is for %q, network is %q", tab.Network, net.Name)
+	}
+	c := cfg.Config.withDefaults()
+	alpha := cfg.Alpha
+	if alpha == 0 {
+		alpha = 0.01
+	}
+	rng := newSearchRNG(c.Seed)
+	L := tab.NumLayers()
+	fz := newApproxFeaturizer(net)
+	agent := qlearn.NewApprox(fz.dim)
+
+	// Reward scale: normalize by the largest finite layer time so TD
+	// targets stay O(1) regardless of network size.
+	scale := 0.0
+	for i := 1; i < L; i++ {
+		for _, p := range tab.Candidates(i) {
+			if v := tab.Time(i, p); !math.IsInf(v, 1) && v > scale {
+				scale = v
+			}
+		}
+	}
+	if scale == 0 {
+		scale = 1
+	}
+
+	phi := make([]float64, fz.dim)
+	phiNext := make([]float64, fz.dim)
+	assignment := make([]primitives.ID, L)
+	assignment[0] = tab.Candidates(0)[0]
+	best := &Result{Time: math.Inf(1), Episodes: c.Episodes}
+
+	value := func(step int, prev, action primitives.ID) float64 {
+		return agent.Value(fz.features(step, prev, action, phi))
+	}
+
+	for ep := 0; ep < c.Episodes; ep++ {
+		eps := qlearn.EpsilonAt(c.Schedule, ep)
+		for i := 1; i < L; i++ {
+			prev := assignment[i-1]
+			cands := tab.Candidates(i)
+			var action primitives.ID
+			if rng.Float64() < eps {
+				action = cands[rng.Intn(len(cands))]
+			} else {
+				action = cands[0]
+				bestV := value(i, prev, action)
+				for _, cnd := range cands[1:] {
+					if v := value(i, prev, cnd); v > bestV {
+						action, bestV = cnd, v
+					}
+				}
+			}
+			assignment[i] = action
+			reward := -tab.LayerCost(i, action, assignment) / scale
+
+			// TD target with the successor's best value.
+			target := reward
+			if i+1 < L {
+				nxt := math.Inf(-1)
+				for _, cnd := range tab.Candidates(i + 1) {
+					if v := agent.Value(fz.features(i+1, action, cnd, phiNext)); v > nxt {
+						nxt = v
+					}
+				}
+				target += c.Agent.Gamma * nxt
+			}
+			agent.Update(fz.features(i, prev, action, phi), target, alpha)
+		}
+		total := tab.TotalTime(assignment)
+		if total < best.Time {
+			best.Time = total
+			best.Assignment = append([]primitives.ID(nil), assignment...)
+		}
+		best.Curve = append(best.Curve, EpisodePoint{Episode: ep, Epsilon: eps, Time: total, Best: best.Time})
+	}
+	return best, nil
+}

@@ -1,0 +1,354 @@
+// Package core implements the paper's primary contribution: QS-DNN,
+// the Q-learning-based search (Algorithm 1) that walks a profiled
+// network layer by layer choosing one primitive per layer, learning to
+// accept locally slower primitives when that avoids layout-conversion
+// or processor-transfer penalties downstream. The package also
+// provides the comparators used in the evaluation: Random Search, the
+// per-layer Greedy strategy (the "red path" of Fig. 1), exhaustive
+// enumeration, the exact Viterbi optimum for chain networks (the
+// PBQP-style formulation of Anderson & Gregg restricted to chains),
+// and single-library substitution (the Best-Single-Library rows of
+// Table II).
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/lut"
+	"repro/internal/primitives"
+	"repro/internal/qlearn"
+)
+
+// Config controls a QS-DNN search run. Zero values are replaced by the
+// paper's settings.
+type Config struct {
+	// Episodes is the episode budget (paper: 1000).
+	Episodes int
+	// Agent holds α, γ and the replay capacity (paper: 0.05/0.9/128).
+	Agent qlearn.Config
+	// Schedule is the ε schedule; nil selects PaperSchedule(Episodes).
+	Schedule []qlearn.Phase
+	// Seed drives all stochastic choices; searches are reproducible.
+	Seed int64
+	// DisableReplay turns experience replay off (ablation).
+	DisableReplay bool
+	// DisableShaping replaces the per-layer shaped reward with a
+	// single terminal reward equal to the negated total inference
+	// time (ablation; the paper reports shaping converges better).
+	DisableShaping bool
+	// ReplayUpdates is the number of stored episodes re-applied after
+	// each episode; 0 selects the replay buffer size.
+	ReplayUpdates int
+}
+
+// withDefaults fills unset fields with the paper's values.
+func (c Config) withDefaults() Config {
+	if c.Episodes == 0 {
+		c.Episodes = 1000
+	}
+	if c.Agent == (qlearn.Config{}) {
+		c.Agent = qlearn.PaperConfig()
+	}
+	if c.Schedule == nil {
+		c.Schedule = qlearn.PaperSchedule(c.Episodes)
+	}
+	if c.ReplayUpdates == 0 {
+		c.ReplayUpdates = c.Agent.ReplaySize
+	}
+	return c
+}
+
+// EpisodePoint records one episode of a search for learning-curve
+// reproduction (Fig. 4).
+type EpisodePoint struct {
+	// Episode is the zero-based episode index.
+	Episode int
+	// Epsilon is the exploration rate in force.
+	Epsilon float64
+	// Time is the inference time of the configuration sampled in this
+	// episode (seconds).
+	Time float64
+	// Best is the best inference time found up to and including this
+	// episode.
+	Best float64
+}
+
+// Result is the outcome of a search.
+type Result struct {
+	// Assignment maps each layer index to the chosen primitive
+	// (index 0 is the input pseudo-primitive).
+	Assignment []primitives.ID
+	// Time is the total inference time of Assignment (seconds).
+	Time float64
+	// Episodes is the number of full configurations evaluated.
+	Episodes int
+	// Curve holds one point per episode (nil for non-episodic
+	// searches such as Greedy or the DP optimum).
+	Curve []EpisodePoint
+}
+
+// newSearchRNG builds the deterministic RNG all searches use.
+func newSearchRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// Search runs QS-DNN (Algorithm 1) over a profiled look-up table.
+func Search(tab *lut.Table, cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	rng := newSearchRNG(cfg.Seed)
+	L := tab.NumLayers()
+	q := qlearn.NewTable(L, primitives.Count())
+	replay := qlearn.NewReplay(cfg.Agent.ReplaySize)
+
+	// Allowed actions per step, as plain ints for the Q-table.
+	allowed := make([][]int, L)
+	for i := 1; i < L; i++ {
+		ids := tab.Candidates(i)
+		acts := make([]int, len(ids))
+		for k, id := range ids {
+			acts[k] = int(id)
+		}
+		allowed[i] = acts
+	}
+
+	assignment := make([]primitives.ID, L)
+	assignment[0] = tab.Candidates(0)[0]
+	best := &Result{Time: math.Inf(1)}
+	curve := make([]EpisodePoint, 0, cfg.Episodes)
+
+	for ep := 0; ep < cfg.Episodes; ep++ {
+		eps := qlearn.EpsilonAt(cfg.Schedule, ep)
+
+		// Reset path; walk the network sequentially (Algorithm 1).
+		traj := make([]qlearn.Transition, 0, L-1)
+		for i := 1; i < L; i++ {
+			prev := int(assignment[i-1])
+			var action int
+			if rng.Float64() < eps {
+				action = allowed[i][rng.Intn(len(allowed[i]))]
+			} else {
+				action = q.Best(i-1, prev, allowed[i], rng)
+			}
+			assignment[i] = primitives.ID(action)
+
+			// Check for incompatibility and compute the layer's
+			// inference time: the shaped reward is the negated layer
+			// cost including every incoming penalty (and the
+			// host-return cost at the output layer).
+			var reward float64
+			if !cfg.DisableShaping {
+				reward = -tab.LayerCost(i, assignment[i], assignment)
+			}
+			var next []int
+			if i+1 < L {
+				next = allowed[i+1]
+			}
+			traj = append(traj, qlearn.Transition{
+				Step: i - 1, Prim: prev, Action: action,
+				Reward: reward, NextAllowed: next,
+			})
+		}
+		total := tab.TotalTime(assignment)
+		if cfg.DisableShaping {
+			// Single terminal reward carrying the whole signal.
+			traj[len(traj)-1].Reward = -total
+		}
+
+		// Update the action-value function and replay experience.
+		q.UpdateEpisode(traj, cfg.Agent)
+		if !cfg.DisableReplay {
+			replay.Add(traj)
+			replay.ReplayInto(q, cfg.Agent, cfg.ReplayUpdates, rng)
+		}
+
+		if total < best.Time {
+			best.Time = total
+			best.Assignment = append([]primitives.ID(nil), assignment...)
+		}
+		curve = append(curve, EpisodePoint{Episode: ep, Epsilon: eps, Time: total, Best: best.Time})
+	}
+	best.Episodes = cfg.Episodes
+	best.Curve = curve
+	return best
+}
+
+// RandomSearch evaluates the given number of uniformly random
+// configurations — the RS baseline of §VI-B.
+func RandomSearch(tab *lut.Table, episodes int, seed int64) *Result {
+	rng := rand.New(rand.NewSource(seed))
+	L := tab.NumLayers()
+	assignment := make([]primitives.ID, L)
+	assignment[0] = tab.Candidates(0)[0]
+	best := &Result{Time: math.Inf(1), Episodes: episodes}
+	for ep := 0; ep < episodes; ep++ {
+		for i := 1; i < L; i++ {
+			c := tab.Candidates(i)
+			assignment[i] = c[rng.Intn(len(c))]
+		}
+		total := tab.TotalTime(assignment)
+		if total < best.Time {
+			best.Time = total
+			best.Assignment = append([]primitives.ID(nil), assignment...)
+		}
+		best.Curve = append(best.Curve, EpisodePoint{
+			Episode: ep, Epsilon: 1, Time: total, Best: best.Time,
+		})
+	}
+	return best
+}
+
+// Greedy picks, for every layer independently, the primitive with the
+// lowest isolated execution time, ignoring all compatibility
+// penalties — the locally-optimal "red path" of the paper's Fig. 1
+// that the RL agent learns to avoid.
+func Greedy(tab *lut.Table) *Result {
+	L := tab.NumLayers()
+	assignment := make([]primitives.ID, L)
+	assignment[0] = tab.Candidates(0)[0]
+	for i := 1; i < L; i++ {
+		best := tab.Candidates(i)[0]
+		for _, p := range tab.Candidates(i)[1:] {
+			if tab.Time(i, p) < tab.Time(i, best) {
+				best = p
+			}
+		}
+		assignment[i] = best
+	}
+	return &Result{Assignment: assignment, Time: tab.TotalTime(assignment), Episodes: 1}
+}
+
+// Optimal computes the exact minimum-time assignment for chain
+// networks with Viterbi dynamic programming over (layer, primitive)
+// states. It returns an error for non-chain tables (an edge whose
+// producer is not the sequential predecessor), where the chain DP is
+// not exact.
+func Optimal(tab *lut.Table) (*Result, error) {
+	L := tab.NumLayers()
+	for _, e := range tab.Edges() {
+		if e.From != e.To-1 {
+			return nil, fmt.Errorf("core: Optimal requires a chain network, found edge %d->%d", e.From, e.To)
+		}
+	}
+	type cell struct {
+		cost float64
+		prev int
+	}
+	prev := map[primitives.ID]cell{tab.Candidates(0)[0]: {cost: 0, prev: -1}}
+	// back[i][p] is the best predecessor primitive for layer i at p.
+	back := make([]map[primitives.ID]primitives.ID, L)
+	for i := 1; i < L; i++ {
+		cur := make(map[primitives.ID]cell, len(tab.Candidates(i)))
+		back[i] = make(map[primitives.ID]primitives.ID)
+		for _, p := range tab.Candidates(i) {
+			bestCost := math.Inf(1)
+			var bestPrev primitives.ID = -1
+			for q, pc := range prev {
+				c := pc.cost + tab.Time(i, p) + tab.Penalty(i-1, i, q, p)
+				if c < bestCost {
+					bestCost, bestPrev = c, q
+				}
+			}
+			if i == tab.OutputLayer() {
+				bestCost += tab.OutputPenalty(p)
+			}
+			cur[p] = cell{cost: bestCost}
+			back[i][p] = bestPrev
+		}
+		prev = cur
+	}
+	bestCost := math.Inf(1)
+	var bestLast primitives.ID = -1
+	for p, c := range prev {
+		if c.cost < bestCost {
+			bestCost, bestLast = c.cost, p
+		}
+	}
+	assignment := make([]primitives.ID, L)
+	assignment[L-1] = bestLast
+	for i := L - 1; i >= 1; i-- {
+		assignment[i-1] = back[i][assignment[i]]
+	}
+	return &Result{Assignment: assignment, Time: tab.TotalTime(assignment), Episodes: 1}, nil
+}
+
+// Exhaustive enumerates every configuration and returns the true
+// optimum. It refuses design spaces larger than maxConfigs to keep
+// runtimes bounded; it exists to certify the other searches on small
+// networks.
+func Exhaustive(tab *lut.Table, maxConfigs float64) (*Result, error) {
+	L := tab.NumLayers()
+	space := 1.0
+	for i := 1; i < L; i++ {
+		space *= float64(len(tab.Candidates(i)))
+	}
+	if space > maxConfigs {
+		return nil, fmt.Errorf("core: design space %.3g exceeds cap %.3g", space, maxConfigs)
+	}
+	assignment := make([]primitives.ID, L)
+	assignment[0] = tab.Candidates(0)[0]
+	best := &Result{Time: math.Inf(1)}
+	count := 0
+	var walk func(i int)
+	walk = func(i int) {
+		if i == L {
+			count++
+			if total := tab.TotalTime(assignment); total < best.Time {
+				best.Time = total
+				best.Assignment = append([]primitives.ID(nil), assignment...)
+			}
+			return
+		}
+		for _, p := range tab.Candidates(i) {
+			assignment[i] = p
+			walk(i + 1)
+		}
+	}
+	walk(1)
+	best.Episodes = count
+	return best, nil
+}
+
+// SingleLibrary builds the whole-library substitution the profiling
+// phase benchmarks: every layer uses lib's primitive where the library
+// supports the layer and Vanilla elsewhere. This is how the per-library
+// columns and the Best Single Library (BSL) row of Table II are formed.
+func SingleLibrary(tab *lut.Table, lib primitives.Library) *Result {
+	L := tab.NumLayers()
+	assignment := make([]primitives.ID, L)
+	assignment[0] = tab.Candidates(0)[0]
+	for i := 1; i < L; i++ {
+		pick := primitives.ID(-1)
+		for _, id := range tab.Candidates(i) {
+			if primitives.ByID(id).Lib == lib {
+				pick = id
+				break
+			}
+		}
+		if pick < 0 {
+			pick = primitives.PVanilla.Idx
+		}
+		assignment[i] = pick
+	}
+	return &Result{Assignment: assignment, Time: tab.TotalTime(assignment), Episodes: 1}
+}
+
+// BestSingleLibrary returns the fastest whole-library substitution and
+// which library achieved it, over the libraries available in the
+// table's mode.
+func BestSingleLibrary(tab *lut.Table) (primitives.Library, *Result) {
+	bestLib := primitives.Vanilla
+	var best *Result
+	for _, lib := range primitives.AllLibraries() {
+		r := SingleLibrary(tab, lib)
+		if best == nil || r.Time < best.Time {
+			best, bestLib = r, lib
+		}
+	}
+	return bestLib, best
+}
+
+// VanillaTime returns the all-Vanilla inference time — the
+// dependency-free baseline every Table II speedup is measured against.
+func VanillaTime(tab *lut.Table) float64 {
+	return SingleLibrary(tab, primitives.Vanilla).Time
+}

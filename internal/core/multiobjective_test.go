@@ -1,0 +1,171 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/lut"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/platform"
+	"repro/internal/primitives"
+	"repro/internal/profile"
+)
+
+// profiledBoth builds latency and energy tables for a network.
+func profiledBoth(t *testing.T, net *nn.Network, mode primitives.Mode) (*lut.Table, *lut.Table) {
+	t.Helper()
+	pl := platform.JetsonTX2Like()
+	tt, et, err := profile.RunWithEnergy(net, profile.NewSimSource(net, pl),
+		profile.Options{Mode: mode, Samples: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tt, et
+}
+
+func TestSearchMultiLambdaZeroMatchesLatencySearch(t *testing.T) {
+	net := smallChain(t)
+	tt, et := profiledBoth(t, net, primitives.ModeGPGPU)
+	mono := Search(tt, Config{Episodes: 600, Seed: 3})
+	multi, err := SearchMulti(tt, et, 0, Config{Episodes: 600, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mono.Time-multi.Seconds) > 1e-12 {
+		t.Errorf("lambda=0 multi (%v) should equal plain search (%v)", multi.Seconds, mono.Time)
+	}
+	if multi.Joules <= 0 {
+		t.Errorf("energy = %v", multi.Joules)
+	}
+}
+
+func TestSearchMultiTradesLatencyForEnergy(t *testing.T) {
+	// A GPU-heavy network: high lambda should push work off the
+	// power-hungry GPU, lowering joules at a latency cost.
+	net := models.MustBuild("squeezenet")
+	tt, et := profiledBoth(t, net, primitives.ModeGPGPU)
+	fast, err := SearchMulti(tt, et, 0, Config{Episodes: 800, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frugal, err := SearchMulti(tt, et, 1000, Config{Episodes: 800, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frugal.Joules > fast.Joules {
+		t.Errorf("high-lambda search should not burn more energy: %v > %v J",
+			frugal.Joules, fast.Joules)
+	}
+	if frugal.Seconds < fast.Seconds {
+		t.Errorf("energy-optimal mapping should not also be faster: %v < %v s",
+			frugal.Seconds, fast.Seconds)
+	}
+	// The trade-off must be real on this platform: distinct corners.
+	if frugal.Joules == fast.Joules && frugal.Seconds == fast.Seconds {
+		t.Error("latency- and energy-optimal mappings coincide; the objective is degenerate")
+	}
+}
+
+func TestSearchMultiValidation(t *testing.T) {
+	net := smallChain(t)
+	tt, et := profiledBoth(t, net, primitives.ModeGPGPU)
+	if _, err := SearchMulti(tt, et, -1, Config{Episodes: 10}); err == nil {
+		t.Error("negative lambda should error")
+	}
+	other := profiled(t, models.MustBuild("lenet5"), primitives.ModeGPGPU)
+	if _, err := SearchMulti(tt, other, 1, Config{Episodes: 10}); err == nil {
+		t.Error("mismatched tables should error")
+	}
+}
+
+func TestParetoFront(t *testing.T) {
+	net := models.MustBuild("squeezenet")
+	tt, et := profiledBoth(t, net, primitives.ModeGPGPU)
+	front, err := ParetoFront(tt, et, []float64{0, 1, 10, 1000}, Config{Episodes: 500, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(front) == 0 {
+		t.Fatal("empty front")
+	}
+	// No point on the front dominates another.
+	for i, p := range front {
+		for j, q := range front {
+			if i == j {
+				continue
+			}
+			if q.Seconds <= p.Seconds && q.Joules <= p.Joules &&
+				(q.Seconds < p.Seconds || q.Joules < p.Joules) {
+				t.Errorf("front point %+v dominated by %+v", p, q)
+			}
+		}
+	}
+}
+
+func TestParetoFrontDefaultLambdas(t *testing.T) {
+	net := smallChain(t)
+	tt, et := profiledBoth(t, net, primitives.ModeCPU)
+	front, err := ParetoFront(tt, et, nil, Config{Episodes: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(front) == 0 {
+		t.Error("default lambdas produced no front")
+	}
+}
+
+func TestEnergyOf(t *testing.T) {
+	net := smallChain(t)
+	tt, et := profiledBoth(t, net, primitives.ModeGPGPU)
+	res := Search(tt, Config{Episodes: 300, Seed: 1})
+	e := EnergyOf(et, res.Assignment)
+	if e <= 0 || math.IsInf(e, 0) {
+		t.Errorf("EnergyOf = %v", e)
+	}
+	// Vanilla (CPU, slow) burns more CPU-seconds than the optimized
+	// mix burns total; on the default power model vanilla should cost
+	// more joules than the latency-optimal mapping... not necessarily,
+	// so only assert both are finite and vanilla's is positive.
+	van := SingleLibrary(tt, primitives.Vanilla)
+	if ev := EnergyOf(et, van.Assignment); ev <= 0 {
+		t.Errorf("vanilla energy = %v", ev)
+	}
+}
+
+func TestEnergyTablesStructure(t *testing.T) {
+	net := smallChain(t)
+	_, et := profiledBoth(t, net, primitives.ModeGPGPU)
+	for i := 1; i < et.NumLayers(); i++ {
+		for _, p := range et.Candidates(i) {
+			if v := et.Time(i, p); v <= 0 || math.IsInf(v, 0) {
+				t.Errorf("layer %d prim %d: energy %v", i, p, v)
+			}
+		}
+	}
+	// GPU primitives must cost more joules per second than CPU ones:
+	// check a conv layer where both exist.
+	convIdx := net.LayerIndex("conv1")
+	_ = convIdx
+}
+
+func TestGPUEnergyRatioExceedsCPU(t *testing.T) {
+	// For the same layer, joules/second on GPU ~ GPUWatts and on CPU
+	// ~ CPUWatts.
+	pl := platform.JetsonTX2Like()
+	net := smallChain(t)
+	conv := net.Layers[net.LayerIndex("conv1")]
+	cpuP, _ := primitives.ByName("openblas-gemm-im2col")
+	gpuP, _ := primitives.ByName("cudnn-conv")
+	cpuRatio := pl.LayerEnergy(conv, cpuP) / pl.LayerLatency(conv, cpuP)
+	gpuRatio := pl.LayerEnergy(conv, gpuP) / pl.LayerLatency(conv, gpuP)
+	if math.Abs(cpuRatio-pl.Power().CPUWatts) > 1e-9 {
+		t.Errorf("CPU joules/sec = %v, want %v", cpuRatio, pl.Power().CPUWatts)
+	}
+	if math.Abs(gpuRatio-pl.Power().GPUWatts) > 1e-9 {
+		t.Errorf("GPU joules/sec = %v, want %v", gpuRatio, pl.Power().GPUWatts)
+	}
+	if gpuRatio <= cpuRatio {
+		t.Error("GPU should draw more power than a single CPU core")
+	}
+}

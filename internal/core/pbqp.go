@@ -1,0 +1,303 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/lut"
+	"repro/internal/primitives"
+)
+
+// PBQP solves the primitive-selection problem as a Partitioned Boolean
+// Quadratic Program, the formulation of Anderson & Gregg ("Optimal DNN
+// primitive selection with partitioned boolean quadratic programming")
+// that the paper cites as the prior state of the art. Each layer is a
+// variable over its candidate primitives with vector costs (layer
+// times); each graph edge carries a matrix cost (the compatibility
+// penalties). The solver applies the classical reductions —
+//
+//	R0:  a degree-0 node takes its cheapest primitive;
+//	RI:  a degree-1 node folds into its neighbour's cost vector;
+//	RII: a degree-2 node folds into an edge between its neighbours;
+//	RN:  (heuristic) a higher-degree node is decided greedily by
+//	     local cost and its choice folded into the neighbours.
+//
+// — then back-propagates decisions. On chains and trees only
+// R0/RI/RII fire, so the result is provably optimal (the test suite
+// certifies it against Viterbi); on branchy graphs (Inception, ResNet)
+// RN makes it a strong heuristic, which is exactly the comparison the
+// paper's RL approach targets.
+func PBQP(tab *lut.Table) *Result {
+	s := newPBQPState(tab)
+	s.reduceAll()
+	assignment := s.backPropagate()
+	return &Result{
+		Assignment: assignment,
+		Time:       tab.TotalTime(assignment),
+		Episodes:   1,
+	}
+}
+
+// pbqpNode is one live variable of the program.
+type pbqpNode struct {
+	layer int
+	dom   []primitives.ID
+	cost  []float64
+	adj   map[int]*pbqpEdge // neighbour layer -> connecting edge
+}
+
+// pbqpEdge is a matrix cost between nodes a and b (indexed by their
+// domain positions).
+type pbqpEdge struct {
+	a, b int
+	m    [][]float64 // m[ai][bi]
+}
+
+// at returns the edge cost between node `from` at domain index fi and
+// the other endpoint at index oi, handling orientation.
+func (e *pbqpEdge) at(from int, fi, oi int) float64 {
+	if from == e.a {
+		return e.m[fi][oi]
+	}
+	return e.m[oi][fi]
+}
+
+// decision records how to reconstruct one eliminated node's choice.
+type decision struct {
+	layer int
+	// fixed >= 0 means the choice is already known (R0/RN).
+	fixed int
+	// For RI: choice = best[idx(n1)]; for RII: best2[idx(n1)][idx(n2)].
+	n1, n2 int
+	best   []int
+	best2  [][]int
+}
+
+type pbqpState struct {
+	tab   *lut.Table
+	nodes map[int]*pbqpNode
+	stack []decision
+	// chosen[layer] = domain index, filled during back-propagation.
+	chosen map[int]int
+}
+
+func newPBQPState(tab *lut.Table) *pbqpState {
+	s := &pbqpState{tab: tab, nodes: map[int]*pbqpNode{}, chosen: map[int]int{}}
+	L := tab.NumLayers()
+
+	for i := 1; i < L; i++ {
+		dom := tab.Candidates(i)
+		n := &pbqpNode{layer: i, dom: dom, cost: make([]float64, len(dom)), adj: map[int]*pbqpEdge{}}
+		for k, p := range dom {
+			n.cost[k] = tab.Time(i, p)
+			if i == tab.OutputLayer() {
+				n.cost[k] += tab.OutputPenalty(p)
+			}
+		}
+		s.nodes[i] = n
+	}
+
+	inputPrim := tab.Candidates(0)[0]
+	for _, ed := range tab.Edges() {
+		to := s.nodes[ed.To]
+		if ed.From == 0 {
+			// The input pseudo-node is fixed: fold its edge into the
+			// consumer's vector.
+			for k, p := range to.dom {
+				to.cost[k] += tab.Penalty(0, ed.To, inputPrim, p)
+			}
+			continue
+		}
+		from := s.nodes[ed.From]
+		m := make([][]float64, len(from.dom))
+		for fi, fp := range from.dom {
+			m[fi] = make([]float64, len(to.dom))
+			for ti, tp := range to.dom {
+				m[fi][ti] = tab.Penalty(ed.From, ed.To, fp, tp)
+			}
+		}
+		s.addEdge(&pbqpEdge{a: ed.From, b: ed.To, m: m})
+	}
+	return s
+}
+
+// addEdge installs an edge, merging with an existing parallel edge by
+// summing matrices.
+func (s *pbqpState) addEdge(e *pbqpEdge) {
+	na, nb := s.nodes[e.a], s.nodes[e.b]
+	if prev, ok := na.adj[e.b]; ok {
+		for fi := range prev.m {
+			for ti := range prev.m[fi] {
+				// Orient e's matrix to prev's orientation.
+				if prev.a == e.a {
+					prev.m[fi][ti] += e.m[fi][ti]
+				} else {
+					prev.m[fi][ti] += e.m[ti][fi]
+				}
+			}
+		}
+		return
+	}
+	na.adj[e.b] = e
+	nb.adj[e.a] = e
+}
+
+// removeEdge detaches an edge from both endpoints.
+func (s *pbqpState) removeEdge(e *pbqpEdge) {
+	delete(s.nodes[e.a].adj, e.b)
+	delete(s.nodes[e.b].adj, e.a)
+}
+
+// reduceAll applies reductions until every node is eliminated.
+func (s *pbqpState) reduceAll() {
+	for len(s.nodes) > 0 {
+		n := s.pickNode()
+		switch len(n.adj) {
+		case 0:
+			s.reduceR0(n)
+		case 1:
+			s.reduceRI(n)
+		case 2:
+			s.reduceRII(n)
+		default:
+			s.reduceRN(n)
+		}
+	}
+}
+
+// pickNode prefers the lowest-degree node (R0 < RI < RII < RN),
+// breaking ties by layer index for determinism.
+func (s *pbqpState) pickNode() *pbqpNode {
+	var best *pbqpNode
+	for _, n := range s.nodes {
+		if best == nil ||
+			len(n.adj) < len(best.adj) ||
+			(len(n.adj) == len(best.adj) && n.layer < best.layer) {
+			best = n
+		}
+	}
+	return best
+}
+
+func (s *pbqpState) reduceR0(n *pbqpNode) {
+	bi := 0
+	for k := range n.cost {
+		if n.cost[k] < n.cost[bi] {
+			bi = k
+		}
+	}
+	s.stack = append(s.stack, decision{layer: n.layer, fixed: bi, n1: -1, n2: -1})
+	delete(s.nodes, n.layer)
+}
+
+func (s *pbqpState) reduceRI(n *pbqpNode) {
+	var e *pbqpEdge
+	var other int
+	for o, ed := range n.adj {
+		other, e = o, ed
+	}
+	on := s.nodes[other]
+	best := make([]int, len(on.dom))
+	for oi := range on.dom {
+		minC := math.Inf(1)
+		for fi := range n.dom {
+			c := n.cost[fi] + e.at(n.layer, fi, oi)
+			if c < minC {
+				minC, best[oi] = c, fi
+			}
+		}
+		on.cost[oi] += minC
+	}
+	s.removeEdge(e)
+	s.stack = append(s.stack, decision{layer: n.layer, fixed: -1, n1: other, n2: -1, best: best})
+	delete(s.nodes, n.layer)
+}
+
+func (s *pbqpState) reduceRII(n *pbqpNode) {
+	others := make([]int, 0, 2)
+	for o := range n.adj {
+		others = append(others, o)
+	}
+	if others[0] > others[1] {
+		others[0], others[1] = others[1], others[0]
+	}
+	j, k := others[0], others[1]
+	ej, ek := n.adj[j], n.adj[k]
+	nj, nk := s.nodes[j], s.nodes[k]
+
+	m := make([][]float64, len(nj.dom))
+	best2 := make([][]int, len(nj.dom))
+	for ji := range nj.dom {
+		m[ji] = make([]float64, len(nk.dom))
+		best2[ji] = make([]int, len(nk.dom))
+		for ki := range nk.dom {
+			minC := math.Inf(1)
+			for fi := range n.dom {
+				c := n.cost[fi] + ej.at(n.layer, fi, ji) + ek.at(n.layer, fi, ki)
+				if c < minC {
+					minC, best2[ji][ki] = c, fi
+				}
+			}
+			m[ji][ki] = minC
+		}
+	}
+	s.removeEdge(ej)
+	s.removeEdge(ek)
+	delete(s.nodes, n.layer)
+	s.addEdge(&pbqpEdge{a: j, b: k, m: m})
+	s.stack = append(s.stack, decision{layer: n.layer, fixed: -1, n1: j, n2: k, best2: best2})
+}
+
+// reduceRN decides a high-degree node heuristically: pick the domain
+// value minimizing its own cost plus the cheapest compatible value of
+// each neighbour, then fold the decided edge rows into the neighbours.
+func (s *pbqpState) reduceRN(n *pbqpNode) {
+	bi, biCost := 0, math.Inf(1)
+	for fi := range n.dom {
+		c := n.cost[fi]
+		for o, e := range n.adj {
+			on := s.nodes[o]
+			minC := math.Inf(1)
+			for oi := range on.dom {
+				v := e.at(n.layer, fi, oi) + on.cost[oi]
+				if v < minC {
+					minC = v
+				}
+			}
+			c += minC
+		}
+		if c < biCost {
+			biCost, bi = c, fi
+		}
+	}
+	// Fold the chosen row into every neighbour and drop the node.
+	for o, e := range n.adj {
+		on := s.nodes[o]
+		for oi := range on.dom {
+			on.cost[oi] += e.at(n.layer, bi, oi)
+		}
+		delete(on.adj, n.layer)
+	}
+	s.stack = append(s.stack, decision{layer: n.layer, fixed: bi, n1: -1, n2: -1})
+	delete(s.nodes, n.layer)
+}
+
+// backPropagate unwinds the reduction stack, materializing choices.
+func (s *pbqpState) backPropagate() []primitives.ID {
+	for i := len(s.stack) - 1; i >= 0; i-- {
+		d := s.stack[i]
+		switch {
+		case d.fixed >= 0:
+			s.chosen[d.layer] = d.fixed
+		case d.n2 < 0: // RI
+			s.chosen[d.layer] = d.best[s.chosen[d.n1]]
+		default: // RII
+			s.chosen[d.layer] = d.best2[s.chosen[d.n1]][s.chosen[d.n2]]
+		}
+	}
+	assignment := make([]primitives.ID, s.tab.NumLayers())
+	assignment[0] = s.tab.Candidates(0)[0]
+	for i := 1; i < s.tab.NumLayers(); i++ {
+		assignment[i] = s.tab.Candidates(i)[s.chosen[i]]
+	}
+	return assignment
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/lut"
+	"repro/internal/primitives"
+	"repro/internal/qlearn"
+)
+
+// SearchResumable runs the QS-DNN search starting from an optional
+// checkpoint and returns both the result and a final checkpoint. The
+// ε schedule is indexed by the *global* episode count, so a search
+// split across sessions anneals exactly like a monolithic one. The
+// RNG is re-seeded per call (cfg.Seed + the starting episode), so a
+// resumed run is deterministic given the checkpoint and config,
+// though not bit-identical to an unsplit run.
+func SearchResumable(tab *lut.Table, cfg Config, from *qlearn.Checkpoint) (*Result, *qlearn.Checkpoint) {
+	cfg = cfg.withDefaults()
+	startEp := 0
+	L := tab.NumLayers()
+	var q *qlearn.Table
+	var replay *qlearn.Replay
+	if from != nil {
+		startEp = from.Episode
+		q = from.Table
+		replay = from.Replay
+		if replay == nil {
+			replay = qlearn.NewReplay(cfg.Agent.ReplaySize)
+		}
+	} else {
+		q = qlearn.NewTable(L, primitives.Count())
+		replay = qlearn.NewReplay(cfg.Agent.ReplaySize)
+	}
+	rng := newSearchRNG(cfg.Seed + int64(startEp))
+
+	allowed := make([][]int, L)
+	for i := 1; i < L; i++ {
+		ids := tab.Candidates(i)
+		acts := make([]int, len(ids))
+		for k, id := range ids {
+			acts[k] = int(id)
+		}
+		allowed[i] = acts
+	}
+
+	assignment := make([]primitives.ID, L)
+	assignment[0] = tab.Candidates(0)[0]
+	best := &Result{Time: math.Inf(1)}
+
+	endEp := startEp + cfg.Episodes
+	for ep := startEp; ep < endEp; ep++ {
+		eps := qlearn.EpsilonAt(cfg.Schedule, ep)
+		traj := make([]qlearn.Transition, 0, L-1)
+		for i := 1; i < L; i++ {
+			prev := int(assignment[i-1])
+			var action int
+			if rng.Float64() < eps {
+				action = allowed[i][rng.Intn(len(allowed[i]))]
+			} else {
+				action = q.Best(i-1, prev, allowed[i], rng)
+			}
+			assignment[i] = primitives.ID(action)
+			var next []int
+			if i+1 < L {
+				next = allowed[i+1]
+			}
+			traj = append(traj, qlearn.Transition{
+				Step: i - 1, Prim: prev, Action: action,
+				Reward: -tab.LayerCost(i, assignment[i], assignment), NextAllowed: next,
+			})
+		}
+		total := tab.TotalTime(assignment)
+		q.UpdateEpisode(traj, cfg.Agent)
+		if !cfg.DisableReplay {
+			replay.Add(traj)
+			replay.ReplayInto(q, cfg.Agent, cfg.ReplayUpdates, rng)
+		}
+		if total < best.Time {
+			best.Time = total
+			best.Assignment = append([]primitives.ID(nil), assignment...)
+		}
+		best.Curve = append(best.Curve, EpisodePoint{Episode: ep, Epsilon: eps, Time: total, Best: best.Time})
+	}
+	best.Episodes = cfg.Episodes
+	return best, qlearn.Snapshot(q, replay, endEp)
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/models"
+	"repro/internal/primitives"
+	"repro/internal/qlearn"
+)
+
+func TestResumableSearchContinuesSchedule(t *testing.T) {
+	tab := profiled(t, models.MustBuild("mobilenet-v1"), primitives.ModeGPGPU)
+	schedule := qlearn.PaperSchedule(1000)
+
+	// Part 1: episodes 0..499 (full exploration).
+	part1, ckpt := SearchResumable(tab, Config{Episodes: 500, Schedule: schedule, Seed: 1}, nil)
+	if ckpt.Episode != 500 {
+		t.Fatalf("checkpoint episode = %d", ckpt.Episode)
+	}
+	for _, pt := range part1.Curve {
+		if pt.Epsilon != 1 {
+			t.Fatalf("episode %d epsilon %v during exploration half", pt.Episode, pt.Epsilon)
+		}
+	}
+
+	// Part 2: episodes 500..999 resume the annealing exactly.
+	part2, ckpt2 := SearchResumable(tab, Config{Episodes: 500, Schedule: schedule, Seed: 1}, ckpt)
+	if ckpt2.Episode != 1000 {
+		t.Fatalf("final checkpoint episode = %d", ckpt2.Episode)
+	}
+	if part2.Curve[0].Epsilon != 0.9 {
+		t.Errorf("resumed first epsilon = %v, want 0.9", part2.Curve[0].Epsilon)
+	}
+	if part2.Curve[len(part2.Curve)-1].Epsilon != 0 {
+		t.Error("resumed search should end at full exploitation")
+	}
+
+	// The resumed half exploits the carried Q-knowledge: its best must
+	// match a monolithic 1000-episode search's quality closely.
+	mono := Search(tab, Config{Episodes: 1000, Seed: 1})
+	if part2.Time > mono.Time*1.02 {
+		t.Errorf("split search %.6g more than 2%% worse than monolithic %.6g", part2.Time, mono.Time)
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	tab := profiled(t, smallChain(t), primitives.ModeGPGPU)
+	_, ckpt := SearchResumable(tab, Config{Episodes: 200, Seed: 3}, nil)
+	data, err := ckpt.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := qlearn.LoadCheckpoint(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Episode != ckpt.Episode {
+		t.Errorf("episode %d != %d", back.Episode, ckpt.Episode)
+	}
+	// Resuming from the loaded checkpoint must equal resuming from the
+	// original (same RNG derivation, same state).
+	a, _ := SearchResumable(tab, Config{Episodes: 200, Seed: 3}, ckpt)
+	b, _ := SearchResumable(tab, Config{Episodes: 200, Seed: 3}, back)
+	if a.Time != b.Time {
+		t.Errorf("resume from serialized checkpoint differs: %.9g vs %.9g", b.Time, a.Time)
+	}
+}
+
+func TestLoadCheckpointErrors(t *testing.T) {
+	if _, err := qlearn.LoadCheckpoint([]byte("{")); err == nil {
+		t.Error("garbage should fail")
+	}
+	if _, err := qlearn.LoadCheckpoint([]byte(`{"steps":0,"prims":3}`)); err == nil {
+		t.Error("bad dims should fail")
+	}
+	if _, err := qlearn.LoadCheckpoint([]byte(`{"steps":2,"prims":2,"q":[1]}`)); err == nil {
+		t.Error("short Q should fail")
+	}
+}
+
+func TestSnapshotIsDeep(t *testing.T) {
+	q := qlearn.NewTable(2, 2)
+	q.Set(0, 0, 1, 5)
+	ck := qlearn.Snapshot(q, nil, 7)
+	q.Set(0, 0, 1, 9)
+	if got := ck.Table.Get(0, 0, 1); got != 5 {
+		t.Errorf("snapshot mutated: %v", got)
+	}
+	if ck.Episode != 7 {
+		t.Errorf("episode %d, want 7", ck.Episode)
+	}
+}

@@ -1,0 +1,65 @@
+package core
+
+import "math"
+
+// Search-quality statistics over episode curves, used by the figure
+// harness and the ablation analysis.
+
+// ConvergedAt returns the first episode whose best-so-far value is
+// within rel (e.g. 0.01 for 1 %) of the final best, or -1 for an empty
+// curve. The paper reports MobileNet "falls near convergence after
+// only 350" episodes; this is the corresponding measurement.
+func (r *Result) ConvergedAt(rel float64) int {
+	if len(r.Curve) == 0 {
+		return -1
+	}
+	final := r.Curve[len(r.Curve)-1].Best
+	for _, pt := range r.Curve {
+		if pt.Best <= final*(1+rel) {
+			return pt.Episode
+		}
+	}
+	return r.Curve[len(r.Curve)-1].Episode
+}
+
+// BestAt returns the best-so-far value after the given episode budget
+// (clamped to the curve), or +Inf for an empty curve. It lets one
+// long search answer "what would a budget-N search of this very run
+// have found".
+func (r *Result) BestAt(episodes int) float64 {
+	if len(r.Curve) == 0 {
+		return math.Inf(1)
+	}
+	if episodes <= 0 {
+		return r.Curve[0].Best
+	}
+	if episodes >= len(r.Curve) {
+		return r.Curve[len(r.Curve)-1].Best
+	}
+	return r.Curve[episodes-1].Best
+}
+
+// AreaUnderCurve integrates the best-so-far curve (lower is better:
+// fast convergence to a good value gives a small area). Useful for
+// comparing schedules and ablations beyond their endpoints.
+func (r *Result) AreaUnderCurve() float64 {
+	var area float64
+	for _, pt := range r.Curve {
+		area += pt.Best
+	}
+	return area
+}
+
+// ExplorationShare returns the fraction of episodes run at ε = 1.
+func (r *Result) ExplorationShare() float64 {
+	if len(r.Curve) == 0 {
+		return 0
+	}
+	n := 0
+	for _, pt := range r.Curve {
+		if pt.Epsilon == 1 {
+			n++
+		}
+	}
+	return float64(n) / float64(len(r.Curve))
+}

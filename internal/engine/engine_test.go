@@ -1,0 +1,253 @@
+package engine
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/nn"
+	"repro/internal/primitives"
+	"repro/internal/profile"
+	"repro/internal/tensor"
+)
+
+// testNet is small enough to run every primitive quickly but contains
+// a conv (3x3 s1, so winograd applies), depthwise, pool, bn, fc and
+// softmax.
+func testNet(t *testing.T) *nn.Network {
+	t.Helper()
+	b := nn.NewBuilder("engine-test", tensor.Shape{N: 1, C: 3, H: 16, W: 16})
+	x := b.Conv("conv1", b.Input(), 8, 3, 1, 1)
+	x = b.BatchNorm("bn1", x)
+	x = b.ReLU("relu1", x)
+	x = b.DepthwiseConv("dw", x, 3, 1, 1)
+	x = b.Pool("pool", x, nn.MaxPool, 2, 2, 0)
+	x = b.Flatten("flat", x)
+	x = b.FullyConnected("fc", x, 10)
+	b.Softmax("prob", x)
+	return b.MustBuild()
+}
+
+func testInput(net *nn.Network, seed int64) *tensor.Tensor {
+	in := tensor.New(net.InputShape, tensor.NCHW)
+	in.FillRandom(rand.New(rand.NewSource(seed)), 1)
+	return in
+}
+
+func TestVanillaRun(t *testing.T) {
+	net := testNet(t)
+	e := New(net, 1, 1.0)
+	res, err := e.Run(e.VanillaAssignment(), testInput(net, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Output.Shape().Equal(tensor.Shape{N: 1, C: 10, H: 1, W: 1}) {
+		t.Fatalf("output shape %v", res.Output.Shape())
+	}
+	// Softmax output sums to 1.
+	var sum float32
+	for _, v := range res.Output.Data() {
+		sum += v
+	}
+	if sum < 0.99 || sum > 1.01 {
+		t.Errorf("softmax sum = %v", sum)
+	}
+	if res.Total <= 0 {
+		t.Error("total time should be positive")
+	}
+}
+
+// The defining property of the whole system: every primitive
+// assignment computes the same function. Random assignments must match
+// the vanilla reference within float tolerance.
+func TestAssignmentInvariance(t *testing.T) {
+	net := testNet(t)
+	e := New(net, 3, 0.5)
+	in := testInput(net, 4)
+	ref, err := e.Run(e.VanillaAssignment(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 12; trial++ {
+		assignment := make([]primitives.ID, net.Len())
+		assignment[0] = primitives.PVanilla.Idx
+		for i := 1; i < net.Len(); i++ {
+			cands := primitives.Candidates(net.Layers[i], primitives.ModeCPU)
+			assignment[i] = cands[rng.Intn(len(cands))].Idx
+		}
+		res, err := e.Run(assignment, in)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if d := tensor.MaxAbsDiff(ref.Output, res.Output); d > 1e-3 {
+			t.Errorf("trial %d: output differs from vanilla by %g", trial, d)
+		}
+	}
+}
+
+func TestRunRejectsGPUPrimitive(t *testing.T) {
+	net := testNet(t)
+	e := New(net, 1, 1.0)
+	a := e.VanillaAssignment()
+	a[net.LayerIndex("conv1")] = primitives.PCuDNNConv.Idx
+	_, err := e.Run(a, testInput(net, 1))
+	if err == nil || !strings.Contains(err.Error(), "GPU") {
+		t.Errorf("GPU primitive should be rejected, got %v", err)
+	}
+}
+
+func TestRunRejectsIncapablePrimitive(t *testing.T) {
+	net := testNet(t)
+	e := New(net, 1, 1.0)
+	a := e.VanillaAssignment()
+	a[net.LayerIndex("fc")] = primitives.PArmCLWinograd.Idx
+	if _, err := e.Run(a, testInput(net, 1)); err == nil {
+		t.Error("winograd on an FC layer should be rejected")
+	}
+}
+
+func TestRunRejectsBadShapes(t *testing.T) {
+	net := testNet(t)
+	e := New(net, 1, 1.0)
+	bad := tensor.New(tensor.Shape{N: 1, C: 3, H: 8, W: 8}, tensor.NCHW)
+	if _, err := e.Run(e.VanillaAssignment(), bad); err == nil {
+		t.Error("wrong input shape should be rejected")
+	}
+	if _, err := e.Run(make([]primitives.ID, 2), testInput(net, 1)); err == nil {
+		t.Error("wrong assignment length should be rejected")
+	}
+}
+
+func TestPenaltyChargedForLayoutMix(t *testing.T) {
+	net := testNet(t)
+	e := New(net, 1, 1.0)
+	a := e.VanillaAssignment()
+	// NHWC depthwise after an NCHW producer forces a real conversion.
+	a[net.LayerIndex("dw")] = primitives.PArmCLDepth.Idx
+	res, err := e.Run(a, testInput(net, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PenaltySeconds[net.LayerIndex("dw")] <= 0 {
+		t.Error("layout mix should be charged a conversion penalty")
+	}
+}
+
+func TestSparseDensityAffectsCSR(t *testing.T) {
+	net := testNet(t)
+	dense := New(net, 1, 1.0)
+	sparse := New(net, 1, 0.2)
+	ci := net.LayerIndex("conv1")
+	if dense.params[ci].csr.Density() <= sparse.params[ci].csr.Density() {
+		t.Errorf("density 1.0 CSR (%v) should be denser than 0.2 CSR (%v)",
+			dense.params[ci].csr.Density(), sparse.params[ci].csr.Density())
+	}
+}
+
+func TestWeightsSeedDeterminism(t *testing.T) {
+	net := testNet(t)
+	in := testInput(net, 5)
+	r1, err := New(net, 77, 1.0).Run(e0(net, 77).VanillaAssignment(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := New(net, 77, 1.0).Run(e0(net, 77).VanillaAssignment(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tensor.MaxAbsDiff(r1.Output, r2.Output); d != 0 {
+		t.Errorf("same seed should give identical outputs, diff %g", d)
+	}
+	r3, err := New(net, 78, 1.0).Run(e0(net, 78).VanillaAssignment(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tensor.MaxAbsDiff(r1.Output, r3.Output); d == 0 {
+		t.Error("different seeds should give different outputs")
+	}
+}
+
+func e0(net *nn.Network, seed int64) *Engine { return New(net, seed, 1.0) }
+
+// End-to-end on real measurements: profile with the engine source,
+// search, and execute the found assignment — it must be valid and
+// compute the reference function.
+func TestProfileSearchExecutePipeline(t *testing.T) {
+	net := testNet(t)
+	e := New(net, 11, 0.5)
+	in := testInput(net, 12)
+	src, err := NewSource(e, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := profile.Run(net, src, profile.Options{Mode: primitives.ModeCPU, Samples: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := core.Search(tab, core.Config{Episodes: 300, Seed: 1})
+	run, err := e.Run(res.Assignment, in)
+	if err != nil {
+		t.Fatalf("executing searched assignment: %v", err)
+	}
+	ref, err := e.Run(e.VanillaAssignment(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tensor.MaxAbsDiff(ref.Output, run.Output); d > 1e-3 {
+		t.Errorf("searched assignment output differs by %g", d)
+	}
+}
+
+func TestSourcePenalties(t *testing.T) {
+	net := testNet(t)
+	e := New(net, 11, 1.0)
+	src, err := NewSource(e, testInput(net, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci := net.LayerIndex("conv1")
+	if got := src.EdgePenalty(ci, primitives.PVanilla, primitives.PAtlasIm2col); got != 0 {
+		t.Errorf("same-layout penalty = %v, want 0", got)
+	}
+	if got := src.EdgePenalty(ci, primitives.PVanilla, primitives.PArmCLGemm); got <= 0 {
+		t.Errorf("layout-change penalty = %v, want > 0", got)
+	}
+	out := net.OutputLayer()
+	if got := src.OutputPenalty(out, primitives.PVanilla); got != 0 {
+		t.Errorf("NCHW output penalty = %v, want 0", got)
+	}
+}
+
+// Grouped convolutions must preserve the engine's defining property:
+// every primitive choice computes the same function.
+func TestGroupedConvAssignmentInvariance(t *testing.T) {
+	b := nn.NewBuilder("grouped-net", tensor.Shape{N: 1, C: 6, H: 12, W: 12})
+	x := b.Conv2D("gconv", b.Input(), nn.ConvParams{
+		OutChannels: 8, KernelH: 3, KernelW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1, Groups: 2,
+	})
+	x = b.ReLU("relu", x)
+	x = b.Flatten("flat", x)
+	b.FullyConnected("fc", x, 5)
+	net := b.MustBuild()
+	e := New(net, 31, 1.0)
+	in := testInput(net, 32)
+	ref, err := e.Run(e.VanillaAssignment(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, prim := range []primitives.ID{
+		primitives.PAtlasIm2col.Idx, primitives.POpenIm2col.Idx, primitives.PSparseConv.Idx,
+	} {
+		a := e.VanillaAssignment()
+		a[net.LayerIndex("gconv")] = prim
+		got, err := e.Run(a, in)
+		if err != nil {
+			t.Fatalf("%v: %v", primitives.ByID(prim).Name, err)
+		}
+		if d := tensor.MaxAbsDiff(ref.Output, got.Output); d > 1e-3 {
+			t.Errorf("%v: grouped conv output differs by %g", primitives.ByID(prim).Name, d)
+		}
+	}
+}

@@ -1,0 +1,200 @@
+// Package kernels implements the actual float32 compute primitives the
+// inference engine executes: direct convolution (the reference every
+// other variant is tested against), the BLAS-style lowerings (im2col,
+// im2row, kn2row), Winograd F(2x2,3x3), depth-wise and sparse
+// convolution, fully-connected kernels, and the element-wise / pooling
+// / normalization operators. NCHW is the native layout; a handful of
+// NHWC-native kernels exist so the engine has genuinely
+// layout-incompatible primitives to choose between.
+package kernels
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// convOutShape computes the output shape of a convolution-like op.
+func convOutShape(in tensor.Shape, outC int, p nn.ConvParams) tensor.Shape {
+	oh := (in.H+2*p.PadH-p.KernelH)/p.StrideH + 1
+	ow := (in.W+2*p.PadW-p.KernelW)/p.StrideW + 1
+	return tensor.Shape{N: in.N, C: outC, H: oh, W: ow}
+}
+
+// checkConvArgs validates weight/bias lengths for a dense convolution.
+func checkConvArgs(in tensor.Shape, w, bias []float32, p nn.ConvParams) {
+	need := p.OutChannels * in.C * p.KernelH * p.KernelW
+	if len(w) != need {
+		panic(fmt.Sprintf("kernels: conv weights have %d elements, need %d", len(w), need))
+	}
+	if len(bias) != p.OutChannels {
+		panic(fmt.Sprintf("kernels: conv bias has %d elements, need %d", len(bias), p.OutChannels))
+	}
+}
+
+// ConvDirect computes a dense 2-D convolution over an NCHW input with
+// OIHW weights, the dependency-free "Vanilla" implementation and the
+// numerical reference for every other conv kernel.
+func ConvDirect(in *tensor.Tensor, w, bias []float32, p nn.ConvParams) *tensor.Tensor {
+	if in.Layout() != tensor.NCHW {
+		panic("kernels: ConvDirect requires NCHW input")
+	}
+	s := in.Shape()
+	checkConvArgs(s, w, bias, p)
+	out := tensor.New(convOutShape(s, p.OutChannels, p), tensor.NCHW)
+	os := out.Shape()
+	kArea := p.KernelH * p.KernelW
+	for n := 0; n < s.N; n++ {
+		for oc := 0; oc < os.C; oc++ {
+			wBase := oc * s.C * kArea
+			for oh := 0; oh < os.H; oh++ {
+				for ow := 0; ow < os.W; ow++ {
+					sum := bias[oc]
+					for c := 0; c < s.C; c++ {
+						for r := 0; r < p.KernelH; r++ {
+							ih := oh*p.StrideH + r - p.PadH
+							if ih < 0 || ih >= s.H {
+								continue
+							}
+							for q := 0; q < p.KernelW; q++ {
+								iw := ow*p.StrideW + q - p.PadW
+								if iw < 0 || iw >= s.W {
+									continue
+								}
+								sum += w[wBase+c*kArea+r*p.KernelW+q] * in.At(n, c, ih, iw)
+							}
+						}
+					}
+					out.Set(n, oc, oh, ow, sum)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ConvDirectNHWC is ConvDirect for NHWC input, producing NHWC output.
+// It exists so the primitive registry has a genuinely NHWC-native
+// convolution (the NNPACK-style family), making layout conversions a
+// real cost rather than bookkeeping.
+func ConvDirectNHWC(in *tensor.Tensor, w, bias []float32, p nn.ConvParams) *tensor.Tensor {
+	if in.Layout() != tensor.NHWC {
+		panic("kernels: ConvDirectNHWC requires NHWC input")
+	}
+	s := in.Shape()
+	checkConvArgs(s, w, bias, p)
+	out := tensor.New(convOutShape(s, p.OutChannels, p), tensor.NHWC)
+	os := out.Shape()
+	kArea := p.KernelH * p.KernelW
+	for n := 0; n < s.N; n++ {
+		for oh := 0; oh < os.H; oh++ {
+			for ow := 0; ow < os.W; ow++ {
+				for oc := 0; oc < os.C; oc++ {
+					sum := bias[oc]
+					wBase := oc * s.C * kArea
+					for r := 0; r < p.KernelH; r++ {
+						ih := oh*p.StrideH + r - p.PadH
+						if ih < 0 || ih >= s.H {
+							continue
+						}
+						for q := 0; q < p.KernelW; q++ {
+							iw := ow*p.StrideW + q - p.PadW
+							if iw < 0 || iw >= s.W {
+								continue
+							}
+							for c := 0; c < s.C; c++ {
+								sum += w[wBase+c*kArea+r*p.KernelW+q] * in.At(n, c, ih, iw)
+							}
+						}
+					}
+					out.Set(n, oc, oh, ow, sum)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// DepthwiseDirect computes a depth-wise convolution (one KxK filter per
+// channel) over an NCHW input. Weights are C*KH*KW, bias is C.
+func DepthwiseDirect(in *tensor.Tensor, w, bias []float32, p nn.ConvParams) *tensor.Tensor {
+	if in.Layout() != tensor.NCHW {
+		panic("kernels: DepthwiseDirect requires NCHW input")
+	}
+	s := in.Shape()
+	kArea := p.KernelH * p.KernelW
+	if len(w) != s.C*kArea {
+		panic(fmt.Sprintf("kernels: depthwise weights have %d elements, need %d", len(w), s.C*kArea))
+	}
+	if len(bias) != s.C {
+		panic(fmt.Sprintf("kernels: depthwise bias has %d elements, need %d", len(bias), s.C))
+	}
+	out := tensor.New(convOutShape(s, s.C, p), tensor.NCHW)
+	os := out.Shape()
+	for n := 0; n < s.N; n++ {
+		for c := 0; c < s.C; c++ {
+			wBase := c * kArea
+			for oh := 0; oh < os.H; oh++ {
+				for ow := 0; ow < os.W; ow++ {
+					sum := bias[c]
+					for r := 0; r < p.KernelH; r++ {
+						ih := oh*p.StrideH + r - p.PadH
+						if ih < 0 || ih >= s.H {
+							continue
+						}
+						for q := 0; q < p.KernelW; q++ {
+							iw := ow*p.StrideW + q - p.PadW
+							if iw < 0 || iw >= s.W {
+								continue
+							}
+							sum += w[wBase+r*p.KernelW+q] * in.At(n, c, ih, iw)
+						}
+					}
+					out.Set(n, c, oh, ow, sum)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// DepthwiseNHWC is DepthwiseDirect for NHWC input/output (the
+// ArmCL-style specialized depth-wise code path).
+func DepthwiseNHWC(in *tensor.Tensor, w, bias []float32, p nn.ConvParams) *tensor.Tensor {
+	if in.Layout() != tensor.NHWC {
+		panic("kernels: DepthwiseNHWC requires NHWC input")
+	}
+	s := in.Shape()
+	kArea := p.KernelH * p.KernelW
+	if len(w) != s.C*kArea || len(bias) != s.C {
+		panic("kernels: depthwise weight/bias size mismatch")
+	}
+	out := tensor.New(convOutShape(s, s.C, p), tensor.NHWC)
+	os := out.Shape()
+	for n := 0; n < s.N; n++ {
+		for oh := 0; oh < os.H; oh++ {
+			for ow := 0; ow < os.W; ow++ {
+				for c := 0; c < s.C; c++ {
+					sum := bias[c]
+					wBase := c * kArea
+					for r := 0; r < p.KernelH; r++ {
+						ih := oh*p.StrideH + r - p.PadH
+						if ih < 0 || ih >= s.H {
+							continue
+						}
+						for q := 0; q < p.KernelW; q++ {
+							iw := ow*p.StrideW + q - p.PadW
+							if iw < 0 || iw >= s.W {
+								continue
+							}
+							sum += w[wBase+r*p.KernelW+q] * in.At(n, c, ih, iw)
+						}
+					}
+					out.Set(n, c, oh, ow, sum)
+				}
+			}
+		}
+	}
+	return out
+}

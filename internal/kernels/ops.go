@@ -1,0 +1,253 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/gemm"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// FCGemv computes a fully-connected layer as a dense GEMV (the
+// cuBLAS-style batch-1 path). Weights are row-major (OutUnits x In).
+func FCGemv(in *tensor.Tensor, w, bias []float32, outUnits int) *tensor.Tensor {
+	s := in.Shape()
+	inWidth := s.C * s.H * s.W
+	if len(w) != outUnits*inWidth {
+		panic(fmt.Sprintf("kernels: FC weights have %d elements, need %d", len(w), outUnits*inWidth))
+	}
+	if len(bias) != outUnits {
+		panic("kernels: FC bias size mismatch")
+	}
+	out := tensor.New(tensor.Shape{N: s.N, C: outUnits, H: 1, W: 1}, tensor.NCHW)
+	for n := 0; n < s.N; n++ {
+		x := in.Data()[n*inWidth : (n+1)*inWidth]
+		y := out.Data()[n*outUnits : (n+1)*outUnits]
+		copy(y, bias)
+		gemm.Gemv(outUnits, inWidth, w, x, y)
+	}
+	return out
+}
+
+// MaxPool computes spatial max pooling, preserving the input layout.
+// Padded positions never win the max (they are treated as -inf).
+func MaxPool(in *tensor.Tensor, p nn.ConvParams) *tensor.Tensor {
+	s := in.Shape()
+	out := tensor.New(convOutShape(s, s.C, p), in.Layout())
+	os := out.Shape()
+	for n := 0; n < s.N; n++ {
+		for c := 0; c < s.C; c++ {
+			for oh := 0; oh < os.H; oh++ {
+				for ow := 0; ow < os.W; ow++ {
+					best := float32(math.Inf(-1))
+					for r := 0; r < p.KernelH; r++ {
+						ih := oh*p.StrideH + r - p.PadH
+						if ih < 0 || ih >= s.H {
+							continue
+						}
+						for q := 0; q < p.KernelW; q++ {
+							iw := ow*p.StrideW + q - p.PadW
+							if iw < 0 || iw >= s.W {
+								continue
+							}
+							if v := in.At(n, c, ih, iw); v > best {
+								best = v
+							}
+						}
+					}
+					out.Set(n, c, oh, ow, best)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// AvgPool computes spatial average pooling, preserving the input
+// layout and dividing by the full window area (Caffe convention).
+func AvgPool(in *tensor.Tensor, p nn.ConvParams) *tensor.Tensor {
+	s := in.Shape()
+	out := tensor.New(convOutShape(s, s.C, p), in.Layout())
+	os := out.Shape()
+	area := float32(p.KernelH * p.KernelW)
+	for n := 0; n < s.N; n++ {
+		for c := 0; c < s.C; c++ {
+			for oh := 0; oh < os.H; oh++ {
+				for ow := 0; ow < os.W; ow++ {
+					var sum float32
+					for r := 0; r < p.KernelH; r++ {
+						ih := oh*p.StrideH + r - p.PadH
+						if ih < 0 || ih >= s.H {
+							continue
+						}
+						for q := 0; q < p.KernelW; q++ {
+							iw := ow*p.StrideW + q - p.PadW
+							if iw < 0 || iw >= s.W {
+								continue
+							}
+							sum += in.At(n, c, ih, iw)
+						}
+					}
+					out.Set(n, c, oh, ow, sum/area)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ReLU applies max(0, x) element-wise, preserving layout.
+func ReLU(in *tensor.Tensor) *tensor.Tensor {
+	out := in.Clone()
+	d := out.Data()
+	for i, v := range d {
+		if v < 0 {
+			d[i] = 0
+		}
+	}
+	return out
+}
+
+// BatchNorm applies the inference-mode affine transform
+// y = x*scale[c] + shift[c] per channel, preserving layout.
+func BatchNorm(in *tensor.Tensor, scale, shift []float32) *tensor.Tensor {
+	s := in.Shape()
+	if len(scale) != s.C || len(shift) != s.C {
+		panic("kernels: batch-norm parameter size mismatch")
+	}
+	out := tensor.New(s, in.Layout())
+	for n := 0; n < s.N; n++ {
+		for c := 0; c < s.C; c++ {
+			for h := 0; h < s.H; h++ {
+				for w := 0; w < s.W; w++ {
+					out.Set(n, c, h, w, in.At(n, c, h, w)*scale[c]+shift[c])
+				}
+			}
+		}
+	}
+	return out
+}
+
+// LRN applies AlexNet-style cross-channel local response
+// normalization with window size, alpha 1e-4, beta 0.75, k 1.
+func LRN(in *tensor.Tensor, size int) *tensor.Tensor {
+	const (
+		alpha = 1e-4
+		beta  = 0.75
+		k     = 1.0
+	)
+	s := in.Shape()
+	out := tensor.New(s, in.Layout())
+	half := size / 2
+	for n := 0; n < s.N; n++ {
+		for h := 0; h < s.H; h++ {
+			for w := 0; w < s.W; w++ {
+				for c := 0; c < s.C; c++ {
+					var sq float64
+					for j := c - half; j <= c+half; j++ {
+						if j < 0 || j >= s.C {
+							continue
+						}
+						v := float64(in.At(n, j, h, w))
+						sq += v * v
+					}
+					denom := math.Pow(k+alpha*sq/float64(size), beta)
+					out.Set(n, c, h, w, float32(float64(in.At(n, c, h, w))/denom))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Softmax normalizes each sample's values into probabilities over the
+// channel axis (numerically stabilized by max subtraction).
+func Softmax(in *tensor.Tensor) *tensor.Tensor {
+	s := in.Shape()
+	out := tensor.New(s, in.Layout())
+	for n := 0; n < s.N; n++ {
+		for h := 0; h < s.H; h++ {
+			for w := 0; w < s.W; w++ {
+				maxv := float64(math.Inf(-1))
+				for c := 0; c < s.C; c++ {
+					if v := float64(in.At(n, c, h, w)); v > maxv {
+						maxv = v
+					}
+				}
+				var sum float64
+				exps := make([]float64, s.C)
+				for c := 0; c < s.C; c++ {
+					e := math.Exp(float64(in.At(n, c, h, w)) - maxv)
+					exps[c] = e
+					sum += e
+				}
+				for c := 0; c < s.C; c++ {
+					out.Set(n, c, h, w, float32(exps[c]/sum))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Concat concatenates the inputs along the channel axis. All inputs
+// must share N/H/W and layout; the output uses the first input's layout.
+func Concat(ins []*tensor.Tensor) *tensor.Tensor {
+	if len(ins) == 0 {
+		panic("kernels: Concat needs at least one input")
+	}
+	first := ins[0].Shape()
+	total := 0
+	for _, in := range ins {
+		s := in.Shape()
+		if s.N != first.N || s.H != first.H || s.W != first.W {
+			panic("kernels: Concat inputs have incompatible shapes")
+		}
+		if in.Layout() != ins[0].Layout() {
+			panic("kernels: Concat inputs must share a layout")
+		}
+		total += s.C
+	}
+	out := tensor.New(tensor.Shape{N: first.N, C: total, H: first.H, W: first.W}, ins[0].Layout())
+	base := 0
+	for _, in := range ins {
+		s := in.Shape()
+		for n := 0; n < s.N; n++ {
+			for c := 0; c < s.C; c++ {
+				for h := 0; h < s.H; h++ {
+					for w := 0; w < s.W; w++ {
+						out.Set(n, base+c, h, w, in.At(n, c, h, w))
+					}
+				}
+			}
+		}
+		base += s.C
+	}
+	return out
+}
+
+// EltwiseAdd adds two tensors of identical shape element-wise.
+func EltwiseAdd(a, b *tensor.Tensor) *tensor.Tensor {
+	if !a.Shape().Equal(b.Shape()) {
+		panic("kernels: EltwiseAdd shape mismatch")
+	}
+	bb := b.ToLayout(a.Layout())
+	out := a.Clone()
+	d, e := out.Data(), bb.Data()
+	for i := range d {
+		d[i] += e[i]
+	}
+	return out
+}
+
+// Flatten reshapes an activation into N x (CHW) x 1 x 1, materializing
+// NCHW order regardless of the input layout.
+func Flatten(in *tensor.Tensor) *tensor.Tensor {
+	nchw := in.ToLayout(tensor.NCHW)
+	s := in.Shape()
+	flat := tensor.Shape{N: s.N, C: s.C * s.H * s.W, H: 1, W: 1}
+	d := make([]float32, len(nchw.Data()))
+	copy(d, nchw.Data())
+	return tensor.NewFrom(flat, tensor.NCHW, d)
+}

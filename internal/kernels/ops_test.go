@@ -1,0 +1,224 @@
+package kernels
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func TestMaxPoolKnown(t *testing.T) {
+	in := tensor.NewFrom(tensor.Shape{N: 1, C: 1, H: 4, W: 4}, tensor.NCHW, []float32{
+		1, 2, 3, 4,
+		5, 6, 7, 8,
+		9, 10, 11, 12,
+		13, 14, 15, 16,
+	})
+	p := nn.ConvParams{KernelH: 2, KernelW: 2, StrideH: 2, StrideW: 2}
+	out := MaxPool(in, p)
+	want := []float32{6, 8, 14, 16}
+	for i, v := range want {
+		if out.Data()[i] != v {
+			t.Errorf("out[%d] = %v, want %v", i, out.Data()[i], v)
+		}
+	}
+}
+
+func TestMaxPoolPaddingIgnored(t *testing.T) {
+	// All-negative input with padding: padded zeros must not win.
+	in := tensor.New(tensor.Shape{N: 1, C: 1, H: 2, W: 2}, tensor.NCHW)
+	in.Fill(-5)
+	p := nn.ConvParams{KernelH: 3, KernelW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	out := MaxPool(in, p)
+	for i, v := range out.Data() {
+		if v != -5 {
+			t.Errorf("out[%d] = %v, want -5 (padding leaked into max)", i, v)
+		}
+	}
+}
+
+func TestAvgPoolKnown(t *testing.T) {
+	in := tensor.NewFrom(tensor.Shape{N: 1, C: 1, H: 2, W: 2}, tensor.NCHW, []float32{1, 2, 3, 4})
+	p := nn.ConvParams{KernelH: 2, KernelW: 2, StrideH: 2, StrideW: 2}
+	out := AvgPool(in, p)
+	if out.Data()[0] != 2.5 {
+		t.Errorf("avg = %v, want 2.5", out.Data()[0])
+	}
+}
+
+func TestReLU(t *testing.T) {
+	in := tensor.NewFrom(tensor.Shape{N: 1, C: 1, H: 1, W: 4}, tensor.NCHW, []float32{-1, 0, 2, -3})
+	out := ReLU(in)
+	want := []float32{0, 0, 2, 0}
+	for i, v := range want {
+		if out.Data()[i] != v {
+			t.Errorf("relu[%d] = %v, want %v", i, out.Data()[i], v)
+		}
+	}
+	// Input untouched.
+	if in.Data()[0] != -1 {
+		t.Error("ReLU mutated its input")
+	}
+}
+
+func TestBatchNorm(t *testing.T) {
+	in := tensor.NewFrom(tensor.Shape{N: 1, C: 2, H: 1, W: 2}, tensor.NCHW, []float32{1, 2, 3, 4})
+	out := BatchNorm(in, []float32{2, 10}, []float32{1, -1})
+	want := []float32{3, 5, 29, 39}
+	for i, v := range want {
+		if out.Data()[i] != v {
+			t.Errorf("bn[%d] = %v, want %v", i, out.Data()[i], v)
+		}
+	}
+}
+
+func TestLRNIdentityForTinyActivations(t *testing.T) {
+	// With alpha*sq tiny, denominator ~1 so output ~input.
+	in := tensor.New(tensor.Shape{N: 1, C: 5, H: 2, W: 2}, tensor.NCHW)
+	in.Fill(0.01)
+	out := LRN(in, 5)
+	if d := tensor.MaxAbsDiff(in, out); d > 1e-5 {
+		t.Errorf("LRN perturbation %g too large for tiny input", d)
+	}
+}
+
+func TestLRNShrinksLargeActivations(t *testing.T) {
+	in := tensor.New(tensor.Shape{N: 1, C: 5, H: 1, W: 1}, tensor.NCHW)
+	in.Fill(100)
+	out := LRN(in, 5)
+	for c := 0; c < 5; c++ {
+		if out.At(0, c, 0, 0) >= 100 {
+			t.Errorf("LRN should shrink large activations, got %v", out.At(0, c, 0, 0))
+		}
+	}
+}
+
+func TestSoftmax(t *testing.T) {
+	in := tensor.NewFrom(tensor.Shape{N: 1, C: 3, H: 1, W: 1}, tensor.NCHW, []float32{1, 2, 3})
+	out := Softmax(in)
+	var sum float64
+	for c := 0; c < 3; c++ {
+		v := float64(out.At(0, c, 0, 0))
+		if v <= 0 || v >= 1 {
+			t.Errorf("softmax[%d] = %v outside (0,1)", c, v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-5 {
+		t.Errorf("softmax sum = %v", sum)
+	}
+	if !(out.At(0, 2, 0, 0) > out.At(0, 1, 0, 0) && out.At(0, 1, 0, 0) > out.At(0, 0, 0, 0)) {
+		t.Error("softmax should preserve ordering")
+	}
+}
+
+func TestSoftmaxNumericalStability(t *testing.T) {
+	in := tensor.NewFrom(tensor.Shape{N: 1, C: 2, H: 1, W: 1}, tensor.NCHW, []float32{1000, 1001})
+	out := Softmax(in)
+	for c := 0; c < 2; c++ {
+		if v := out.At(0, c, 0, 0); math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			t.Fatalf("softmax[%d] = %v not finite", c, v)
+		}
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := tensor.New(tensor.Shape{N: 1, C: 2, H: 2, W: 2}, tensor.NCHW)
+	a.Fill(1)
+	b := tensor.New(tensor.Shape{N: 1, C: 3, H: 2, W: 2}, tensor.NCHW)
+	b.Fill(2)
+	out := Concat([]*tensor.Tensor{a, b})
+	if out.Shape().C != 5 {
+		t.Fatalf("concat channels = %d", out.Shape().C)
+	}
+	if out.At(0, 0, 0, 0) != 1 || out.At(0, 4, 1, 1) != 2 {
+		t.Error("concat values misplaced")
+	}
+}
+
+func TestConcatRejectsMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched concat should panic")
+		}
+	}()
+	a := tensor.New(tensor.Shape{N: 1, C: 1, H: 2, W: 2}, tensor.NCHW)
+	b := tensor.New(tensor.Shape{N: 1, C: 1, H: 3, W: 2}, tensor.NCHW)
+	Concat([]*tensor.Tensor{a, b})
+}
+
+func TestEltwiseAdd(t *testing.T) {
+	a := tensor.New(tensor.Shape{N: 1, C: 1, H: 1, W: 3}, tensor.NCHW)
+	a.Fill(1)
+	b := tensor.New(tensor.Shape{N: 1, C: 1, H: 1, W: 3}, tensor.NCHW)
+	b.Fill(2)
+	out := EltwiseAdd(a, b)
+	for _, v := range out.Data() {
+		if v != 3 {
+			t.Errorf("add = %v, want 3", v)
+		}
+	}
+}
+
+func TestEltwiseAddCrossLayout(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := tensor.New(tensor.Shape{N: 1, C: 3, H: 4, W: 4}, tensor.NCHW)
+	a.FillRandom(rng, 1)
+	b := tensor.New(tensor.Shape{N: 1, C: 3, H: 4, W: 4}, tensor.NCHW)
+	b.FillRandom(rng, 1)
+	ref := EltwiseAdd(a, b)
+	got := EltwiseAdd(a, b.ToLayout(tensor.NHWC))
+	if d := tensor.MaxAbsDiff(ref, got); d != 0 {
+		t.Errorf("cross-layout add differs by %g", d)
+	}
+}
+
+func TestFlatten(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	in := tensor.New(tensor.Shape{N: 1, C: 2, H: 3, W: 4}, tensor.NCHW)
+	in.FillRandom(rng, 1)
+	out := Flatten(in)
+	if !out.Shape().Equal(tensor.Shape{N: 1, C: 24, H: 1, W: 1}) {
+		t.Fatalf("flatten shape = %v", out.Shape())
+	}
+	// Flatten of an NHWC tensor must produce canonical NCHW order.
+	out2 := Flatten(in.ToLayout(tensor.NHWC))
+	if d := tensor.MaxAbsDiff(out, out2); d != 0 {
+		t.Errorf("flatten layout dependence: diff %g", d)
+	}
+}
+
+func TestFCGemvKnown(t *testing.T) {
+	in := tensor.NewFrom(tensor.Shape{N: 1, C: 2, H: 1, W: 1}, tensor.NCHW, []float32{1, 2})
+	w := []float32{1, 0, 0, 1, 1, 1} // 3x2
+	b := []float32{10, 20, 30}
+	out := FCGemv(in, w, b, 3)
+	want := []float32{11, 22, 33}
+	for i, v := range want {
+		if out.Data()[i] != v {
+			t.Errorf("fc[%d] = %v, want %v", i, out.Data()[i], v)
+		}
+	}
+}
+
+func TestGlobalAvgPoolEqualsMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	in := tensor.New(tensor.Shape{N: 1, C: 2, H: 5, W: 5}, tensor.NCHW)
+	in.FillRandom(rng, 1)
+	p := nn.ConvParams{KernelH: 5, KernelW: 5, StrideH: 5, StrideW: 5}
+	out := AvgPool(in, p)
+	for c := 0; c < 2; c++ {
+		var sum float32
+		for h := 0; h < 5; h++ {
+			for w := 0; w < 5; w++ {
+				sum += in.At(0, c, h, w)
+			}
+		}
+		want := sum / 25
+		if got := out.At(0, c, 0, 0); math.Abs(float64(got-want)) > 1e-5 {
+			t.Errorf("global avg c%d = %v, want %v", c, got, want)
+		}
+	}
+}

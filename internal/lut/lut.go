@@ -1,0 +1,379 @@
+// Package lut implements the look-up table the paper's inference phase
+// produces and its search phase consumes: per-(layer, primitive)
+// execution times, per-edge compatibility penalties for every
+// primitive pair, and the output-return penalty. Once the table is
+// built, evaluating a full network configuration is a pure table walk,
+// which is what lets the RL search run thousands of episodes in
+// seconds on a workstation instead of on the embedded board.
+package lut
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"repro/internal/nn"
+	"repro/internal/primitives"
+)
+
+// Edge is one producer->consumer dependency between layer indices.
+type Edge struct {
+	From, To int
+}
+
+// Table is the measurement database for one (network, mode) pair.
+// Entries not explicitly set are +Inf, so an un-profiled choice can
+// never look attractive to a search.
+type Table struct {
+	// Network is the architecture name the table was profiled for.
+	Network string
+	// Mode is the processor mode the table was profiled under.
+	Mode primitives.Mode
+
+	numLayers int
+	numPrims  int
+	output    int
+	// candidates[i] holds the primitive IDs layer i may use.
+	candidates [][]primitives.ID
+	// times[i*numPrims+p] is the measured latency of layer i with
+	// primitive p.
+	times []float64
+	// edges lists every dependency, input edges included.
+	edges []Edge
+	// incoming[i] holds the indices into edges whose To is layer i.
+	incoming [][]int
+	// penalties[e][fp*numPrims+tp] is the compatibility cost of edge
+	// e when its endpoints use primitives fp and tp.
+	penalties [][]float64
+	// outputPen[p] is the host-return cost when the output layer uses
+	// primitive p.
+	outputPen []float64
+}
+
+// New allocates an empty table shaped for the network under the given
+// mode. Candidate sets are frozen at construction.
+func New(net *nn.Network, mode primitives.Mode) *Table {
+	n := net.Len()
+	np := primitives.Count()
+	t := &Table{
+		Network:    net.Name,
+		Mode:       mode,
+		numLayers:  n,
+		numPrims:   np,
+		output:     net.OutputLayer(),
+		candidates: make([][]primitives.ID, n),
+		times:      make([]float64, n*np),
+		outputPen:  make([]float64, np),
+	}
+	for i := range t.times {
+		t.times[i] = math.Inf(1)
+	}
+	for i := range t.outputPen {
+		t.outputPen[i] = math.Inf(1)
+	}
+	for i, l := range net.Layers {
+		if i == 0 {
+			// The input pseudo-layer is always "implemented" by the
+			// host-format pseudo-primitive at zero cost.
+			t.candidates[0] = []primitives.ID{primitives.PVanilla.Idx}
+			t.times[primitives.PVanilla.Idx] = 0
+			continue
+		}
+		for _, p := range primitives.Candidates(l, mode) {
+			t.candidates[i] = append(t.candidates[i], p.Idx)
+		}
+		for _, from := range l.Inputs {
+			t.edges = append(t.edges, Edge{From: from, To: i})
+		}
+	}
+	t.incoming = make([][]int, n)
+	for e, ed := range t.edges {
+		t.incoming[ed.To] = append(t.incoming[ed.To], e)
+	}
+	t.penalties = make([][]float64, len(t.edges))
+	for e := range t.penalties {
+		pen := make([]float64, np*np)
+		for i := range pen {
+			pen[i] = math.Inf(1)
+		}
+		t.penalties[e] = pen
+	}
+	return t
+}
+
+// NumLayers returns the layer count including the input layer.
+func (t *Table) NumLayers() int { return t.numLayers }
+
+// OutputLayer returns the index of the layer whose result returns to
+// the host.
+func (t *Table) OutputLayer() int { return t.output }
+
+// Candidates returns the primitive IDs available to layer i.
+func (t *Table) Candidates(i int) []primitives.ID { return t.candidates[i] }
+
+// Edges returns every producer->consumer dependency.
+func (t *Table) Edges() []Edge { return t.edges }
+
+// SetTime records the measured latency of layer i under primitive p.
+func (t *Table) SetTime(i int, p primitives.ID, sec float64) {
+	t.times[i*t.numPrims+int(p)] = sec
+}
+
+// Time returns the recorded latency of layer i under primitive p
+// (+Inf if never measured).
+func (t *Table) Time(i int, p primitives.ID) float64 {
+	return t.times[i*t.numPrims+int(p)]
+}
+
+// edgeIndex locates an edge or panics — tables are always walked with
+// edges obtained from Edges().
+func (t *Table) edgeIndex(from, to int) int {
+	for e, ed := range t.edges {
+		if ed.From == from && ed.To == to {
+			return e
+		}
+	}
+	panic(fmt.Sprintf("lut: no edge %d->%d", from, to))
+}
+
+// SetPenalty records the compatibility cost of edge (from, to) under
+// the primitive pair (fp, tp).
+func (t *Table) SetPenalty(from, to int, fp, tp primitives.ID, sec float64) {
+	t.penalties[t.edgeIndex(from, to)][int(fp)*t.numPrims+int(tp)] = sec
+}
+
+// Penalty returns the compatibility cost of edge (from, to) under the
+// primitive pair (fp, tp).
+func (t *Table) Penalty(from, to int, fp, tp primitives.ID) float64 {
+	return t.penalties[t.edgeIndex(from, to)][int(fp)*t.numPrims+int(tp)]
+}
+
+// penaltyByEdge avoids the edge lookup when the caller already walks
+// Edges() by index.
+func (t *Table) penaltyByEdge(e int, fp, tp primitives.ID) float64 {
+	return t.penalties[e][int(fp)*t.numPrims+int(tp)]
+}
+
+// SetOutputPenalty records the host-return cost for the output layer
+// under primitive p.
+func (t *Table) SetOutputPenalty(p primitives.ID, sec float64) {
+	t.outputPen[int(p)] = sec
+}
+
+// OutputPenalty returns the host-return cost under primitive p.
+func (t *Table) OutputPenalty(p primitives.ID) float64 {
+	return t.outputPen[int(p)]
+}
+
+// LayerCost returns layer i's latency under primitive p plus every
+// incoming-edge penalty given the already-chosen producer primitives
+// in assignment — the quantity the paper uses as the (negated) shaped
+// reward of the step that picks p for layer i.
+func (t *Table) LayerCost(i int, p primitives.ID, assignment []primitives.ID) float64 {
+	cost := t.Time(i, p)
+	for _, e := range t.incoming[i] {
+		cost += t.penaltyByEdge(e, assignment[t.edges[e].From], p)
+	}
+	if i == t.output {
+		cost += t.OutputPenalty(p)
+	}
+	return cost
+}
+
+// TotalTime evaluates a complete assignment (one primitive ID per
+// layer; index 0 must be the input pseudo-primitive): the sum of all
+// layer times, all edge penalties and the output-return penalty.
+func (t *Table) TotalTime(assignment []primitives.ID) float64 {
+	if len(assignment) != t.numLayers {
+		panic(fmt.Sprintf("lut: assignment has %d entries, want %d", len(assignment), t.numLayers))
+	}
+	var total float64
+	for i := 1; i < t.numLayers; i++ {
+		total += t.Time(i, assignment[i])
+	}
+	for e, ed := range t.edges {
+		total += t.penaltyByEdge(e, assignment[ed.From], assignment[ed.To])
+	}
+	total += t.OutputPenalty(assignment[t.output])
+	return total
+}
+
+// tableJSON is the serialization form: entries are emitted sparsely
+// (finite values only) with primitive names, so tables survive
+// registry reordering.
+type tableJSON struct {
+	Network string              `json:"network"`
+	Mode    string              `json:"mode"`
+	Layers  int                 `json:"layers"`
+	Output  int                 `json:"output"`
+	Cands   [][]string          `json:"candidates"`
+	Times   []layerTimeJSON     `json:"times"`
+	Edges   []edgePenaltiesJSON `json:"edges"`
+	OutPen  []primTimeJSON      `json:"output_penalty"`
+}
+
+type layerTimeJSON struct {
+	Layer int            `json:"layer"`
+	Times []primTimeJSON `json:"times"`
+}
+
+type primTimeJSON struct {
+	Prim string  `json:"prim"`
+	Sec  float64 `json:"sec"`
+}
+
+type edgePenaltiesJSON struct {
+	From  int            `json:"from"`
+	To    int            `json:"to"`
+	Pairs []pairTimeJSON `json:"pairs"`
+}
+
+type pairTimeJSON struct {
+	FromPrim string  `json:"from_prim"`
+	ToPrim   string  `json:"to_prim"`
+	Sec      float64 `json:"sec"`
+}
+
+// MarshalJSON serializes the table (sparse, name-keyed).
+func (t *Table) MarshalJSON() ([]byte, error) {
+	out := tableJSON{
+		Network: t.Network,
+		Mode:    t.Mode.String(),
+		Layers:  t.numLayers,
+		Output:  t.output,
+	}
+	for i := 0; i < t.numLayers; i++ {
+		var names []string
+		for _, id := range t.candidates[i] {
+			names = append(names, primitives.ByID(id).Name)
+		}
+		out.Cands = append(out.Cands, names)
+		lt := layerTimeJSON{Layer: i}
+		for _, id := range t.candidates[i] {
+			if v := t.Time(i, id); !math.IsInf(v, 1) {
+				lt.Times = append(lt.Times, primTimeJSON{Prim: primitives.ByID(id).Name, Sec: v})
+			}
+		}
+		out.Times = append(out.Times, lt)
+	}
+	for e, ed := range t.edges {
+		ep := edgePenaltiesJSON{From: ed.From, To: ed.To}
+		for _, fp := range t.candidates[ed.From] {
+			for _, tp := range t.candidates[ed.To] {
+				if v := t.penaltyByEdge(e, fp, tp); !math.IsInf(v, 1) {
+					ep.Pairs = append(ep.Pairs, pairTimeJSON{
+						FromPrim: primitives.ByID(fp).Name,
+						ToPrim:   primitives.ByID(tp).Name,
+						Sec:      v,
+					})
+				}
+			}
+		}
+		out.Edges = append(out.Edges, ep)
+	}
+	for _, id := range t.candidates[t.output] {
+		if v := t.OutputPenalty(id); !math.IsInf(v, 1) {
+			out.OutPen = append(out.OutPen, primTimeJSON{Prim: primitives.ByID(id).Name, Sec: v})
+		}
+	}
+	return json.Marshal(out)
+}
+
+// Load deserializes a table previously produced by MarshalJSON for
+// the given network (the network supplies the graph structure).
+func Load(data []byte, net *nn.Network) (*Table, error) {
+	var in tableJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("lut: %w", err)
+	}
+	if in.Network != net.Name {
+		return nil, fmt.Errorf("lut: table is for %q, network is %q", in.Network, net.Name)
+	}
+	mode := primitives.ModeCPU
+	if in.Mode == primitives.ModeGPGPU.String() {
+		mode = primitives.ModeGPGPU
+	}
+	t := New(net, mode)
+	if t.numLayers != in.Layers {
+		return nil, fmt.Errorf("lut: table has %d layers, network has %d", in.Layers, t.numLayers)
+	}
+	byName := func(name string) (primitives.ID, error) {
+		p, ok := primitives.ByName(name)
+		if !ok {
+			return 0, fmt.Errorf("lut: unknown primitive %q", name)
+		}
+		return p.Idx, nil
+	}
+	for _, lt := range in.Times {
+		for _, pt := range lt.Times {
+			id, err := byName(pt.Prim)
+			if err != nil {
+				return nil, err
+			}
+			t.SetTime(lt.Layer, id, pt.Sec)
+		}
+	}
+	for _, ep := range in.Edges {
+		for _, pr := range ep.Pairs {
+			fp, err := byName(pr.FromPrim)
+			if err != nil {
+				return nil, err
+			}
+			tp, err := byName(pr.ToPrim)
+			if err != nil {
+				return nil, err
+			}
+			t.SetPenalty(ep.From, ep.To, fp, tp, pr.Sec)
+		}
+	}
+	for _, pt := range in.OutPen {
+		id, err := byName(pt.Prim)
+		if err != nil {
+			return nil, err
+		}
+		t.SetOutputPenalty(id, pt.Sec)
+	}
+	return t, nil
+}
+
+// Stats summarizes a profiled table: how many (layer, primitive)
+// latencies were measured, how many compatibility pairs were profiled
+// (the paper's Fig. 3 pass) and how many of those actually need a
+// conversion or transfer.
+type Stats struct {
+	// Layers is the searchable layer count.
+	Layers int
+	// TimeEntries is the number of measured (layer, primitive) cells.
+	TimeEntries int
+	// PenaltyPairs is the number of profiled compatibility pairs.
+	PenaltyPairs int
+	// NonzeroPenalties counts pairs that need a compatibility layer.
+	NonzeroPenalties int
+}
+
+// ComputeStats scans the table.
+func (t *Table) ComputeStats() Stats {
+	s := Stats{Layers: t.numLayers - 1}
+	for i := 1; i < t.numLayers; i++ {
+		for _, p := range t.candidates[i] {
+			if !math.IsInf(t.Time(i, p), 1) {
+				s.TimeEntries++
+			}
+		}
+	}
+	for e, ed := range t.edges {
+		for _, fp := range t.candidates[ed.From] {
+			for _, tp := range t.candidates[ed.To] {
+				v := t.penaltyByEdge(e, fp, tp)
+				if math.IsInf(v, 1) {
+					continue
+				}
+				s.PenaltyPairs++
+				if v > 0 {
+					s.NonzeroPenalties++
+				}
+			}
+		}
+	}
+	return s
+}

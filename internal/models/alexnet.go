@@ -1,0 +1,41 @@
+package models
+
+import (
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// AlexNet builds AlexNet (Krizhevsky et al., 2012) on 227x227 RGB
+// input, including the original two-group conv2/conv4/conv5 (a
+// two-GPU training artifact the deployed model keeps). The heavy
+// FC6-8 stack is
+// what lets QS-DNN beat cuDNN on this network, since cuDNN provides no
+// fully-connected primitive.
+func AlexNet() *nn.Network {
+	b := nn.NewBuilder("alexnet", tensor.Shape{N: 1, C: 3, H: 227, W: 227})
+	x := b.Conv("conv1", b.Input(), 96, 11, 4, 0)
+	x = b.ReLU("relu1", x)
+	x = b.LRN("norm1", x, 5)
+	x = b.Pool("pool1", x, nn.MaxPool, 3, 2, 0)
+	x = b.Conv2D("conv2", x, nn.ConvParams{OutChannels: 256, KernelH: 5, KernelW: 5, StrideH: 1, StrideW: 1, PadH: 2, PadW: 2, Groups: 2})
+	x = b.ReLU("relu2", x)
+	x = b.LRN("norm2", x, 5)
+	x = b.Pool("pool2", x, nn.MaxPool, 3, 2, 0)
+	x = b.Conv("conv3", x, 384, 3, 1, 1)
+	x = b.ReLU("relu3", x)
+	x = b.Conv2D("conv4", x, nn.ConvParams{OutChannels: 384, KernelH: 3, KernelW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1, Groups: 2})
+	x = b.ReLU("relu4", x)
+	x = b.Conv2D("conv5", x, nn.ConvParams{OutChannels: 256, KernelH: 3, KernelW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1, Groups: 2})
+	x = b.ReLU("relu5", x)
+	x = b.Pool("pool5", x, nn.MaxPool, 3, 2, 0)
+	x = b.Flatten("flatten", x)
+	x = b.FullyConnected("fc6", x, 4096)
+	x = b.ReLU("relu6", x)
+	x = b.Dropout("drop6", x)
+	x = b.FullyConnected("fc7", x, 4096)
+	x = b.ReLU("relu7", x)
+	x = b.Dropout("drop7", x)
+	x = b.FullyConnected("fc8", x, 1000)
+	b.Softmax("prob", x)
+	return b.MustBuild()
+}

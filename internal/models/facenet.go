@@ -1,0 +1,42 @@
+package models
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// residualUnit appends a SphereFace-style residual unit: two 3x3
+// convolutions of width ch with an identity shortcut.
+func residualUnit(b *nn.Builder, name string, in, ch int) int {
+	x := b.Conv(name+"/conv1", in, ch, 3, 1, 1)
+	x = b.ReLU(name+"/relu1", x)
+	x = b.Conv(name+"/conv2", x, ch, 3, 1, 1)
+	x = b.ReLU(name+"/relu2", x)
+	return b.EltwiseAdd(name+"/add", x, in)
+}
+
+// FaceNet20 builds a 20-layer SphereFace-style face-recognition CNN on
+// 112x96 RGB crops: four strided stages of widths 64/128/256/512 with
+// 1/2/4/1 residual units, ending in a 512-d embedding FC layer. It is
+// the paper's face-recognition workload.
+func FaceNet20() *nn.Network {
+	b := nn.NewBuilder("facenet20", tensor.Shape{N: 1, C: 3, H: 112, W: 96})
+	stages := []struct {
+		ch, units int
+	}{
+		{64, 1}, {128, 2}, {256, 4}, {512, 1},
+	}
+	x := b.Input()
+	for si, st := range stages {
+		x = b.Conv(fmt.Sprintf("stage%d/down", si+1), x, st.ch, 3, 2, 1)
+		x = b.ReLU(fmt.Sprintf("stage%d/down_relu", si+1), x)
+		for u := 0; u < st.units; u++ {
+			x = residualUnit(b, fmt.Sprintf("stage%d/res%d", si+1, u+1), x, st.ch)
+		}
+	}
+	x = b.Flatten("flatten", x)
+	b.FullyConnected("fc5", x, 512)
+	return b.MustBuild()
+}

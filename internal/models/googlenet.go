@@ -1,0 +1,88 @@
+package models
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// inceptionCfg holds the branch widths of one Inception module:
+// the 1x1 branch, the 1x1->3x3 reduce/expand pair, the 1x1->5x5
+// reduce/expand pair and the pool-projection 1x1.
+type inceptionCfg struct {
+	c1, r3, c3, r5, c5, pp int
+}
+
+// inception appends one Inception module and returns the concat handle.
+func inception(b *nn.Builder, name string, in int, cfg inceptionCfg) int {
+	b1 := b.Conv(name+"/1x1", in, cfg.c1, 1, 1, 0)
+	b1 = b.ReLU(name+"/relu_1x1", b1)
+
+	b2 := b.Conv(name+"/3x3_reduce", in, cfg.r3, 1, 1, 0)
+	b2 = b.ReLU(name+"/relu_3x3_reduce", b2)
+	b2 = b.Conv(name+"/3x3", b2, cfg.c3, 3, 1, 1)
+	b2 = b.ReLU(name+"/relu_3x3", b2)
+
+	b3 := b.Conv(name+"/5x5_reduce", in, cfg.r5, 1, 1, 0)
+	b3 = b.ReLU(name+"/relu_5x5_reduce", b3)
+	b3 = b.Conv(name+"/5x5", b3, cfg.c5, 5, 1, 2)
+	b3 = b.ReLU(name+"/relu_5x5", b3)
+
+	b4 := b.Pool(name+"/pool", in, nn.MaxPool, 3, 1, 1)
+	b4 = b.Conv(name+"/pool_proj", b4, cfg.pp, 1, 1, 0)
+	b4 = b.ReLU(name+"/relu_pool_proj", b4)
+
+	return b.Concat(name+"/output", b1, b2, b3, b4)
+}
+
+// GoogleNet builds GoogLeNet / Inception-v1 (Szegedy et al., 2015) on
+// 224x224 RGB input: the stem, nine Inception modules and the global
+// average-pool classifier (auxiliary training heads omitted, as in
+// inference deployments). Its 9-branch-module structure gives the
+// largest design space in Table II, where the paper reports RL beating
+// Random Search by up to 15x.
+func GoogleNet() *nn.Network {
+	b := nn.NewBuilder("googlenet", tensor.Shape{N: 1, C: 3, H: 224, W: 224})
+	x := b.Conv("conv1/7x7_s2", b.Input(), 64, 7, 2, 3)
+	x = b.ReLU("conv1/relu_7x7", x)
+	x = b.Pool("pool1/3x3_s2", x, nn.MaxPool, 3, 2, 0)
+	x = b.LRN("pool1/norm1", x, 5)
+	x = b.Conv("conv2/3x3_reduce", x, 64, 1, 1, 0)
+	x = b.ReLU("conv2/relu_3x3_reduce", x)
+	x = b.Conv("conv2/3x3", x, 192, 3, 1, 1)
+	x = b.ReLU("conv2/relu_3x3", x)
+	x = b.LRN("conv2/norm2", x, 5)
+	x = b.Pool("pool2/3x3_s2", x, nn.MaxPool, 3, 2, 0)
+
+	cfgs := []struct {
+		name string
+		cfg  inceptionCfg
+	}{
+		{"inception_3a", inceptionCfg{64, 96, 128, 16, 32, 32}},
+		{"inception_3b", inceptionCfg{128, 128, 192, 32, 96, 64}},
+		{"pool", inceptionCfg{}},
+		{"inception_4a", inceptionCfg{192, 96, 208, 16, 48, 64}},
+		{"inception_4b", inceptionCfg{160, 112, 224, 24, 64, 64}},
+		{"inception_4c", inceptionCfg{128, 128, 256, 24, 64, 64}},
+		{"inception_4d", inceptionCfg{112, 144, 288, 32, 64, 64}},
+		{"inception_4e", inceptionCfg{256, 160, 320, 32, 128, 128}},
+		{"pool", inceptionCfg{}},
+		{"inception_5a", inceptionCfg{256, 160, 320, 32, 128, 128}},
+		{"inception_5b", inceptionCfg{384, 192, 384, 48, 128, 128}},
+	}
+	poolCount := 2
+	for _, c := range cfgs {
+		if c.name == "pool" {
+			poolCount++
+			x = b.Pool(fmt.Sprintf("pool%d/3x3_s2", poolCount), x, nn.MaxPool, 3, 2, 0)
+			continue
+		}
+		x = inception(b, c.name, x, c.cfg)
+	}
+	x = b.GlobalPool("pool5/7x7_s1", x, nn.AvgPool)
+	x = b.Flatten("flatten", x)
+	x = b.FullyConnected("loss3/classifier", x, 1000)
+	b.Softmax("prob", x)
+	return b.MustBuild()
+}

@@ -1,0 +1,25 @@
+package models
+
+import (
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// LeNet5 builds the Caffe variant of LeNet-5 on 32x32 grayscale input:
+// two conv+pool stages followed by two fully-connected layers. It is
+// the smallest network in the paper's Table II; its best "GPGPU"
+// implementation turns out to be pure CPU because the CPU<->GPU copies
+// outweigh the GPU's per-layer gains.
+func LeNet5() *nn.Network {
+	b := nn.NewBuilder("lenet5", tensor.Shape{N: 1, C: 1, H: 32, W: 32})
+	x := b.Conv("conv1", b.Input(), 20, 5, 1, 0)
+	x = b.Pool("pool1", x, nn.MaxPool, 2, 2, 0)
+	x = b.Conv("conv2", x, 50, 5, 1, 0)
+	x = b.Pool("pool2", x, nn.MaxPool, 2, 2, 0)
+	x = b.Flatten("flatten", x)
+	x = b.FullyConnected("ip1", x, 500)
+	x = b.ReLU("relu1", x)
+	x = b.FullyConnected("ip2", x, 10)
+	b.Softmax("prob", x)
+	return b.MustBuild()
+}

@@ -1,0 +1,59 @@
+package models
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// MobileNetV1 builds MobileNet-v1 (Howard et al., 2017), width 1.0, on
+// 224x224 RGB input: a strided stem convolution followed by 13
+// depth-wise-separable blocks (depth-wise 3x3 + point-wise 1x1, each
+// with batch-norm and ReLU). The alternation of depth-wise and
+// point-wise layers is exactly the case where the paper reports QS-DNN
+// learning to combine ArmCL's depth-wise code, cuDNN convolutions and
+// Vanilla ReLU/B-Norm to avoid extra GPU copies (>1.4x over BSL).
+func MobileNetV1() *nn.Network { return MobileNetV1Width("mobilenet-v1", 1.0) }
+
+// MobileNetV1Width builds MobileNet-v1 with a width multiplier (the
+// paper speaks of "MobileNets" in the plural — the family's thinner
+// variants trade accuracy for latency and shift the CPU/GPU balance,
+// since smaller layers amortize transfers and launches worse).
+func MobileNetV1Width(name string, alpha float64) *nn.Network {
+	scale := func(ch int) int {
+		s := int(float64(ch) * alpha)
+		if s < 8 {
+			s = 8
+		}
+		return s
+	}
+	b := nn.NewBuilder(name, tensor.Shape{N: 1, C: 3, H: 224, W: 224})
+	x := b.Conv("conv1", b.Input(), scale(32), 3, 2, 1)
+	x = b.BatchNorm("conv1/bn", x)
+	x = b.ReLU("conv1/relu", x)
+
+	// Each entry is the point-wise output width and the depth-wise stride.
+	blocks := []struct {
+		out, stride int
+	}{
+		{64, 1}, {128, 2}, {128, 1}, {256, 2}, {256, 1}, {512, 2},
+		{512, 1}, {512, 1}, {512, 1}, {512, 1}, {512, 1},
+		{1024, 2}, {1024, 1},
+	}
+	for i, blk := range blocks {
+		dw := fmt.Sprintf("conv%d_dw", i+2)
+		pw := fmt.Sprintf("conv%d_pw", i+2)
+		x = b.DepthwiseConv(dw, x, 3, blk.stride, 1)
+		x = b.BatchNorm(dw+"/bn", x)
+		x = b.ReLU(dw+"/relu", x)
+		x = b.Conv(pw, x, scale(blk.out), 1, 1, 0)
+		x = b.BatchNorm(pw+"/bn", x)
+		x = b.ReLU(pw+"/relu", x)
+	}
+	x = b.GlobalPool("pool6", x, nn.AvgPool)
+	x = b.Flatten("flatten", x)
+	x = b.FullyConnected("fc7", x, 1000)
+	b.Softmax("prob", x)
+	return b.MustBuild()
+}

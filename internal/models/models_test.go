@@ -1,0 +1,330 @@
+package models
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func TestRegistry(t *testing.T) {
+	names := All()
+	if len(names) != 13 {
+		t.Fatalf("zoo has %d models, want 13: %v", len(names), names)
+	}
+	for _, name := range names {
+		n, err := Build(name)
+		if err != nil {
+			t.Fatalf("Build(%q): %v", name, err)
+		}
+		if err := n.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if n.Name != name {
+			t.Errorf("Build(%q).Name = %q", name, n.Name)
+		}
+	}
+	if _, err := Build("nope"); err == nil || !strings.Contains(err.Error(), "unknown model") {
+		t.Errorf("unknown model error = %v", err)
+	}
+}
+
+func TestMustBuildPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBuild should panic on unknown model")
+		}
+	}()
+	MustBuild("definitely-not-a-model")
+}
+
+func TestTableIINetworksAllExist(t *testing.T) {
+	for _, name := range TableIINetworks() {
+		if _, err := Build(name); err != nil {
+			t.Errorf("Table II network %q: %v", name, err)
+		}
+	}
+	if len(TableIINetworks()) != 10 {
+		t.Errorf("Table II has %d networks", len(TableIINetworks()))
+	}
+}
+
+// Published parameter counts (approximate — grouped convolutions are
+// modeled as dense, biases always included), used as sanity ranges.
+func TestParameterCounts(t *testing.T) {
+	tests := []struct {
+		name     string
+		min, max int64 // millions of parameters
+	}{
+		{"lenet5", 0, 1},       // ~0.43M
+		{"alexnet", 58, 66},    // ~61M (ours dense: ~62.4M)
+		{"vgg16", 130, 145},    // ~138M
+		{"vgg19", 138, 150},    // ~144M
+		{"googlenet", 5, 9},    // ~7M
+		{"resnet50", 23, 28},   // ~25.6M
+		{"mobilenet-v1", 3, 6}, // ~4.2M
+		{"squeezenet", 1, 2},   // ~1.2M
+		{"facenet20", 20, 35},  // SphereFace-20 ~28M
+		{"tinyyolo", 10, 18},   // ~15.8M
+	}
+	for _, tc := range tests {
+		n := MustBuild(tc.name)
+		gotM := n.TotalWeights() / 1_000_000
+		if gotM < tc.min || gotM > tc.max {
+			t.Errorf("%s: %dM params, want in [%d, %d]M (exact %d)",
+				tc.name, gotM, tc.min, tc.max, n.TotalWeights())
+		}
+	}
+}
+
+// Published MAC counts give FLOP ranges (FLOPs ~ 2*MACs).
+func TestFLOPCounts(t *testing.T) {
+	tests := []struct {
+		name     string
+		min, max int64 // GFLOPs
+	}{
+		{"alexnet", 1, 3},      // ~1.4 GFLOPs dense
+		{"vgg16", 28, 33},      // ~31 GFLOPs
+		{"vgg19", 35, 42},      // ~39 GFLOPs
+		{"googlenet", 2, 4},    // ~3 GFLOPs
+		{"resnet50", 7, 9},     // ~7.7 GFLOPs
+		{"mobilenet-v1", 1, 2}, // ~1.1 GFLOPs
+		{"tinyyolo", 5, 9},     // ~6.3 GFLOPs (12x12 head)
+	}
+	for _, tc := range tests {
+		n := MustBuild(tc.name)
+		gotG := n.TotalFLOPs() / 1_000_000_000
+		if gotG < tc.min || gotG > tc.max {
+			t.Errorf("%s: %d GFLOPs, want in [%d, %d] (exact %d)",
+				tc.name, gotG, tc.min, tc.max, n.TotalFLOPs())
+		}
+	}
+}
+
+func TestLeNet5Structure(t *testing.T) {
+	n := LeNet5()
+	if !n.IsChain() {
+		t.Error("LeNet-5 should be a chain")
+	}
+	conv2 := n.Layers[n.LayerIndex("conv2")]
+	if !conv2.OutShape.Equal(tensor.Shape{N: 1, C: 50, H: 10, W: 10}) {
+		t.Errorf("conv2 shape = %v", conv2.OutShape)
+	}
+	ip1 := n.Layers[n.LayerIndex("ip1")]
+	if ip1.InShape.C != 50*5*5 {
+		t.Errorf("ip1 input width = %d, want 1250", ip1.InShape.C)
+	}
+}
+
+func TestAlexNetStructure(t *testing.T) {
+	n := AlexNet()
+	conv1 := n.Layers[n.LayerIndex("conv1")]
+	if !conv1.OutShape.Equal(tensor.Shape{N: 1, C: 96, H: 55, W: 55}) {
+		t.Errorf("conv1 shape = %v", conv1.OutShape)
+	}
+	fc6 := n.Layers[n.LayerIndex("fc6")]
+	if fc6.InShape.C != 9216 {
+		t.Errorf("fc6 input = %d, want 9216", fc6.InShape.C)
+	}
+	// cuDNN-relevant: AlexNet has 3 FC layers.
+	fcCount := 0
+	for _, l := range n.Layers {
+		if l.Kind == nn.OpFullyConnected {
+			fcCount++
+		}
+	}
+	if fcCount != 3 {
+		t.Errorf("fc count = %d, want 3", fcCount)
+	}
+}
+
+func TestVGGStructure(t *testing.T) {
+	for _, tc := range []struct {
+		net   *nn.Network
+		convs int
+	}{
+		{VGG16(), 13},
+		{VGG19(), 16},
+	} {
+		convs := 0
+		for _, l := range tc.net.Layers {
+			if l.Kind == nn.OpConv {
+				convs++
+			}
+		}
+		if convs != tc.convs {
+			t.Errorf("%s conv count = %d, want %d", tc.net.Name, convs, tc.convs)
+		}
+		last := tc.net.Layers[tc.net.LayerIndex("pool5")]
+		if !last.OutShape.Equal(tensor.Shape{N: 1, C: 512, H: 7, W: 7}) {
+			t.Errorf("%s pool5 shape = %v", tc.net.Name, last.OutShape)
+		}
+	}
+}
+
+func TestGoogleNetStructure(t *testing.T) {
+	n := GoogleNet()
+	concats := 0
+	for _, l := range n.Layers {
+		if l.Kind == nn.OpConcat {
+			concats++
+		}
+	}
+	if concats != 9 {
+		t.Errorf("inception modules = %d, want 9", concats)
+	}
+	out := n.Layers[n.LayerIndex("inception_5b/output")]
+	if out.OutShape.C != 1024 {
+		t.Errorf("inception_5b channels = %d, want 1024", out.OutShape.C)
+	}
+	if n.IsChain() {
+		t.Error("GoogleNet should not be a chain")
+	}
+}
+
+func TestResNet50Structure(t *testing.T) {
+	n := ResNet50()
+	adds, convs := 0, 0
+	for _, l := range n.Layers {
+		switch l.Kind {
+		case nn.OpEltwiseAdd:
+			adds++
+		case nn.OpConv:
+			convs++
+		}
+	}
+	if adds != 16 {
+		t.Errorf("shortcut adds = %d, want 16", adds)
+	}
+	if convs != 53 { // 1 stem + 16*3 + 4 projections
+		t.Errorf("convs = %d, want 53", convs)
+	}
+	pool := n.Layers[n.LayerIndex("pool5")]
+	if pool.InShape.C != 2048 || pool.InShape.H != 7 {
+		t.Errorf("pool5 input = %v", pool.InShape)
+	}
+}
+
+func TestMobileNetStructure(t *testing.T) {
+	n := MobileNetV1()
+	dw := 0
+	for _, l := range n.Layers {
+		if l.Kind == nn.OpDepthwiseConv {
+			dw++
+		}
+	}
+	if dw != 13 {
+		t.Errorf("depthwise convs = %d, want 13", dw)
+	}
+	if !n.IsChain() {
+		t.Error("MobileNet-v1 should be a chain")
+	}
+	last := n.Layers[n.LayerIndex("conv14_pw/relu")]
+	if !last.OutShape.Equal(tensor.Shape{N: 1, C: 1024, H: 7, W: 7}) {
+		t.Errorf("final block shape = %v", last.OutShape)
+	}
+}
+
+func TestSqueezeNetStructure(t *testing.T) {
+	n := SqueezeNet()
+	concats := 0
+	for _, l := range n.Layers {
+		if l.Kind == nn.OpConcat {
+			concats++
+		}
+	}
+	if concats != 8 {
+		t.Errorf("fire modules = %d, want 8", concats)
+	}
+	f9 := n.Layers[n.LayerIndex("fire9/concat")]
+	if f9.OutShape.C != 512 {
+		t.Errorf("fire9 channels = %d, want 512", f9.OutShape.C)
+	}
+}
+
+func TestFaceNet20Structure(t *testing.T) {
+	n := FaceNet20()
+	convs := 0
+	for _, l := range n.Layers {
+		if l.Kind == nn.OpConv {
+			convs++
+		}
+	}
+	// 4 downsample convs + (1+2+4+1)*2 residual convs = 20 weight convs.
+	if convs != 20 {
+		t.Errorf("convs = %d, want 20", convs)
+	}
+	fc := n.Layers[n.LayerIndex("fc5")]
+	if fc.OutShape.C != 512 {
+		t.Errorf("embedding = %d, want 512", fc.OutShape.C)
+	}
+	// 112x96 downsampled 4x by stride 2 = 7x6.
+	if fc.InShape.C != 512*7*6 {
+		t.Errorf("fc5 input = %d, want %d", fc.InShape.C, 512*7*6)
+	}
+}
+
+func TestResNet18Structure(t *testing.T) {
+	n := ResNet18()
+	adds, convs := 0, 0
+	for _, l := range n.Layers {
+		switch l.Kind {
+		case nn.OpEltwiseAdd:
+			adds++
+		case nn.OpConv:
+			convs++
+		}
+	}
+	if adds != 8 {
+		t.Errorf("shortcut adds = %d, want 8", adds)
+	}
+	if convs != 20 { // 1 stem + 8*2 + 3 projections
+		t.Errorf("convs = %d, want 20", convs)
+	}
+	// ~11.7M params, ~3.6 GFLOPs.
+	if m := n.TotalWeights() / 1_000_000; m < 10 || m > 13 {
+		t.Errorf("params = %dM, want ~11.7M", m)
+	}
+	if g := n.TotalFLOPs() / 1_000_000_000; g < 3 || g > 5 {
+		t.Errorf("FLOPs = %dG, want ~3.6G", g)
+	}
+}
+
+func TestMobileNetWidths(t *testing.T) {
+	full := MustBuild("mobilenet-v1")
+	half := MustBuild("mobilenet-v1-050")
+	quarter := MustBuild("mobilenet-v1-025")
+	if !(quarter.TotalFLOPs() < half.TotalFLOPs() && half.TotalFLOPs() < full.TotalFLOPs()) {
+		t.Errorf("width multipliers should shrink FLOPs: %d / %d / %d",
+			quarter.TotalFLOPs(), half.TotalFLOPs(), full.TotalFLOPs())
+	}
+	// Same depth, thinner layers.
+	if half.Len() != full.Len() {
+		t.Errorf("half-width layer count %d != full %d", half.Len(), full.Len())
+	}
+	// Width 0.5: stem 16 channels.
+	stem := half.Layers[half.LayerIndex("conv1")]
+	if stem.OutShape.C != 16 {
+		t.Errorf("half-width stem channels = %d, want 16", stem.OutShape.C)
+	}
+	// Channel floor of 8 holds for the thinnest variant.
+	qstem := quarter.Layers[quarter.LayerIndex("conv1")]
+	if qstem.OutShape.C != 8 {
+		t.Errorf("quarter-width stem channels = %d, want 8 (floor)", qstem.OutShape.C)
+	}
+}
+
+func TestTinyYOLOStructure(t *testing.T) {
+	n := TinyYOLO()
+	if !n.IsChain() {
+		t.Error("TinyYOLO should be a chain")
+	}
+	det := n.Layers[n.LayerIndex("detect")]
+	if det.OutShape.C != 125 {
+		t.Errorf("detect channels = %d, want 125", det.OutShape.C)
+	}
+	if det.OutShape.H != 12 || det.OutShape.W != 12 {
+		t.Errorf("detect spatial = %dx%d", det.OutShape.H, det.OutShape.W)
+	}
+}

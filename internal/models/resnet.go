@@ -1,0 +1,66 @@
+package models
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// bottleneck appends one ResNet bottleneck block (1x1 reduce, 3x3,
+// 1x1 expand) with identity or projection shortcut, returning the
+// handle of the block's output ReLU.
+func bottleneck(b *nn.Builder, name string, in, mid, out, stride int, project bool) int {
+	x := b.Conv(name+"/conv1", in, mid, 1, stride, 0)
+	x = b.BatchNorm(name+"/bn1", x)
+	x = b.ReLU(name+"/relu1", x)
+	x = b.Conv(name+"/conv2", x, mid, 3, 1, 1)
+	x = b.BatchNorm(name+"/bn2", x)
+	x = b.ReLU(name+"/relu2", x)
+	x = b.Conv(name+"/conv3", x, out, 1, 1, 0)
+	x = b.BatchNorm(name+"/bn3", x)
+
+	shortcut := in
+	if project {
+		shortcut = b.Conv(name+"/proj", in, out, 1, stride, 0)
+		shortcut = b.BatchNorm(name+"/proj_bn", shortcut)
+	}
+	x = b.EltwiseAdd(name+"/add", x, shortcut)
+	return b.ReLU(name+"/relu", x)
+}
+
+// ResNet50 builds ResNet-50 (He et al., 2016) on 224x224 RGB input:
+// a 7x7 stem and four stages of [3,4,6,3] bottleneck blocks with
+// identity shortcuts. The element-wise additions make its graph
+// branchy, exercising the search's branch-penalty handling.
+func ResNet50() *nn.Network {
+	b := nn.NewBuilder("resnet50", tensor.Shape{N: 1, C: 3, H: 224, W: 224})
+	x := b.Conv("conv1", b.Input(), 64, 7, 2, 3)
+	x = b.BatchNorm("bn1", x)
+	x = b.ReLU("relu1", x)
+	x = b.Pool("pool1", x, nn.MaxPool, 3, 2, 1)
+
+	stages := []struct {
+		blocks, mid, out, stride int
+	}{
+		{3, 64, 256, 1},
+		{4, 128, 512, 2},
+		{6, 256, 1024, 2},
+		{3, 512, 2048, 2},
+	}
+	for si, st := range stages {
+		for bi := 0; bi < st.blocks; bi++ {
+			name := fmt.Sprintf("res%d_%d", si+2, bi)
+			stride, project := 1, false
+			if bi == 0 {
+				stride, project = st.stride, true
+			}
+			x = bottleneck(b, name, x, st.mid, st.out, stride, project)
+		}
+	}
+	x = b.GlobalPool("pool5", x, nn.AvgPool)
+	x = b.Flatten("flatten", x)
+	x = b.FullyConnected("fc1000", x, 1000)
+	b.Softmax("prob", x)
+	return b.MustBuild()
+}

@@ -1,0 +1,60 @@
+package models
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// basicBlock appends a ResNet basic block (two 3x3 convolutions) with
+// identity or projection shortcut.
+func basicBlock(b *nn.Builder, name string, in, out, stride int, project bool) int {
+	x := b.Conv(name+"/conv1", in, out, 3, stride, 1)
+	x = b.BatchNorm(name+"/bn1", x)
+	x = b.ReLU(name+"/relu1", x)
+	x = b.Conv(name+"/conv2", x, out, 3, 1, 1)
+	x = b.BatchNorm(name+"/bn2", x)
+
+	shortcut := in
+	if project {
+		shortcut = b.Conv(name+"/proj", in, out, 1, stride, 0)
+		shortcut = b.BatchNorm(name+"/proj_bn", shortcut)
+	}
+	x = b.EltwiseAdd(name+"/add", x, shortcut)
+	return b.ReLU(name+"/relu", x)
+}
+
+// ResNet18 builds ResNet-18 (He et al., 2016) on 224x224 RGB input:
+// the basic-block variant with [2,2,2,2] blocks per stage. Every 3x3
+// convolution is stride-1 inside the blocks, so Winograd primitives
+// apply almost everywhere — a different search landscape than the
+// bottleneck ResNet-50.
+func ResNet18() *nn.Network {
+	b := nn.NewBuilder("resnet18", tensor.Shape{N: 1, C: 3, H: 224, W: 224})
+	x := b.Conv("conv1", b.Input(), 64, 7, 2, 3)
+	x = b.BatchNorm("bn1", x)
+	x = b.ReLU("relu1", x)
+	x = b.Pool("pool1", x, nn.MaxPool, 3, 2, 1)
+
+	stages := []struct {
+		out, stride int
+	}{
+		{64, 1}, {128, 2}, {256, 2}, {512, 2},
+	}
+	for si, st := range stages {
+		for bi := 0; bi < 2; bi++ {
+			name := fmt.Sprintf("res%d_%d", si+2, bi)
+			stride, project := 1, false
+			if bi == 0 && st.stride != 1 {
+				stride, project = st.stride, true
+			}
+			x = basicBlock(b, name, x, st.out, stride, project)
+		}
+	}
+	x = b.GlobalPool("pool5", x, nn.AvgPool)
+	x = b.Flatten("flatten", x)
+	x = b.FullyConnected("fc1000", x, 1000)
+	b.Softmax("prob", x)
+	return b.MustBuild()
+}

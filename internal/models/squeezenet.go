@@ -1,0 +1,43 @@
+package models
+
+import (
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// fire appends a SqueezeNet Fire module: a 1x1 squeeze followed by
+// parallel 1x1 and 3x3 expands whose outputs are concatenated.
+func fire(b *nn.Builder, name string, in, squeeze, e1, e3 int) int {
+	s := b.Conv(name+"/squeeze1x1", in, squeeze, 1, 1, 0)
+	s = b.ReLU(name+"/relu_squeeze", s)
+	x1 := b.Conv(name+"/expand1x1", s, e1, 1, 1, 0)
+	x1 = b.ReLU(name+"/relu_expand1x1", x1)
+	x3 := b.Conv(name+"/expand3x3", s, e3, 3, 1, 1)
+	x3 = b.ReLU(name+"/relu_expand3x3", x3)
+	return b.Concat(name+"/concat", x1, x3)
+}
+
+// SqueezeNet builds SqueezeNet v1.0 (Iandola et al., 2016) on 224x224
+// RGB input: a 7x7 stem, eight Fire modules and a fully-convolutional
+// classifier ending in global average pooling.
+func SqueezeNet() *nn.Network {
+	b := nn.NewBuilder("squeezenet", tensor.Shape{N: 1, C: 3, H: 224, W: 224})
+	x := b.Conv("conv1", b.Input(), 96, 7, 2, 0)
+	x = b.ReLU("relu_conv1", x)
+	x = b.Pool("pool1", x, nn.MaxPool, 3, 2, 0)
+	x = fire(b, "fire2", x, 16, 64, 64)
+	x = fire(b, "fire3", x, 16, 64, 64)
+	x = fire(b, "fire4", x, 32, 128, 128)
+	x = b.Pool("pool4", x, nn.MaxPool, 3, 2, 0)
+	x = fire(b, "fire5", x, 32, 128, 128)
+	x = fire(b, "fire6", x, 48, 192, 192)
+	x = fire(b, "fire7", x, 48, 192, 192)
+	x = fire(b, "fire8", x, 64, 256, 256)
+	x = b.Pool("pool8", x, nn.MaxPool, 3, 2, 0)
+	x = fire(b, "fire9", x, 64, 256, 256)
+	x = b.Conv("conv10", x, 1000, 1, 1, 0)
+	x = b.ReLU("relu_conv10", x)
+	x = b.GlobalPool("pool10", x, nn.AvgPool)
+	b.Softmax("prob", x)
+	return b.MustBuild()
+}

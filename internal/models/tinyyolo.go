@@ -1,0 +1,39 @@
+package models
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// TinyYOLO builds a Tiny-YOLO-style single-shot object detector on
+// 416x416 RGB input: seven 3x3 conv+pool stages doubling the width
+// from 16 to 1024, a 3x3 trunk convolution and a 1x1 detection head
+// producing 125 channels (5 anchors x (5 box terms + 20 VOC classes)).
+// It is the paper's object-detection workload and, being a pure chain
+// of large convolutions, also serves as the DP-certifiable big net in
+// the test suite.
+func TinyYOLO() *nn.Network {
+	b := nn.NewBuilder("tinyyolo", tensor.Shape{N: 1, C: 3, H: 416, W: 416})
+	x := b.Input()
+	widths := []int{16, 32, 64, 128, 256, 512}
+	for i, w := range widths {
+		x = b.Conv(fmt.Sprintf("conv%d", i+1), x, w, 3, 1, 1)
+		x = b.BatchNorm(fmt.Sprintf("bn%d", i+1), x)
+		x = b.ReLU(fmt.Sprintf("relu%d", i+1), x)
+		stride := 2
+		if i == len(widths)-1 {
+			stride = 1 // final pool keeps 13x13 resolution
+		}
+		x = b.Pool(fmt.Sprintf("pool%d", i+1), x, nn.MaxPool, 2, stride, 0)
+	}
+	x = b.Conv("conv7", x, 1024, 3, 1, 1)
+	x = b.BatchNorm("bn7", x)
+	x = b.ReLU("relu7", x)
+	x = b.Conv("conv8", x, 1024, 3, 1, 1)
+	x = b.BatchNorm("bn8", x)
+	x = b.ReLU("relu8", x)
+	b.Conv("detect", x, 125, 1, 1, 0)
+	return b.MustBuild()
+}

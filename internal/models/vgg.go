@@ -1,0 +1,44 @@
+package models
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// vgg builds a VGG-style network from a per-stage conv count. All
+// convolutions are 3x3 stride 1 pad 1; each stage ends with a 2x2 max
+// pool; the classifier is the standard FC-4096/4096/1000 stack.
+func vgg(name string, convsPerStage []int) *nn.Network {
+	channels := []int{64, 128, 256, 512, 512}
+	b := nn.NewBuilder(name, tensor.Shape{N: 1, C: 3, H: 224, W: 224})
+	x := b.Input()
+	for stage, nConv := range convsPerStage {
+		for i := 0; i < nConv; i++ {
+			id := fmt.Sprintf("conv%d_%d", stage+1, i+1)
+			x = b.Conv(id, x, channels[stage], 3, 1, 1)
+			x = b.ReLU("relu"+id[4:], x)
+		}
+		x = b.Pool(fmt.Sprintf("pool%d", stage+1), x, nn.MaxPool, 2, 2, 0)
+	}
+	x = b.Flatten("flatten", x)
+	x = b.FullyConnected("fc6", x, 4096)
+	x = b.ReLU("relu6", x)
+	x = b.Dropout("drop6", x)
+	x = b.FullyConnected("fc7", x, 4096)
+	x = b.ReLU("relu7", x)
+	x = b.Dropout("drop7", x)
+	x = b.FullyConnected("fc8", x, 1000)
+	b.Softmax("prob", x)
+	return b.MustBuild()
+}
+
+// VGG16 builds the 16-weight-layer VGG configuration D (Simonyan &
+// Zisserman, 2014) on 224x224 RGB input.
+func VGG16() *nn.Network { return vgg("vgg16", []int{2, 2, 3, 3, 3}) }
+
+// VGG19 builds the 19-weight-layer VGG configuration E. With 19 weight
+// layers and a 25088x4096 FC6, it has both the largest design space and
+// the FC bottleneck that makes QS-DNN's GPGPU result beat cuDNN.
+func VGG19() *nn.Network { return vgg("vgg19", []int{2, 2, 4, 4, 4}) }

@@ -1,0 +1,40 @@
+package nn
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ToDot renders the network as a Graphviz digraph, optionally
+// annotating each layer with a label supplied by annotate (e.g. the
+// chosen primitive and its measured time). A nil annotate yields the
+// bare architecture. The output is stable (layers in topological
+// order), so it can be golden-tested and diffed.
+func (n *Network) ToDot(annotate func(layerIdx int) string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", n.Name)
+	b.WriteString("  rankdir=TB;\n  node [shape=box, fontsize=10];\n")
+	for i, l := range n.Layers {
+		label := fmt.Sprintf("%s\\n%s %s", l.Name, l.Kind, l.OutShape)
+		if annotate != nil {
+			if extra := annotate(i); extra != "" {
+				label += "\\n" + extra
+			}
+		}
+		shape := ""
+		switch l.Kind {
+		case OpInput:
+			shape = ", shape=ellipse"
+		case OpConcat, OpEltwiseAdd:
+			shape = ", shape=diamond"
+		}
+		fmt.Fprintf(&b, "  n%d [label=\"%s\"%s];\n", i, label, shape)
+	}
+	for i, l := range n.Layers {
+		for _, in := range l.Inputs {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", in, i)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,104 @@
+package nn
+
+// This file provides the arithmetic and memory-traffic accounting the
+// analytical platform cost model is built on. Counts follow the usual
+// conventions: a multiply-accumulate is 2 FLOPs, and traffic is the
+// float32 bytes of every tensor a layer must read plus what it writes
+// (weights included), ignoring cache reuse — the cost model applies
+// per-primitive efficiency factors on top.
+
+// FLOPs returns the floating-point operation count of the layer.
+func (l *Layer) FLOPs() int64 {
+	in, out := l.InShape, l.OutShape
+	switch l.Kind {
+	case OpConv:
+		// 2 * K * (C/groups) * R * S per output element, plus the
+		// bias add.
+		macs := int64(out.N) * int64(out.C) * int64(out.H) * int64(out.W) *
+			int64(in.C/l.Conv.GroupCount()) * int64(l.Conv.KernelH) * int64(l.Conv.KernelW)
+		return 2*macs + int64(out.Elems())
+	case OpDepthwiseConv:
+		macs := int64(out.Elems()) * int64(l.Conv.KernelH) * int64(l.Conv.KernelW)
+		return 2*macs + int64(out.Elems())
+	case OpFullyConnected:
+		macs := int64(in.Elems()) * int64(l.OutUnits)
+		return 2*macs + int64(out.Elems())
+	case OpPool:
+		return int64(out.Elems()) * int64(l.Conv.KernelH) * int64(l.Conv.KernelW)
+	case OpReLU:
+		return int64(out.Elems())
+	case OpBatchNorm:
+		return 2 * int64(out.Elems()) // scale + shift
+	case OpLRN:
+		// window accumulate + divide, approximated as 3 ops per
+		// element per window entry.
+		return 3 * int64(out.Elems()) * int64(l.LRNSize)
+	case OpSoftmax:
+		return 4 * int64(out.Elems()) // exp + sum + div (+max shift)
+	case OpConcat, OpFlatten, OpInput, OpDropout:
+		return 0
+	case OpEltwiseAdd:
+		return int64(out.Elems())
+	default:
+		return 0
+	}
+}
+
+// WeightCount returns the number of learned parameters of the layer.
+func (l *Layer) WeightCount() int64 {
+	in := l.InShape
+	switch l.Kind {
+	case OpConv:
+		return int64(l.Conv.OutChannels)*int64(in.C/l.Conv.GroupCount())*int64(l.Conv.KernelH)*int64(l.Conv.KernelW) +
+			int64(l.Conv.OutChannels)
+	case OpDepthwiseConv:
+		return int64(in.C)*int64(l.Conv.KernelH)*int64(l.Conv.KernelW) + int64(in.C)
+	case OpFullyConnected:
+		return int64(in.Elems())*int64(l.OutUnits) + int64(l.OutUnits)
+	case OpBatchNorm:
+		return 2 * int64(in.C)
+	default:
+		return 0
+	}
+}
+
+// Traffic returns the minimum float32 byte traffic of the layer:
+// activations in, weights in, activations out. Concat and Flatten move
+// their input once (copy); Input moves nothing.
+func (l *Layer) Traffic() int64 {
+	switch l.Kind {
+	case OpInput:
+		return 0
+	case OpConcat:
+		var b int64
+		b = int64(l.OutShape.Bytes()) * 2 // read every input + write output
+		return b
+	case OpFlatten:
+		return 2 * int64(l.OutShape.Bytes())
+	case OpDropout:
+		return 0 // identity in place
+	case OpEltwiseAdd:
+		return 3 * int64(l.OutShape.Bytes())
+	default:
+		t := int64(l.InShape.Bytes()) + int64(l.OutShape.Bytes()) + 4*l.WeightCount()
+		return t
+	}
+}
+
+// TotalFLOPs sums FLOPs over all layers of the network.
+func (n *Network) TotalFLOPs() int64 {
+	var total int64
+	for _, l := range n.Layers {
+		total += l.FLOPs()
+	}
+	return total
+}
+
+// TotalWeights sums the parameter counts over all layers.
+func (n *Network) TotalWeights() int64 {
+	var total int64
+	for _, l := range n.Layers {
+		total += l.WeightCount()
+	}
+	return total
+}

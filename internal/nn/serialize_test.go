@@ -1,0 +1,161 @@
+package nn
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// roundTrip serializes and re-parses a network, asserting structural
+// equality.
+func roundTrip(t *testing.T, n *Network) *Network {
+	t.Helper()
+	data, err := json.Marshal(n)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	back, err := ParseJSON(data)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if back.Name != n.Name || !back.InputShape.Equal(n.InputShape) {
+		t.Fatalf("metadata lost: %s %v", back.Name, back.InputShape)
+	}
+	if back.Len() != n.Len() {
+		t.Fatalf("layer count %d != %d", back.Len(), n.Len())
+	}
+	for i := range n.Layers {
+		a, b := n.Layers[i], back.Layers[i]
+		if a.Name != b.Name || a.Kind != b.Kind || !a.OutShape.Equal(b.OutShape) {
+			t.Errorf("layer %d: %v vs %v", i, a, b)
+		}
+		if len(a.Inputs) != len(b.Inputs) {
+			t.Errorf("layer %d inputs differ", i)
+			continue
+		}
+		for k := range a.Inputs {
+			if a.Inputs[k] != b.Inputs[k] {
+				t.Errorf("layer %d input %d: %d vs %d", i, k, a.Inputs[k], b.Inputs[k])
+			}
+		}
+	}
+	return back
+}
+
+func TestSerializeChain(t *testing.T) {
+	b := NewBuilder("chain", tensor.Shape{N: 1, C: 3, H: 32, W: 32})
+	x := b.Conv("conv1", b.Input(), 16, 3, 1, 1)
+	x = b.BatchNorm("bn1", x)
+	x = b.ReLU("relu1", x)
+	x = b.Pool("pool1", x, MaxPool, 2, 2, 0)
+	x = b.DepthwiseConv("dw", x, 3, 1, 1)
+	x = b.LRN("lrn", x, 5)
+	x = b.GlobalPool("gpool", x, AvgPool)
+	x = b.Flatten("flat", x)
+	x = b.FullyConnected("fc", x, 10)
+	b.Softmax("prob", x)
+	roundTrip(t, b.MustBuild())
+}
+
+func TestSerializeBranches(t *testing.T) {
+	b := NewBuilder("branchy", tensor.Shape{N: 1, C: 8, H: 14, W: 14})
+	x := b.Conv("stem", b.Input(), 16, 3, 1, 1)
+	l := b.Conv("l", x, 8, 1, 1, 0)
+	r := b.Conv("r", x, 8, 1, 1, 0)
+	cat := b.Concat("cat", l, r)
+	sc := b.Conv("proj", x, 16, 1, 1, 0)
+	add := b.EltwiseAdd("add", cat, sc)
+	b.ReLU("out", add)
+	roundTrip(t, b.MustBuild())
+}
+
+func TestSerializePreservesGeometry(t *testing.T) {
+	b := NewBuilder("geom", tensor.Shape{N: 1, C: 3, H: 27, W: 31})
+	b.Conv2D("asym", b.Input(), ConvParams{
+		OutChannels: 5,
+		KernelH:     3, KernelW: 5,
+		StrideH: 2, StrideW: 1,
+		PadH: 1, PadW: 2,
+	})
+	back := roundTrip(t, b.MustBuild())
+	l := back.Layers[back.LayerIndex("asym")]
+	if l.Conv.KernelW != 5 || l.Conv.StrideH != 2 || l.Conv.PadW != 2 {
+		t.Errorf("geometry lost: %+v", l.Conv)
+	}
+}
+
+func TestParseJSONErrors(t *testing.T) {
+	cases := map[string]string{
+		"garbage":      `{`,
+		"unknown kind": `{"name":"x","input":{"N":1,"C":1,"H":4,"W":4},"layers":[{"name":"l","kind":"Conv9D","inputs":[0]}]}`,
+		"no inputs":    `{"name":"x","input":{"N":1,"C":1,"H":4,"W":4},"layers":[{"name":"l","kind":"ReLU"}]}`,
+		"bad shape":    `{"name":"x","input":{"N":1,"C":1,"H":2,"W":2},"layers":[{"name":"l","kind":"Conv","inputs":[0],"out_channels":4,"kernel_h":5,"kernel_w":5,"stride_h":1,"stride_w":1}]}`,
+		"bad pool":     `{"name":"x","input":{"N":1,"C":1,"H":4,"W":4},"layers":[{"name":"l","kind":"Pool","inputs":[0],"pool":"median","kernel_h":2,"kernel_w":2,"stride_h":2,"stride_w":2}]}`,
+	}
+	for name, data := range cases {
+		if _, err := ParseJSON([]byte(data)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestSerializedFormReadable(t *testing.T) {
+	b := NewBuilder("tiny", tensor.Shape{N: 1, C: 1, H: 4, W: 4})
+	b.Conv("c", b.Input(), 2, 3, 1, 1)
+	data, err := json.Marshal(b.MustBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"name":"tiny"`, `"kind":"Conv"`, `"out_channels":2`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("serialized form missing %s in %s", want, data)
+		}
+	}
+}
+
+func TestSerializeGroups(t *testing.T) {
+	b := NewBuilder("grp", tensor.Shape{N: 1, C: 8, H: 8, W: 8})
+	b.Conv2D("g2", b.Input(), ConvParams{
+		OutChannels: 8, KernelH: 3, KernelW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1, Groups: 2,
+	})
+	back := roundTrip(t, b.MustBuild())
+	if back.Layers[back.LayerIndex("g2")].Conv.Groups != 2 {
+		t.Error("groups lost in serialization round trip")
+	}
+}
+
+func TestToDot(t *testing.T) {
+	b := NewBuilder("dotnet", tensor.Shape{N: 1, C: 4, H: 8, W: 8})
+	x := b.Conv("stem", b.Input(), 8, 3, 1, 1)
+	l := b.ReLU("l", x)
+	r := b.ReLU("r", x)
+	b.Concat("cat", l, r)
+	net := b.MustBuild()
+
+	dot := net.ToDot(nil)
+	for _, want := range []string{`digraph "dotnet"`, "stem", "shape=diamond", "n0 -> n1", "}"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("dot missing %q", want)
+		}
+	}
+	// Edge count: input->stem, stem->l, stem->r, l->cat, r->cat.
+	if got := strings.Count(dot, "->"); got != 5 {
+		t.Errorf("dot has %d edges, want 5", got)
+	}
+	// Annotations appear on the requested nodes.
+	annotated := net.ToDot(func(i int) string {
+		if net.Layers[i].Name == "stem" {
+			return "cudnn-conv 1.2ms"
+		}
+		return ""
+	})
+	if !strings.Contains(annotated, "cudnn-conv 1.2ms") {
+		t.Error("annotation missing")
+	}
+	// Stable output.
+	if net.ToDot(nil) != dot {
+		t.Error("dot output should be deterministic")
+	}
+}

@@ -1,0 +1,115 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// convOutDim computes one spatial output dimension of a convolution or
+// pooling window: floor((in + 2*pad - kernel)/stride) + 1.
+func convOutDim(in, kernel, stride, pad int) int {
+	return (in+2*pad-kernel)/stride + 1
+}
+
+// inferShapes fills InShape/OutShape for every layer, walking the
+// topological order. It returns an error for geometry that does not
+// fit (e.g. kernel larger than padded input, mismatched eltwise inputs).
+func inferShapes(n *Network) error {
+	for i, l := range n.Layers {
+		if l.Kind == OpInput {
+			if !n.InputShape.Valid() {
+				return fmt.Errorf("nn: invalid input shape %v", n.InputShape)
+			}
+			l.InShape, l.OutShape = n.InputShape, n.InputShape
+			continue
+		}
+		in := n.Layers[l.Inputs[0]].OutShape
+		l.InShape = in
+		switch l.Kind {
+		case OpConv:
+			p := l.Conv
+			if p.OutChannels <= 0 || p.KernelH <= 0 || p.KernelW <= 0 || p.StrideH <= 0 || p.StrideW <= 0 {
+				return fmt.Errorf("nn: conv %q has invalid params %+v", l.Name, p)
+			}
+			if g := p.GroupCount(); in.C%g != 0 || p.OutChannels%g != 0 {
+				return fmt.Errorf("nn: conv %q groups %d do not divide channels %d->%d",
+					l.Name, g, in.C, p.OutChannels)
+			}
+			oh := convOutDim(in.H, p.KernelH, p.StrideH, p.PadH)
+			ow := convOutDim(in.W, p.KernelW, p.StrideW, p.PadW)
+			if oh <= 0 || ow <= 0 {
+				return fmt.Errorf("nn: conv %q output %dx%d not positive (in %v, params %+v)", l.Name, oh, ow, in, p)
+			}
+			l.OutShape = tensor.Shape{N: in.N, C: p.OutChannels, H: oh, W: ow}
+		case OpDepthwiseConv:
+			p := l.Conv
+			if p.KernelH <= 0 || p.KernelW <= 0 || p.StrideH <= 0 || p.StrideW <= 0 {
+				return fmt.Errorf("nn: depthwise conv %q has invalid params %+v", l.Name, p)
+			}
+			oh := convOutDim(in.H, p.KernelH, p.StrideH, p.PadH)
+			ow := convOutDim(in.W, p.KernelW, p.StrideW, p.PadW)
+			if oh <= 0 || ow <= 0 {
+				return fmt.Errorf("nn: depthwise conv %q output %dx%d not positive", l.Name, oh, ow)
+			}
+			l.Conv.OutChannels = in.C
+			l.OutShape = tensor.Shape{N: in.N, C: in.C, H: oh, W: ow}
+		case OpFullyConnected:
+			if l.OutUnits <= 0 {
+				return fmt.Errorf("nn: fc %q has non-positive OutUnits %d", l.Name, l.OutUnits)
+			}
+			l.OutShape = tensor.Shape{N: in.N, C: l.OutUnits, H: 1, W: 1}
+		case OpPool:
+			if l.GlobalPool {
+				l.Conv.KernelH, l.Conv.KernelW = in.H, in.W
+				l.Conv.StrideH, l.Conv.StrideW = in.H, in.W
+				l.Conv.PadH, l.Conv.PadW = 0, 0
+				l.OutShape = tensor.Shape{N: in.N, C: in.C, H: 1, W: 1}
+				break
+			}
+			p := l.Conv
+			if p.KernelH <= 0 || p.KernelW <= 0 || p.StrideH <= 0 || p.StrideW <= 0 {
+				return fmt.Errorf("nn: pool %q has invalid params %+v", l.Name, p)
+			}
+			oh := convOutDim(in.H, p.KernelH, p.StrideH, p.PadH)
+			ow := convOutDim(in.W, p.KernelW, p.StrideW, p.PadW)
+			if oh <= 0 || ow <= 0 {
+				return fmt.Errorf("nn: pool %q output %dx%d not positive", l.Name, oh, ow)
+			}
+			l.OutShape = tensor.Shape{N: in.N, C: in.C, H: oh, W: ow}
+		case OpReLU, OpBatchNorm, OpSoftmax, OpDropout:
+			l.OutShape = in
+		case OpLRN:
+			if l.LRNSize <= 0 {
+				return fmt.Errorf("nn: lrn %q has non-positive size", l.Name)
+			}
+			l.OutShape = in
+		case OpConcat:
+			c := 0
+			for _, idx := range l.Inputs {
+				s := n.Layers[idx].OutShape
+				if s.N != in.N || s.H != in.H || s.W != in.W {
+					return fmt.Errorf("nn: concat %q input %q shape %v incompatible with %v",
+						l.Name, n.Layers[idx].Name, s, in)
+				}
+				c += s.C
+			}
+			l.OutShape = tensor.Shape{N: in.N, C: c, H: in.H, W: in.W}
+		case OpEltwiseAdd:
+			if len(l.Inputs) != 2 {
+				return fmt.Errorf("nn: eltwise %q needs exactly 2 inputs", l.Name)
+			}
+			s1 := n.Layers[l.Inputs[1]].OutShape
+			if !in.Equal(s1) {
+				return fmt.Errorf("nn: eltwise %q inputs %v vs %v differ", l.Name, in, s1)
+			}
+			l.OutShape = in
+		case OpFlatten:
+			l.OutShape = tensor.Shape{N: in.N, C: in.C * in.H * in.W, H: 1, W: 1}
+		default:
+			return fmt.Errorf("nn: layer %q has unknown kind %v", l.Name, l.Kind)
+		}
+		_ = i
+	}
+	return nil
+}

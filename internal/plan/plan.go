@@ -1,0 +1,275 @@
+// Package plan turns a search result into a deployment artifact — the
+// role of the paper's inference engine optimizer, which "produces
+// efficient and tunable code" for the target. A Plan is the explicit,
+// serializable step sequence a runtime would execute: one compute step
+// per layer with its chosen primitive, plus the compatibility steps
+// (layout conversions, processor transfers) the selection implies, and
+// the final host-return step. Plans validate against the look-up
+// table: the sum of planned step times equals the LUT's TotalTime for
+// the assignment, and the engine can execute CPU-only plans for real.
+package plan
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/lut"
+	"repro/internal/nn"
+	"repro/internal/primitives"
+)
+
+// StepKind classifies a plan step.
+type StepKind uint8
+
+const (
+	// Compute executes one layer with its chosen primitive.
+	Compute StepKind = iota
+	// Compat runs a compatibility layer before a compute step: a
+	// layout conversion, a processor transfer, or both.
+	Compat
+	// Return delivers the output back to the host (CPU, NCHW).
+	Return
+)
+
+// String returns the step-kind name.
+func (k StepKind) String() string {
+	switch k {
+	case Compute:
+		return "compute"
+	case Compat:
+		return "compat"
+	case Return:
+		return "return"
+	}
+	return fmt.Sprintf("StepKind(%d)", uint8(k))
+}
+
+// Step is one entry of the deployment sequence.
+type Step struct {
+	// Kind classifies the step.
+	Kind StepKind `json:"kind"`
+	// Layer is the consumer layer index (the produced layer for
+	// Compute, the destination for Compat, the output for Return).
+	Layer int `json:"layer"`
+	// LayerName is the consumer layer's name.
+	LayerName string `json:"layer_name"`
+	// From is the producer layer index for Compat steps (-1 else).
+	From int `json:"from,omitempty"`
+	// Primitive is the executing primitive for Compute steps.
+	Primitive string `json:"primitive,omitempty"`
+	// Proc is where the step runs (destination processor for Compat).
+	Proc string `json:"proc"`
+	// Transfer marks Compat steps that cross processors.
+	Transfer bool `json:"transfer,omitempty"`
+	// Convert marks Compat steps that change layout.
+	Convert bool `json:"convert,omitempty"`
+	// Bytes is the activation size a Compat/Return step moves.
+	Bytes int64 `json:"bytes,omitempty"`
+	// Seconds is the planned duration from the look-up table.
+	Seconds float64 `json:"seconds"`
+}
+
+// Plan is the full deployment sequence for one assignment.
+type Plan struct {
+	// Network is the architecture name.
+	Network string `json:"network"`
+	// Mode is the processor mode the plan was searched under.
+	Mode string `json:"mode"`
+	// Steps is the ordered execution sequence.
+	Steps []Step `json:"steps"`
+	// TotalSeconds is the planned end-to-end latency; it equals the
+	// look-up table's TotalTime for the assignment.
+	TotalSeconds float64 `json:"total_seconds"`
+}
+
+// Build constructs the plan for an assignment over a profiled table.
+func Build(net *nn.Network, tab *lut.Table, assignment []primitives.ID) (*Plan, error) {
+	if net.Name != tab.Network {
+		return nil, fmt.Errorf("plan: table is for %q, network is %q", tab.Network, net.Name)
+	}
+	if len(assignment) != net.Len() {
+		return nil, fmt.Errorf("plan: assignment has %d entries, want %d", len(assignment), net.Len())
+	}
+	p := &Plan{Network: net.Name, Mode: tab.Mode.String()}
+
+	// Incoming edges per consumer, in edge order.
+	incoming := make(map[int][]lut.Edge)
+	for _, e := range tab.Edges() {
+		incoming[e.To] = append(incoming[e.To], e)
+	}
+
+	for i := 1; i < net.Len(); i++ {
+		l := net.Layers[i]
+		prim := primitives.ByID(assignment[i])
+		// Compatibility steps for every incompatible incoming edge.
+		for _, e := range incoming[i] {
+			fromPrim := primitives.ByID(assignment[e.From])
+			pen := tab.Penalty(e.From, e.To, fromPrim.Idx, prim.Idx)
+			if math.IsInf(pen, 1) {
+				return nil, fmt.Errorf("plan: edge %d->%d has no profiled penalty for (%s, %s)",
+					e.From, e.To, fromPrim.Name, prim.Name)
+			}
+			transfer := fromPrim.Proc != prim.Proc
+			convert := fromPrim.Layout != prim.Layout
+			if !transfer && !convert {
+				continue
+			}
+			p.Steps = append(p.Steps, Step{
+				Kind: Compat, Layer: i, LayerName: l.Name, From: e.From,
+				Proc: prim.Proc.String(), Transfer: transfer, Convert: convert,
+				Bytes:   int64(net.Layers[e.From].OutShape.Bytes()),
+				Seconds: pen,
+			})
+		}
+		t := tab.Time(i, prim.Idx)
+		if math.IsInf(t, 1) {
+			return nil, fmt.Errorf("plan: layer %s has no profiled time for %s", l.Name, prim.Name)
+		}
+		p.Steps = append(p.Steps, Step{
+			Kind: Compute, Layer: i, LayerName: l.Name, From: -1,
+			Primitive: prim.Name, Proc: prim.Proc.String(),
+			Seconds: t,
+		})
+	}
+
+	out := tab.OutputLayer()
+	outPrim := primitives.ByID(assignment[out])
+	retPen := tab.OutputPenalty(outPrim.Idx)
+	if math.IsInf(retPen, 1) {
+		return nil, fmt.Errorf("plan: output layer has no profiled return penalty for %s", outPrim.Name)
+	}
+	p.Steps = append(p.Steps, Step{
+		Kind: Return, Layer: out, LayerName: net.Layers[out].Name, From: -1,
+		Proc:     primitives.CPU.String(),
+		Transfer: outPrim.Proc != primitives.CPU,
+		Convert:  outPrim.Layout != primitives.PVanilla.Layout,
+		Bytes:    int64(net.Layers[out].OutShape.Bytes()),
+		Seconds:  retPen,
+	})
+
+	for _, s := range p.Steps {
+		p.TotalSeconds += s.Seconds
+	}
+	return p, nil
+}
+
+// Validate checks the plan's accounting against the table: the summed
+// step durations must equal TotalTime(assignment) exactly.
+func (p *Plan) Validate(tab *lut.Table, assignment []primitives.ID) error {
+	want := tab.TotalTime(assignment)
+	if math.Abs(p.TotalSeconds-want) > 1e-9*math.Max(1, want) {
+		return fmt.Errorf("plan: steps sum to %g, table says %g", p.TotalSeconds, want)
+	}
+	return nil
+}
+
+// Transfers counts the processor crossings the plan performs
+// (including the final host return if it crosses).
+func (p *Plan) Transfers() int {
+	n := 0
+	for _, s := range p.Steps {
+		if s.Transfer {
+			n++
+		}
+	}
+	return n
+}
+
+// Conversions counts the layout conversions.
+func (p *Plan) Conversions() int {
+	n := 0
+	for _, s := range p.Steps {
+		if s.Convert {
+			n++
+		}
+	}
+	return n
+}
+
+// MarshalJSON uses the plain struct encoding (method present for
+// symmetry and stability of the public surface).
+func (p *Plan) MarshalJSON() ([]byte, error) {
+	type alias Plan
+	return json.Marshal((*alias)(p))
+}
+
+// Load parses a serialized plan.
+func Load(data []byte) (*Plan, error) {
+	var p Plan
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("plan: %w", err)
+	}
+	return &p, nil
+}
+
+// Render emits a human-readable deployment listing — the "tunable
+// code" view of the plan.
+func (p *Plan) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "// deployment plan: %s (%s mode), %d steps, %.3f ms\n",
+		p.Network, p.Mode, len(p.Steps), p.TotalSeconds*1e3)
+	for i, s := range p.Steps {
+		switch s.Kind {
+		case Compute:
+			fmt.Fprintf(&b, "%3d: [%s] %-28s %-22s %9.4f ms\n",
+				i, s.Proc, s.LayerName, s.Primitive, s.Seconds*1e3)
+		case Compat:
+			what := make([]string, 0, 2)
+			if s.Transfer {
+				what = append(what, "transfer")
+			}
+			if s.Convert {
+				what = append(what, "convert")
+			}
+			fmt.Fprintf(&b, "%3d: [%s] %-28s %-22s %9.4f ms (%d bytes)\n",
+				i, s.Proc, "-> "+s.LayerName, strings.Join(what, "+"), s.Seconds*1e3, s.Bytes)
+		case Return:
+			fmt.Fprintf(&b, "%3d: [CPU] %-28s %-22s %9.4f ms\n",
+				i, "return "+s.LayerName, "to host", s.Seconds*1e3)
+		}
+	}
+	return b.String()
+}
+
+// TraceEvent is one entry of the Chrome-trace (catapult) timeline.
+type TraceEvent struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`  // microseconds
+	Dur  float64 `json:"dur"` // microseconds
+	PID  int     `json:"pid"`
+	TID  string  `json:"tid"`
+}
+
+// ChromeTrace renders the plan as a chrome://tracing-compatible JSON
+// timeline with one track per processor (plus one for the
+// interconnect), replaying the sequential execution.
+func (p *Plan) ChromeTrace() ([]byte, error) {
+	events := make([]TraceEvent, 0, len(p.Steps))
+	t := 0.0
+	for _, s := range p.Steps {
+		tid := s.Proc
+		name := s.LayerName
+		switch s.Kind {
+		case Compute:
+			name = s.LayerName + " (" + s.Primitive + ")"
+		case Compat:
+			if s.Transfer {
+				tid = "interconnect"
+			}
+			name = "compat -> " + s.LayerName
+		case Return:
+			tid = "interconnect"
+			name = "return to host"
+		}
+		events = append(events, TraceEvent{
+			Name: name, Ph: "X",
+			Ts: t * 1e6, Dur: s.Seconds * 1e6,
+			PID: 1, TID: tid,
+		})
+		t += s.Seconds
+	}
+	return json.Marshal(events)
+}

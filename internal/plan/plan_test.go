@@ -1,0 +1,164 @@
+package plan
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/lut"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/platform"
+	"repro/internal/primitives"
+	"repro/internal/profile"
+)
+
+func searched(t *testing.T, name string, mode primitives.Mode) (*nn.Network, *lut.Table, []primitives.ID) {
+	t.Helper()
+	net := models.MustBuild(name)
+	pl := platform.JetsonTX2Like()
+	tab, err := profile.Run(net, profile.NewSimSource(net, pl), profile.Options{Mode: mode, Samples: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := core.Search(tab, core.Config{Episodes: 500, Seed: 1})
+	return net, tab, res.Assignment
+}
+
+func TestBuildAccountsForEverything(t *testing.T) {
+	for _, name := range []string{"lenet5", "mobilenet-v1", "squeezenet"} {
+		net, tab, assignment := searched(t, name, primitives.ModeGPGPU)
+		p, err := Build(net, tab, assignment)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := p.Validate(tab, assignment); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		// One compute step per searchable layer plus one return step.
+		computes := 0
+		for _, s := range p.Steps {
+			if s.Kind == Compute {
+				computes++
+			}
+		}
+		if computes != net.Len()-1 {
+			t.Errorf("%s: %d compute steps, want %d", name, computes, net.Len()-1)
+		}
+		if p.Steps[len(p.Steps)-1].Kind != Return {
+			t.Errorf("%s: last step is %v, want return", name, p.Steps[len(p.Steps)-1].Kind)
+		}
+	}
+}
+
+func TestTransfersMatchProcessorHops(t *testing.T) {
+	net, tab, assignment := searched(t, "mobilenet-v1", primitives.ModeGPGPU)
+	p, err := Build(net, tab, assignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count hops directly from the assignment (chain network: each
+	// consecutive processor change is one transfer), plus the return
+	// transfer if the last layer is on the GPU.
+	hops := 0
+	for i := 2; i < len(assignment); i++ {
+		if primitives.ByID(assignment[i]).Proc != primitives.ByID(assignment[i-1]).Proc {
+			hops++
+		}
+	}
+	// Edge from input pseudo-layer (CPU).
+	if primitives.ByID(assignment[1]).Proc != primitives.CPU {
+		hops++
+	}
+	if primitives.ByID(assignment[len(assignment)-1]).Proc != primitives.CPU {
+		hops++
+	}
+	if got := p.Transfers(); got != hops {
+		t.Errorf("plan transfers = %d, assignment hops = %d", got, hops)
+	}
+}
+
+func TestPureCPUPlanHasNoTransfers(t *testing.T) {
+	net, tab, assignment := searched(t, "lenet5", primitives.ModeCPU)
+	p, err := Build(net, tab, assignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Transfers() != 0 {
+		t.Errorf("CPU-mode plan has %d transfers", p.Transfers())
+	}
+}
+
+func TestRenderAndTrace(t *testing.T) {
+	net, tab, assignment := searched(t, "lenet5", primitives.ModeGPGPU)
+	p, err := Build(net, tab, assignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := p.Render()
+	for _, want := range []string{"deployment plan: lenet5", "conv1", "return"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("rendered plan missing %q", want)
+		}
+	}
+	trace, err := p.ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []TraceEvent
+	if err := json.Unmarshal(trace, &events); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(events) != len(p.Steps) {
+		t.Errorf("trace has %d events, plan has %d steps", len(events), len(p.Steps))
+	}
+	// Events are sequential and non-overlapping.
+	for i := 1; i < len(events); i++ {
+		if events[i].Ts < events[i-1].Ts+events[i-1].Dur-1e-6 {
+			t.Fatalf("event %d overlaps its predecessor", i)
+		}
+	}
+}
+
+func TestPlanJSONRoundTrip(t *testing.T) {
+	net, tab, assignment := searched(t, "lenet5", primitives.ModeGPGPU)
+	p, err := Build(net, tab, assignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.TotalSeconds != p.TotalSeconds || len(back.Steps) != len(p.Steps) {
+		t.Error("plan changed through JSON round trip")
+	}
+	if _, err := Load([]byte("{")); err == nil {
+		t.Error("garbage plan JSON should fail")
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	netA, tabA, assignment := searched(t, "lenet5", primitives.ModeCPU)
+	netB := models.MustBuild("alexnet")
+	if _, err := Build(netB, tabA, assignment); err == nil {
+		t.Error("network/table mismatch should error")
+	}
+	if _, err := Build(netA, tabA, assignment[:2]); err == nil {
+		t.Error("short assignment should error")
+	}
+}
+
+func TestStepKindString(t *testing.T) {
+	if Compute.String() != "compute" || Compat.String() != "compat" || Return.String() != "return" {
+		t.Error("step kind names")
+	}
+	if !strings.Contains(StepKind(9).String(), "9") {
+		t.Error("unknown step kind")
+	}
+}

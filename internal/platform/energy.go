@@ -1,0 +1,79 @@
+package platform
+
+import (
+	"repro/internal/nn"
+	"repro/internal/primitives"
+)
+
+// Energy model — the paper's §VII names "multi-objective search ... for
+// problems related to inference of DNNs on constrained environments"
+// as future work; this file provides the second objective. Energy is
+// modeled as active power × time per step, with distinct power draws
+// for the CPU core, the GPU and the interconnect. The GPU finishes
+// compute-heavy layers sooner but burns several times the power, so
+// latency-optimal and energy-optimal mappings genuinely differ, which
+// is what makes the multi-objective search non-trivial.
+
+// PowerSpec holds the active power draws in watts.
+type PowerSpec struct {
+	// CPUWatts is the single-core active power.
+	CPUWatts float64
+	// GPUWatts is the GPU active power under load.
+	GPUWatts float64
+	// TransferWatts is drawn while the interconnect moves data.
+	TransferWatts float64
+}
+
+// DefaultPower returns TX2-class draws: a single A57 core ~1.5 W, the
+// Pascal GPU ~9 W under load, the memory system ~2.5 W during copies.
+func DefaultPower() PowerSpec {
+	return PowerSpec{CPUWatts: 1.5, GPUWatts: 9, TransferWatts: 2.5}
+}
+
+// Power returns the platform's power spec (the default unless the
+// platform overrides it).
+func (pl *Platform) Power() PowerSpec {
+	if pl.PowerSpec != (PowerSpec{}) {
+		return pl.PowerSpec
+	}
+	return DefaultPower()
+}
+
+// LayerEnergy returns the modeled energy, in joules, of executing
+// layer l with primitive p: the layer's latency times the executing
+// processor's active power.
+func (pl *Platform) LayerEnergy(l *nn.Layer, p *primitives.Primitive) float64 {
+	t := pl.LayerLatency(l, p)
+	pw := pl.Power()
+	if p.Proc == primitives.GPU {
+		return t * pw.GPUWatts
+	}
+	return t * pw.CPUWatts
+}
+
+// SampleEnergy returns one noisy energy measurement (same jitter model
+// as Sample).
+func (pl *Platform) SampleEnergy(l *nn.Layer, p *primitives.Primitive, sample int) float64 {
+	t := pl.Sample(l, p, sample)
+	pw := pl.Power()
+	if p.Proc == primitives.GPU {
+		return t * pw.GPUWatts
+	}
+	return t * pw.CPUWatts
+}
+
+// ConversionEnergy returns the joules of a layout conversion on the
+// given processor.
+func (pl *Platform) ConversionEnergy(bytes int64, proc primitives.Processor) float64 {
+	t := pl.ConversionLatency(bytes, proc)
+	pw := pl.Power()
+	if proc == primitives.GPU {
+		return t * pw.GPUWatts
+	}
+	return t * pw.CPUWatts
+}
+
+// TransferEnergy returns the joules of one CPU<->GPU copy.
+func (pl *Platform) TransferEnergy(bytes int64) float64 {
+	return pl.TransferLatency(bytes) * pl.Power().TransferWatts
+}

@@ -1,0 +1,72 @@
+package platform
+
+// Additional board presets — the paper's §VII aims to "extend this
+// work to other heterogeneous target platforms". Each preset keeps the
+// same cost-model structure and only changes the hardware parameters,
+// so the identical search runs unchanged; the found mappings differ
+// because the trade-offs (GPU speed vs transfer cost vs CPU strength)
+// differ.
+
+// JetsonTX1Like returns a previous-generation board: a Maxwell-class
+// GPU with half the sustained throughput and a slower interconnect.
+func JetsonTX1Like() *Platform {
+	p := JetsonTX2Like()
+	p.Name = "tx1-like"
+	p.GPUPeakGFLOPS = 130
+	p.GPUMemGBps = 18
+	p.TransferGBps = 2.5
+	p.TransferFixedSec = 150e-6
+	p.PowerSpec = PowerSpec{CPUWatts: 1.8, GPUWatts: 10, TransferWatts: 2.5}
+	return p
+}
+
+// NanoLike returns an entry-level board: a 128-core GPU, a weaker CPU
+// and tight memory bandwidth.
+func NanoLike() *Platform {
+	p := JetsonTX2Like()
+	p.Name = "nano-like"
+	p.CPUPeakGFLOPS = 5
+	p.CPUMemGBps = 6
+	p.GPUPeakGFLOPS = 110
+	p.GPUMemGBps = 12
+	p.TransferGBps = 2
+	p.PowerSpec = PowerSpec{CPUWatts: 1.2, GPUWatts: 5, TransferWatts: 1.5}
+	return p
+}
+
+// XavierLike returns a high-end board: a much faster GPU, a stronger
+// CPU and a fast coherent interconnect — here the search offloads far
+// more aggressively because transfers are cheap.
+func XavierLike() *Platform {
+	p := JetsonTX2Like()
+	p.Name = "xavier-like"
+	p.CPUPeakGFLOPS = 16
+	p.CPUMemGBps = 20
+	p.GPUPeakGFLOPS = 1000
+	p.GPUMemGBps = 100
+	p.TransferGBps = 20
+	p.TransferFixedSec = 25e-6
+	p.GPULaunchSec = 20e-6
+	p.GPUComputeRampFLOPs = 150e6
+	p.PowerSpec = PowerSpec{CPUWatts: 3, GPUWatts: 20, TransferWatts: 4}
+	return p
+}
+
+// Presets returns every built-in board by name.
+func Presets() map[string]func() *Platform {
+	return map[string]func() *Platform{
+		"tx2-like":    JetsonTX2Like,
+		"tx1-like":    JetsonTX1Like,
+		"nano-like":   NanoLike,
+		"xavier-like": XavierLike,
+		"cpu-only":    CPUOnlyBoard,
+	}
+}
+
+// Preset builds the named board, reporting whether the name exists.
+func Preset(name string) (*Platform, bool) {
+	if f, ok := Presets()[name]; ok {
+		return f(), true
+	}
+	return nil, false
+}

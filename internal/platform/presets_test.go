@@ -1,0 +1,66 @@
+package platform
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/primitives"
+	"repro/internal/tensor"
+)
+
+func TestPresetsRegistry(t *testing.T) {
+	names := []string{"tx2-like", "tx1-like", "nano-like", "xavier-like", "cpu-only"}
+	if len(Presets()) != len(names) {
+		t.Errorf("preset count = %d", len(Presets()))
+	}
+	for _, name := range names {
+		p, ok := Preset(name)
+		if !ok {
+			t.Errorf("preset %q missing", name)
+			continue
+		}
+		if p.Name != name {
+			t.Errorf("preset %q has Name %q", name, p.Name)
+		}
+	}
+	if _, ok := Preset("nope"); ok {
+		t.Error("unknown preset should miss")
+	}
+}
+
+func TestPresetOrdering(t *testing.T) {
+	// A big conv should get faster with each GPU generation.
+	b := nn.NewBuilder("p", tensor.Shape{N: 1, C: 128, H: 56, W: 56})
+	b.Conv("c", b.Input(), 128, 3, 1, 1)
+	net := b.MustBuild()
+	conv := net.Layers[1]
+	cudnn, _ := primitives.ByName("cudnn-conv")
+
+	tx1 := JetsonTX1Like().LayerLatency(conv, cudnn)
+	tx2 := JetsonTX2Like().LayerLatency(conv, cudnn)
+	xavier := XavierLike().LayerLatency(conv, cudnn)
+	if !(xavier < tx2 && tx2 < tx1) {
+		t.Errorf("GPU generations out of order: xavier %v, tx2 %v, tx1 %v", xavier, tx2, tx1)
+	}
+	// Transfers get cheaper too.
+	if XavierLike().TransferLatency(1<<20) >= JetsonTX1Like().TransferLatency(1<<20) {
+		t.Error("xavier transfers should be cheaper than tx1")
+	}
+}
+
+func TestPresetEnergyDiffers(t *testing.T) {
+	b := nn.NewBuilder("p", tensor.Shape{N: 1, C: 32, H: 28, W: 28})
+	b.Conv("c", b.Input(), 32, 3, 1, 1)
+	net := b.MustBuild()
+	conv := net.Layers[1]
+	cudnn, _ := primitives.ByName("cudnn-conv")
+	e1 := NanoLike().LayerEnergy(conv, cudnn)
+	e2 := XavierLike().LayerEnergy(conv, cudnn)
+	if math.IsInf(e1, 0) || math.IsInf(e2, 0) || e1 <= 0 || e2 <= 0 {
+		t.Fatalf("energies: %v %v", e1, e2)
+	}
+	if NanoLike().Power().GPUWatts >= XavierLike().Power().GPUWatts {
+		t.Error("nano should draw less GPU power than xavier")
+	}
+}

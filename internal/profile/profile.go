@@ -1,0 +1,210 @@
+// Package profile implements the paper's inference phase (§V-A): the
+// protocol that turns a latency source (the platform simulator or the
+// real engine) into the look-up table the search consumes.
+//
+// The protocol follows the paper exactly:
+//
+//  1. Vanilla is the base implementation. For each primitive type, the
+//     controller substitutes it into every layer the primitive can
+//     implement (Vanilla everywhere else) and "infers" the whole
+//     network once per sample image, recording each layer's time; the
+//     per-layer mean over the samples is stored. The network is thus
+//     inferred only as many times as there are global implementations.
+//  2. A single extra pass profiles every possible compatibility layer
+//     (layout conversion / processor copy) between each pair of
+//     consecutive layers, branches included, plus the output-return
+//     cost.
+package profile
+
+import (
+	"fmt"
+
+	"repro/internal/compat"
+	"repro/internal/lut"
+	"repro/internal/nn"
+	"repro/internal/platform"
+	"repro/internal/primitives"
+)
+
+// Source supplies raw measurements: one per-layer latency sample under
+// a given primitive, and the compatibility costs. The platform
+// simulator and the real engine both implement it.
+type Source interface {
+	// Sample returns one latency observation (seconds) of running
+	// layer i of the network with primitive p; sample indexes the
+	// input image for reproducibility.
+	Sample(i int, p *primitives.Primitive, sample int) float64
+	// EdgePenalty returns the compatibility cost of feeding the
+	// producer layer's output, computed by fp, into a consumer using
+	// tp.
+	EdgePenalty(producer int, fp, tp *primitives.Primitive) float64
+	// OutputPenalty returns the cost of returning the output layer's
+	// result to the host when computed by p.
+	OutputPenalty(output int, p *primitives.Primitive) float64
+}
+
+// Options configures a profiling run.
+type Options struct {
+	// Mode selects the processor mode (CPU or GPGPU).
+	Mode primitives.Mode
+	// Samples is the number of images averaged per measurement; the
+	// paper uses 50.
+	Samples int
+}
+
+// DefaultOptions returns the paper's profiling settings.
+func DefaultOptions(mode primitives.Mode) Options {
+	return Options{Mode: mode, Samples: 50}
+}
+
+// Run executes the two-phase protocol and returns the populated table.
+func Run(net *nn.Network, src Source, opts Options) (*lut.Table, error) {
+	if opts.Samples <= 0 {
+		return nil, fmt.Errorf("profile: Samples must be positive, got %d", opts.Samples)
+	}
+	t := lut.New(net, opts.Mode)
+
+	// Phase 1a: one global implementation per primitive. A layer's
+	// time under primitive p is measured during the run where p is
+	// substituted in (layers p cannot implement run Vanilla and are
+	// measured during the Vanilla run).
+	for _, p := range primitives.Registry() {
+		if opts.Mode == primitives.ModeCPU && p.Proc == primitives.GPU {
+			continue
+		}
+		for i, l := range net.Layers {
+			if i == 0 {
+				continue
+			}
+			if !supports(l, p, opts.Mode) {
+				continue
+			}
+			var sum float64
+			for s := 0; s < opts.Samples; s++ {
+				sum += src.Sample(i, p, s)
+			}
+			t.SetTime(i, p.Idx, sum/float64(opts.Samples))
+		}
+	}
+
+	// Phase 1b: one pass over all compatibility layers — every edge,
+	// every primitive pair, plus the host-return penalty.
+	for _, ed := range t.Edges() {
+		for _, fp := range t.Candidates(ed.From) {
+			for _, tp := range t.Candidates(ed.To) {
+				pen := src.EdgePenalty(ed.From, primitives.ByID(fp), primitives.ByID(tp))
+				t.SetPenalty(ed.From, ed.To, fp, tp, pen)
+			}
+		}
+	}
+	out := t.OutputLayer()
+	for _, p := range t.Candidates(out) {
+		t.SetOutputPenalty(p, src.OutputPenalty(out, primitives.ByID(p)))
+	}
+	return t, nil
+}
+
+// supports reports whether p is a candidate for layer l under mode.
+func supports(l *nn.Layer, p *primitives.Primitive, mode primitives.Mode) bool {
+	for _, c := range primitives.Candidates(l, mode) {
+		if c == p {
+			return true
+		}
+	}
+	return false
+}
+
+// EnergySource supplies per-step energy measurements; sources that
+// implement it (the simulator does) enable the multi-objective search
+// of the paper's future-work section.
+type EnergySource interface {
+	Source
+	// SampleEnergy returns one energy observation (joules) of layer i
+	// under primitive p.
+	SampleEnergy(i int, p *primitives.Primitive, sample int) float64
+	// EdgeEnergyPenalty returns the joules of the edge's
+	// compatibility work.
+	EdgeEnergyPenalty(producer int, fp, tp *primitives.Primitive) float64
+	// OutputEnergyPenalty returns the joules of the host-return work.
+	OutputEnergyPenalty(output int, p *primitives.Primitive) float64
+}
+
+// RunWithEnergy executes the protocol measuring both objectives and
+// returns a latency table (seconds) and an energy table (joules) with
+// identical structure — lut.Table is objective-agnostic, so the same
+// machinery evaluates either.
+func RunWithEnergy(net *nn.Network, src EnergySource, opts Options) (timeTab, energyTab *lut.Table, err error) {
+	timeTab, err = Run(net, src, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	energyTab = lut.New(net, opts.Mode)
+	for i, l := range net.Layers {
+		if i == 0 {
+			continue
+		}
+		for _, p := range primitives.Candidates(l, opts.Mode) {
+			var sum float64
+			for s := 0; s < opts.Samples; s++ {
+				sum += src.SampleEnergy(i, p, s)
+			}
+			energyTab.SetTime(i, p.Idx, sum/float64(opts.Samples))
+		}
+	}
+	for _, ed := range energyTab.Edges() {
+		for _, fp := range energyTab.Candidates(ed.From) {
+			for _, tp := range energyTab.Candidates(ed.To) {
+				pen := src.EdgeEnergyPenalty(ed.From, primitives.ByID(fp), primitives.ByID(tp))
+				energyTab.SetPenalty(ed.From, ed.To, fp, tp, pen)
+			}
+		}
+	}
+	out := energyTab.OutputLayer()
+	for _, p := range energyTab.Candidates(out) {
+		energyTab.SetOutputPenalty(p, src.OutputEnergyPenalty(out, primitives.ByID(p)))
+	}
+	return timeTab, energyTab, nil
+}
+
+// SimSource adapts the platform cost model to the Source interface.
+type SimSource struct {
+	Net      *nn.Network
+	Platform *platform.Platform
+}
+
+// NewSimSource wires a network to a platform model.
+func NewSimSource(net *nn.Network, pl *platform.Platform) *SimSource {
+	return &SimSource{Net: net, Platform: pl}
+}
+
+// Sample returns one noisy simulated measurement.
+func (s *SimSource) Sample(i int, p *primitives.Primitive, sample int) float64 {
+	return s.Platform.Sample(s.Net.Layers[i], p, sample)
+}
+
+// EdgePenalty returns the simulated compatibility cost.
+func (s *SimSource) EdgePenalty(producer int, fp, tp *primitives.Primitive) float64 {
+	return compat.Penalty(s.Platform, s.Net.Layers[producer], fp, tp)
+}
+
+// OutputPenalty returns the simulated host-return cost.
+func (s *SimSource) OutputPenalty(output int, p *primitives.Primitive) float64 {
+	return compat.OutputPenalty(s.Platform, s.Net.Layers[output], p)
+}
+
+// SampleEnergy returns one noisy simulated energy measurement.
+func (s *SimSource) SampleEnergy(i int, p *primitives.Primitive, sample int) float64 {
+	return s.Platform.SampleEnergy(s.Net.Layers[i], p, sample)
+}
+
+// EdgeEnergyPenalty returns the simulated compatibility energy.
+func (s *SimSource) EdgeEnergyPenalty(producer int, fp, tp *primitives.Primitive) float64 {
+	return compat.EnergyPenalty(s.Platform, s.Net.Layers[producer], fp, tp)
+}
+
+// OutputEnergyPenalty returns the simulated host-return energy.
+func (s *SimSource) OutputEnergyPenalty(output int, p *primitives.Primitive) float64 {
+	return compat.OutputEnergyPenalty(s.Platform, s.Net.Layers[output], p)
+}
+
+var _ EnergySource = (*SimSource)(nil)

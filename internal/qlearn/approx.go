@@ -1,0 +1,60 @@
+package qlearn
+
+import "fmt"
+
+// Approx is a linear action-value approximator Q(s,a) ≈ w·φ(s,a),
+// the first step of the paper's future-work direction "Deep RL to
+// approximate the value function for better scalability towards
+// larger networks and more dimensions in the search space". Unlike
+// the tabular agent, values generalize across states that share
+// features (layer kind, library, processor, layout agreement), so far
+// fewer episodes are needed on very deep networks.
+type Approx struct {
+	dim int
+	w   []float64
+}
+
+// NewApprox allocates a zero-weight approximator over dim features.
+func NewApprox(dim int) *Approx {
+	if dim <= 0 {
+		panic(fmt.Sprintf("qlearn: invalid feature dimension %d", dim))
+	}
+	return &Approx{dim: dim, w: make([]float64, dim)}
+}
+
+// Dim returns the feature dimension.
+func (a *Approx) Dim() int { return a.dim }
+
+// Value returns w·phi. The feature vector must have the constructor's
+// dimension.
+func (a *Approx) Value(phi []float64) float64 {
+	if len(phi) != a.dim {
+		panic(fmt.Sprintf("qlearn: feature vector has %d entries, want %d", len(phi), a.dim))
+	}
+	var v float64
+	for i, x := range phi {
+		if x != 0 {
+			v += a.w[i] * x
+		}
+	}
+	return v
+}
+
+// Update applies one semi-gradient TD step toward target:
+// w ← w + α (target − w·φ) φ.
+func (a *Approx) Update(phi []float64, target, alpha float64) {
+	delta := alpha * (target - a.Value(phi))
+	for i, x := range phi {
+		if x != 0 {
+			a.w[i] += delta * x
+		}
+	}
+}
+
+// Weights exposes a copy of the learned weights (for inspection and
+// tests).
+func (a *Approx) Weights() []float64 {
+	out := make([]float64, a.dim)
+	copy(out, a.w)
+	return out
+}

@@ -1,0 +1,64 @@
+package qlearn
+
+import (
+	"math"
+	"testing"
+)
+
+func TestApproxValueIsDotProduct(t *testing.T) {
+	a := NewApprox(3)
+	a.Update([]float64{1, 0, 0}, 2, 1) // w[0] <- 2
+	if got := a.Value([]float64{1, 0, 0}); got != 2 {
+		t.Errorf("value = %v, want 2", got)
+	}
+	if got := a.Value([]float64{0.5, 0, 0}); got != 1 {
+		t.Errorf("scaled value = %v, want 1", got)
+	}
+	if a.Dim() != 3 {
+		t.Errorf("Dim = %d", a.Dim())
+	}
+}
+
+func TestApproxConvergesOnLinearTarget(t *testing.T) {
+	// Target function: q(phi) = 3*phi0 - 2*phi1. SGD on enough samples
+	// must recover the weights.
+	a := NewApprox(2)
+	samples := [][]float64{{1, 0}, {0, 1}, {1, 1}, {0.5, 0.25}, {0.2, 0.9}}
+	for iter := 0; iter < 4000; iter++ {
+		phi := samples[iter%len(samples)]
+		target := 3*phi[0] - 2*phi[1]
+		a.Update(phi, target, 0.05)
+	}
+	w := a.Weights()
+	if math.Abs(w[0]-3) > 0.01 || math.Abs(w[1]-(-2)) > 0.01 {
+		t.Errorf("weights = %v, want [3 -2]", w)
+	}
+}
+
+func TestApproxWeightsAreCopies(t *testing.T) {
+	a := NewApprox(2)
+	a.Update([]float64{1, 0}, 1, 1)
+	w := a.Weights()
+	w[0] = 99
+	if got := a.Value([]float64{1, 0}); got == 99 {
+		t.Error("Weights should return a copy")
+	}
+}
+
+func TestApproxDimensionChecks(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong feature dim should panic")
+		}
+	}()
+	NewApprox(2).Value([]float64{1})
+}
+
+func TestNewApproxRejectsBadDim(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero dim should panic")
+		}
+	}()
+	NewApprox(0)
+}

@@ -1,0 +1,89 @@
+package qlearn
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Checkpointing: the paper's search is fast enough to run to
+// completion, but a production autotuner interleaves profiling and
+// searching across sessions — so the agent's learned state (Q-table +
+// replay buffer) is serializable and restorable, resuming exactly
+// where it left off.
+
+// checkpointJSON is the on-disk form of an agent state.
+type checkpointJSON struct {
+	Steps   int            `json:"steps"`
+	Prims   int            `json:"prims"`
+	Q       []float64      `json:"q"`
+	Episode int            `json:"episode"`
+	Replay  [][]Transition `json:"replay,omitempty"`
+}
+
+// Checkpoint captures a search's learned state at a given episode.
+type Checkpoint struct {
+	// Table is the Q-table snapshot.
+	Table *Table
+	// Replay is the experience buffer snapshot (may be nil).
+	Replay *Replay
+	// Episode is the number of episodes already run.
+	Episode int
+}
+
+// Marshal serializes the checkpoint.
+func (c *Checkpoint) Marshal() ([]byte, error) {
+	out := checkpointJSON{
+		Steps:   c.Table.steps,
+		Prims:   c.Table.prims,
+		Q:       c.Table.q,
+		Episode: c.Episode,
+	}
+	if c.Replay != nil {
+		out.Replay = c.Replay.buf
+	}
+	return json.Marshal(out)
+}
+
+// LoadCheckpoint restores a checkpoint.
+func LoadCheckpoint(data []byte) (*Checkpoint, error) {
+	var in checkpointJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("qlearn: %w", err)
+	}
+	if in.Steps <= 0 || in.Prims <= 0 {
+		return nil, fmt.Errorf("qlearn: invalid checkpoint dims %dx%d", in.Steps, in.Prims)
+	}
+	if len(in.Q) != in.Steps*in.Prims*in.Prims {
+		return nil, fmt.Errorf("qlearn: checkpoint Q has %d entries, want %d",
+			len(in.Q), in.Steps*in.Prims*in.Prims)
+	}
+	t := NewTable(in.Steps, in.Prims)
+	copy(t.q, in.Q)
+	r := NewReplay(maxIntQ(len(in.Replay), 1))
+	for _, traj := range in.Replay {
+		r.Add(traj)
+	}
+	return &Checkpoint{Table: t, Replay: r, Episode: in.Episode}, nil
+}
+
+func maxIntQ(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Snapshot copies the current agent state into a Checkpoint (deep
+// copies, so further learning does not mutate the snapshot).
+func Snapshot(t *Table, r *Replay, episode int) *Checkpoint {
+	ct := NewTable(t.steps, t.prims)
+	copy(ct.q, t.q)
+	var cr *Replay
+	if r != nil {
+		cr = NewReplay(r.cap)
+		for _, traj := range r.buf {
+			cr.Add(traj)
+		}
+	}
+	return &Checkpoint{Table: ct, Replay: cr, Episode: episode}
+}

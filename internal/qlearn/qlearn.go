@@ -1,0 +1,227 @@
+// Package qlearn implements the tabular Q-learning machinery of §IV-B
+// and §V-B of the paper: the action-value table over (layer, primitive)
+// states, the Bellman update of eq. (2), the ε-greedy schedule (50 % of
+// episodes at full exploration, then 5 % at each ε from 0.9 downwards),
+// and the size-128 experience-replay buffer adopted from Baker et al.
+package qlearn
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Config holds the agent hyper-parameters. The paper sets the learning
+// rate to 0.05 and the discount factor to 0.9 "to give slightly more
+// importance to short-term rewards", with a replay buffer of 128.
+type Config struct {
+	// Alpha is the learning rate α of eq. (2).
+	Alpha float64
+	// Gamma is the discount factor γ.
+	Gamma float64
+	// ReplaySize is the experience-replay buffer capacity (episodes).
+	ReplaySize int
+}
+
+// PaperConfig returns the hyper-parameters used throughout the paper.
+func PaperConfig() Config {
+	return Config{Alpha: 0.05, Gamma: 0.9, ReplaySize: 128}
+}
+
+// Phase is one ε plateau of the exploration schedule.
+type Phase struct {
+	// Epsilon is the exploration probability during the phase.
+	Epsilon float64
+	// Episodes is the number of episodes the phase lasts.
+	Episodes int
+}
+
+// PaperSchedule builds the paper's schedule for the given episode
+// budget: 50 % of episodes at ε = 1 (full exploration), then ten equal
+// plateaus of 5 % each at ε = 0.9, 0.8, …, 0.1, 0 (Fig. 4: ε decreases
+// by 0.1 every 50 episodes of a 1000-episode run after episode 500).
+func PaperSchedule(total int) []Phase {
+	if total <= 0 {
+		return nil
+	}
+	full := total / 2
+	rest := total - full
+	phases := []Phase{{Epsilon: 1, Episodes: full}}
+	step := rest / 10
+	used := 0
+	for i := 0; i < 10; i++ {
+		n := step
+		if i == 9 {
+			n = rest - used // absorb rounding in the final plateau
+		}
+		if n <= 0 {
+			continue
+		}
+		phases = append(phases, Phase{Epsilon: 0.9 - 0.1*float64(i), Episodes: n})
+		used += n
+	}
+	return phases
+}
+
+// ScheduleEpisodes sums the episode counts of a schedule.
+func ScheduleEpisodes(phases []Phase) int {
+	n := 0
+	for _, ph := range phases {
+		n += ph.Episodes
+	}
+	return n
+}
+
+// EpsilonAt returns the ε in force at the given zero-based episode.
+func EpsilonAt(phases []Phase, episode int) float64 {
+	for _, ph := range phases {
+		if episode < ph.Episodes {
+			return ph.Epsilon
+		}
+		episode -= ph.Episodes
+	}
+	if len(phases) == 0 {
+		return 0
+	}
+	return phases[len(phases)-1].Epsilon
+}
+
+// Table is the action-value function Q(s, a) with states
+// s = (step, primitive-at-step) and actions a = primitive at the next
+// step, stored densely. Values start at zero.
+type Table struct {
+	steps, prims int
+	q            []float64
+}
+
+// NewTable allocates a Q-table for a walk of the given number of steps
+// over the given primitive-registry size.
+func NewTable(steps, prims int) *Table {
+	if steps <= 0 || prims <= 0 {
+		panic(fmt.Sprintf("qlearn: invalid table dims %dx%d", steps, prims))
+	}
+	return &Table{steps: steps, prims: prims, q: make([]float64, steps*prims*prims)}
+}
+
+// Steps returns the walk length the table covers.
+func (t *Table) Steps() int { return t.steps }
+
+func (t *Table) idx(step, prim, action int) int {
+	return (step*t.prims+prim)*t.prims + action
+}
+
+// Get returns Q((step, prim), action).
+func (t *Table) Get(step, prim, action int) float64 { return t.q[t.idx(step, prim, action)] }
+
+// Set assigns Q((step, prim), action).
+func (t *Table) Set(step, prim, action int, v float64) { t.q[t.idx(step, prim, action)] = v }
+
+// Best returns the action with the highest Q-value among the allowed
+// actions, breaking ties uniformly at random with rng (nil rng breaks
+// ties by first occurrence).
+func (t *Table) Best(step, prim int, allowed []int, rng *rand.Rand) int {
+	if len(allowed) == 0 {
+		panic("qlearn: Best with no allowed actions")
+	}
+	best := allowed[0]
+	bestV := t.Get(step, prim, best)
+	ties := 1
+	for _, a := range allowed[1:] {
+		v := t.Get(step, prim, a)
+		switch {
+		case v > bestV:
+			best, bestV, ties = a, v, 1
+		case v == bestV && rng != nil:
+			ties++
+			if rng.Intn(ties) == 0 {
+				best = a
+			}
+		}
+	}
+	return best
+}
+
+// MaxQ returns the maximum Q-value at (step, prim) over the allowed
+// actions, or 0 when no actions remain (terminal state).
+func (t *Table) MaxQ(step, prim int, allowed []int) float64 {
+	if len(allowed) == 0 {
+		return 0
+	}
+	best := t.Get(step, prim, allowed[0])
+	for _, a := range allowed[1:] {
+		if v := t.Get(step, prim, a); v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Transition is one step of an episode: in state (Step, Prim) the
+// agent took Action and received Reward; NextAllowed lists the actions
+// available in the successor state (nil at the terminal step).
+type Transition struct {
+	Step, Prim, Action int
+	Reward             float64
+	NextAllowed        []int
+}
+
+// Update applies eq. (2) to one transition:
+//
+//	Q(s,a) ← Q(s,a)(1-α) + α [ r + γ max_a' Q(s', a') ]
+func (t *Table) Update(tr Transition, cfg Config) {
+	target := tr.Reward + cfg.Gamma*t.MaxQ(tr.Step+1, tr.Action, tr.NextAllowed)
+	old := t.Get(tr.Step, tr.Prim, tr.Action)
+	t.Set(tr.Step, tr.Prim, tr.Action, old*(1-cfg.Alpha)+cfg.Alpha*target)
+}
+
+// UpdateEpisode applies Update to every transition of a trajectory in
+// reverse order, so late rewards propagate backwards within a single
+// pass.
+func (t *Table) UpdateEpisode(traj []Transition, cfg Config) {
+	for i := len(traj) - 1; i >= 0; i-- {
+		t.Update(traj[i], cfg)
+	}
+}
+
+// Replay is the fixed-capacity experience buffer: it stores complete
+// episode trajectories and replays a sample of them after each episode.
+type Replay struct {
+	cap  int
+	buf  [][]Transition
+	next int
+	full bool
+}
+
+// NewReplay allocates a buffer with the given capacity (episodes).
+func NewReplay(capacity int) *Replay {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &Replay{cap: capacity, buf: make([][]Transition, 0, capacity)}
+}
+
+// Len returns the number of stored episodes.
+func (r *Replay) Len() int { return len(r.buf) }
+
+// Add stores a trajectory, evicting the oldest once full.
+func (r *Replay) Add(traj []Transition) {
+	cp := make([]Transition, len(traj))
+	copy(cp, traj)
+	if len(r.buf) < r.cap {
+		r.buf = append(r.buf, cp)
+		return
+	}
+	r.buf[r.next] = cp
+	r.next = (r.next + 1) % r.cap
+	r.full = true
+}
+
+// ReplayInto re-applies up to n uniformly sampled stored episodes to
+// the Q-table.
+func (r *Replay) ReplayInto(t *Table, cfg Config, n int, rng *rand.Rand) {
+	if len(r.buf) == 0 {
+		return
+	}
+	for i := 0; i < n; i++ {
+		t.UpdateEpisode(r.buf[rng.Intn(len(r.buf))], cfg)
+	}
+}

@@ -1,0 +1,277 @@
+package qlearn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperConfig(t *testing.T) {
+	c := PaperConfig()
+	if c.Alpha != 0.05 || c.Gamma != 0.9 || c.ReplaySize != 128 {
+		t.Errorf("paper config = %+v", c)
+	}
+}
+
+func TestPaperSchedule1000(t *testing.T) {
+	phases := PaperSchedule(1000)
+	if ScheduleEpisodes(phases) != 1000 {
+		t.Fatalf("schedule covers %d episodes", ScheduleEpisodes(phases))
+	}
+	// 50% full exploration.
+	if phases[0].Epsilon != 1 || phases[0].Episodes != 500 {
+		t.Errorf("first phase = %+v, want eps 1 for 500", phases[0])
+	}
+	// Then 10 plateaus of 50 episodes from 0.9 down to 0.0.
+	if len(phases) != 11 {
+		t.Fatalf("phases = %d, want 11", len(phases))
+	}
+	for i := 1; i < 11; i++ {
+		wantEps := 0.9 - 0.1*float64(i-1)
+		if math.Abs(phases[i].Epsilon-wantEps) > 1e-9 || phases[i].Episodes != 50 {
+			t.Errorf("phase %d = %+v, want eps %.1f for 50", i, phases[i], wantEps)
+		}
+	}
+}
+
+func TestPaperScheduleSmallAndZero(t *testing.T) {
+	if PaperSchedule(0) != nil {
+		t.Error("zero budget should give nil schedule")
+	}
+	for _, n := range []int{1, 7, 25, 99, 333} {
+		if got := ScheduleEpisodes(PaperSchedule(n)); got != n {
+			t.Errorf("budget %d: schedule covers %d", n, got)
+		}
+	}
+}
+
+func TestEpsilonAt(t *testing.T) {
+	phases := PaperSchedule(1000)
+	tests := []struct {
+		episode int
+		want    float64
+	}{
+		{0, 1}, {499, 1}, {500, 0.9}, {549, 0.9}, {550, 0.8}, {999, 0},
+	}
+	for _, tc := range tests {
+		if got := EpsilonAt(phases, tc.episode); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("EpsilonAt(%d) = %v, want %v", tc.episode, got, tc.want)
+		}
+	}
+	// Past the schedule: stays at the last epsilon.
+	if got := EpsilonAt(phases, 5000); got != 0 {
+		t.Errorf("past-end epsilon = %v", got)
+	}
+	if got := EpsilonAt(nil, 3); got != 0 {
+		t.Errorf("empty schedule epsilon = %v", got)
+	}
+}
+
+func TestTableGetSet(t *testing.T) {
+	tab := NewTable(3, 4)
+	tab.Set(2, 1, 3, -0.5)
+	if got := tab.Get(2, 1, 3); got != -0.5 {
+		t.Errorf("Get = %v", got)
+	}
+	if got := tab.Get(0, 0, 0); got != 0 {
+		t.Errorf("default Q = %v, want 0", got)
+	}
+	if tab.Steps() != 3 {
+		t.Errorf("Steps = %d", tab.Steps())
+	}
+}
+
+func TestNewTablePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero dims should panic")
+		}
+	}()
+	NewTable(0, 4)
+}
+
+func TestBestPicksArgmax(t *testing.T) {
+	tab := NewTable(2, 5)
+	tab.Set(0, 1, 2, 1.0)
+	tab.Set(0, 1, 4, 3.0)
+	if got := tab.Best(0, 1, []int{2, 3, 4}, nil); got != 4 {
+		t.Errorf("Best = %d, want 4", got)
+	}
+	// Restricting the allowed set changes the answer.
+	if got := tab.Best(0, 1, []int{2, 3}, nil); got != 2 {
+		t.Errorf("Best restricted = %d, want 2", got)
+	}
+}
+
+func TestBestTieBreaksUniformly(t *testing.T) {
+	tab := NewTable(1, 3)
+	rng := rand.New(rand.NewSource(1))
+	seen := map[int]int{}
+	for i := 0; i < 300; i++ {
+		seen[tab.Best(0, 0, []int{0, 1, 2}, rng)]++
+	}
+	for a := 0; a < 3; a++ {
+		if seen[a] < 50 {
+			t.Errorf("action %d picked only %d/300 on ties", a, seen[a])
+		}
+	}
+}
+
+func TestMaxQTerminal(t *testing.T) {
+	tab := NewTable(2, 3)
+	if got := tab.MaxQ(1, 0, nil); got != 0 {
+		t.Errorf("terminal MaxQ = %v, want 0", got)
+	}
+}
+
+func TestUpdateBellman(t *testing.T) {
+	cfg := Config{Alpha: 0.5, Gamma: 0.9}
+	tab := NewTable(2, 2)
+	tab.Set(1, 1, 0, 2.0) // successor value
+	tr := Transition{Step: 0, Prim: 0, Action: 1, Reward: -1, NextAllowed: []int{0}}
+	tab.Update(tr, cfg)
+	// target = -1 + 0.9*2 = 0.8; Q = 0*(0.5) + 0.5*0.8 = 0.4
+	if got := tab.Get(0, 0, 1); math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("Q after update = %v, want 0.4", got)
+	}
+}
+
+func TestUpdateConvergesToReward(t *testing.T) {
+	// Repeated terminal updates converge Q to the reward.
+	cfg := Config{Alpha: 0.1, Gamma: 0.9}
+	tab := NewTable(1, 2)
+	tr := Transition{Step: 0, Prim: 0, Action: 1, Reward: -3}
+	for i := 0; i < 500; i++ {
+		tab.Update(tr, cfg)
+	}
+	if got := tab.Get(0, 0, 1); math.Abs(got-(-3)) > 1e-3 {
+		t.Errorf("Q = %v, want ~-3", got)
+	}
+}
+
+// Property: Q stays bounded by max |reward| / (1 - gamma) under
+// repeated updates with bounded rewards.
+func TestQBoundedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := Config{Alpha: 0.3, Gamma: 0.9}
+		tab := NewTable(4, 3)
+		bound := 1.0 / (1 - cfg.Gamma) * 1.001
+		for i := 0; i < 2000; i++ {
+			step := rng.Intn(3)
+			tr := Transition{
+				Step:        step,
+				Prim:        rng.Intn(3),
+				Action:      rng.Intn(3),
+				Reward:      rng.Float64()*2 - 1, // |r| <= 1
+				NextAllowed: []int{0, 1, 2},
+			}
+			tab.Update(tr, cfg)
+		}
+		for s := 0; s < 4; s++ {
+			for p := 0; p < 3; p++ {
+				for a := 0; a < 3; a++ {
+					if math.Abs(tab.Get(s, p, a)) > bound {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUpdateEpisodePropagatesBackwards(t *testing.T) {
+	// A two-step episode with terminal reward: reverse-order updating
+	// must move step 0's Q in one pass.
+	cfg := Config{Alpha: 1, Gamma: 1}
+	tab := NewTable(3, 1)
+	traj := []Transition{
+		{Step: 0, Prim: 0, Action: 0, Reward: 0, NextAllowed: []int{0}},
+		{Step: 1, Prim: 0, Action: 0, Reward: 5, NextAllowed: nil},
+	}
+	tab.UpdateEpisode(traj, cfg)
+	if got := tab.Get(0, 0, 0); got != 5 {
+		t.Errorf("backward propagation gave Q = %v, want 5 in one pass", got)
+	}
+}
+
+func TestReplayBuffer(t *testing.T) {
+	r := NewReplay(2)
+	if r.Len() != 0 {
+		t.Error("new buffer not empty")
+	}
+	traj := []Transition{{Step: 0, Prim: 0, Action: 0, Reward: 1}}
+	r.Add(traj)
+	r.Add(traj)
+	r.Add(traj) // evicts oldest
+	if r.Len() != 2 {
+		t.Errorf("Len = %d, want capacity 2", r.Len())
+	}
+	// The stored copy is independent of the caller's slice.
+	traj[0].Reward = 99
+	tab := NewTable(1, 1)
+	r.ReplayInto(tab, Config{Alpha: 1, Gamma: 0}, 1, rand.New(rand.NewSource(1)))
+	if got := tab.Get(0, 0, 0); got != 1 {
+		t.Errorf("replayed reward = %v, want the stored copy's 1", got)
+	}
+}
+
+func TestReplayIntoEmptyNoop(t *testing.T) {
+	r := NewReplay(4)
+	tab := NewTable(1, 1)
+	r.ReplayInto(tab, PaperConfig(), 10, rand.New(rand.NewSource(1)))
+	if tab.Get(0, 0, 0) != 0 {
+		t.Error("replay on empty buffer should not touch the table")
+	}
+}
+
+func TestNewReplayClampsCapacity(t *testing.T) {
+	r := NewReplay(0)
+	r.Add([]Transition{{}})
+	if r.Len() != 1 {
+		t.Error("zero capacity should clamp to 1")
+	}
+}
+
+func TestCheckpointMarshalRoundTrip(t *testing.T) {
+	tab := NewTable(2, 3)
+	tab.Set(1, 2, 0, -0.75)
+	r := NewReplay(4)
+	r.Add([]Transition{{Step: 0, Prim: 1, Action: 2, Reward: -1, NextAllowed: []int{0, 1}}})
+	ck := Snapshot(tab, r, 42)
+	data, err := ck.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCheckpoint(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Episode != 42 {
+		t.Errorf("episode = %d", back.Episode)
+	}
+	if got := back.Table.Get(1, 2, 0); got != -0.75 {
+		t.Errorf("Q = %v", got)
+	}
+	if back.Replay.Len() != 1 {
+		t.Errorf("replay len = %d", back.Replay.Len())
+	}
+	// Snapshot without a replay buffer round-trips too.
+	ck2 := Snapshot(tab, nil, 1)
+	data2, err := ck2.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back2, err := LoadCheckpoint(data2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back2.Replay == nil || back2.Replay.Len() != 0 {
+		t.Error("nil-replay checkpoint should restore an empty buffer")
+	}
+}

@@ -1,0 +1,205 @@
+// Package quant provides the int8 quantization substrate of the
+// Bonseyes engine family (the authors' QUENN quantization engine is
+// the companion work the paper's inference-engine optimizer builds
+// on): symmetric per-tensor quantization, int8 convolution and
+// fully-connected kernels with int32 accumulation, and the SQNR
+// metric used to validate precision. It extends the reproduction the
+// way the original deployment flow pairs primitive selection with
+// low-precision execution.
+package quant
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Params holds symmetric per-tensor quantization parameters:
+// q = round(x / Scale), clamped to [-127, 127].
+type Params struct {
+	// Scale maps one quantization step to real units.
+	Scale float32
+}
+
+// Calibrate derives the symmetric scale covering the data's maximum
+// magnitude. All-zero data gets scale 1 (any scale represents it).
+func Calibrate(data []float32) Params {
+	var maxAbs float32
+	for _, v := range data {
+		if v < 0 {
+			v = -v
+		}
+		if v > maxAbs {
+			maxAbs = v
+		}
+	}
+	if maxAbs == 0 {
+		return Params{Scale: 1}
+	}
+	return Params{Scale: maxAbs / 127}
+}
+
+// quantize converts one value under the params.
+func (p Params) quantize(x float32) int8 {
+	q := math.RoundToEven(float64(x / p.Scale))
+	if q > 127 {
+		q = 127
+	}
+	if q < -127 {
+		q = -127
+	}
+	return int8(q)
+}
+
+// Dequantize converts one quantized value back to real units.
+func (p Params) Dequantize(q int8) float32 { return float32(q) * p.Scale }
+
+// Tensor8 is an int8 activation/weight tensor with its quantization
+// parameters. Storage is NCHW.
+type Tensor8 struct {
+	// Shape is the logical tensor shape.
+	Shape tensor.Shape
+	// Data is the quantized payload in NCHW order.
+	Data []int8
+	// Params maps values back to real units.
+	Params Params
+}
+
+// QuantizeTensor quantizes a float tensor (any layout) with a
+// freshly calibrated symmetric scale.
+func QuantizeTensor(t *tensor.Tensor) *Tensor8 {
+	nchw := t.ToLayout(tensor.NCHW)
+	p := Calibrate(nchw.Data())
+	q := &Tensor8{Shape: t.Shape(), Data: make([]int8, len(nchw.Data())), Params: p}
+	for i, v := range nchw.Data() {
+		q.Data[i] = p.quantize(v)
+	}
+	return q
+}
+
+// QuantizeSlice quantizes a raw float32 slice (e.g. weights).
+func QuantizeSlice(data []float32) ([]int8, Params) {
+	p := Calibrate(data)
+	out := make([]int8, len(data))
+	for i, v := range data {
+		out[i] = p.quantize(v)
+	}
+	return out, p
+}
+
+// Dequantize expands the tensor back to float32 NCHW.
+func (q *Tensor8) Dequantize() *tensor.Tensor {
+	out := tensor.New(q.Shape, tensor.NCHW)
+	d := out.Data()
+	for i, v := range q.Data {
+		d[i] = q.Params.Dequantize(v)
+	}
+	return out
+}
+
+// at reads a quantized activation element (NCHW indexing).
+func (q *Tensor8) at(n, c, h, w int) int32 {
+	s := q.Shape
+	return int32(q.Data[((n*s.C+c)*s.H+h)*s.W+w])
+}
+
+// Conv computes a dense 2-D convolution over int8 activations and
+// weights with int32 accumulation, emitting dequantized float32
+// output (bias is applied in float, as deployment engines do).
+func Conv(in *Tensor8, w []int8, wp Params, bias []float32, p nn.ConvParams) (*tensor.Tensor, error) {
+	s := in.Shape
+	kArea := p.KernelH * p.KernelW
+	if len(w) != p.OutChannels*s.C*kArea {
+		return nil, fmt.Errorf("quant: conv weights have %d elements, need %d",
+			len(w), p.OutChannels*s.C*kArea)
+	}
+	if len(bias) != p.OutChannels {
+		return nil, fmt.Errorf("quant: conv bias has %d elements, need %d", len(bias), p.OutChannels)
+	}
+	oh := (s.H+2*p.PadH-p.KernelH)/p.StrideH + 1
+	ow := (s.W+2*p.PadW-p.KernelW)/p.StrideW + 1
+	if oh <= 0 || ow <= 0 {
+		return nil, fmt.Errorf("quant: conv output %dx%d not positive", oh, ow)
+	}
+	out := tensor.New(tensor.Shape{N: s.N, C: p.OutChannels, H: oh, W: ow}, tensor.NCHW)
+	rescale := in.Params.Scale * wp.Scale
+	for n := 0; n < s.N; n++ {
+		for oc := 0; oc < p.OutChannels; oc++ {
+			wBase := oc * s.C * kArea
+			for y := 0; y < oh; y++ {
+				for x := 0; x < ow; x++ {
+					var acc int32
+					for c := 0; c < s.C; c++ {
+						for r := 0; r < p.KernelH; r++ {
+							ih := y*p.StrideH + r - p.PadH
+							if ih < 0 || ih >= s.H {
+								continue
+							}
+							for q2 := 0; q2 < p.KernelW; q2++ {
+								iw := x*p.StrideW + q2 - p.PadW
+								if iw < 0 || iw >= s.W {
+									continue
+								}
+								acc += int32(w[wBase+c*kArea+r*p.KernelW+q2]) * in.at(n, c, ih, iw)
+							}
+						}
+					}
+					out.Set(n, oc, y, x, float32(acc)*rescale+bias[oc])
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// FC computes a fully-connected layer over int8 inputs and weights
+// (int32 accumulate, float bias and output).
+func FC(in *Tensor8, w []int8, wp Params, bias []float32, outUnits int) (*tensor.Tensor, error) {
+	inWidth := in.Shape.Elems() / in.Shape.N
+	if len(w) != outUnits*inWidth {
+		return nil, fmt.Errorf("quant: fc weights have %d elements, need %d", len(w), outUnits*inWidth)
+	}
+	if len(bias) != outUnits {
+		return nil, fmt.Errorf("quant: fc bias size mismatch")
+	}
+	out := tensor.New(tensor.Shape{N: in.Shape.N, C: outUnits, H: 1, W: 1}, tensor.NCHW)
+	rescale := in.Params.Scale * wp.Scale
+	for n := 0; n < in.Shape.N; n++ {
+		x := in.Data[n*inWidth : (n+1)*inWidth]
+		for u := 0; u < outUnits; u++ {
+			var acc int32
+			row := w[u*inWidth : (u+1)*inWidth]
+			for i, v := range row {
+				acc += int32(v) * int32(x[i])
+			}
+			out.Set(n, u, 0, 0, float32(acc)*rescale+bias[u])
+		}
+	}
+	return out, nil
+}
+
+// SQNR returns the signal-to-quantization-noise ratio, in dB, of an
+// approximation against a float reference. Higher is better; int8
+// inference typically lands above ~20 dB per layer.
+func SQNR(ref, approx *tensor.Tensor) float64 {
+	if !ref.Shape().Equal(approx.Shape()) {
+		panic("quant: SQNR shape mismatch")
+	}
+	var signal, noise float64
+	a := ref.ToLayout(tensor.NCHW).Data()
+	b := approx.ToLayout(tensor.NCHW).Data()
+	for i := range a {
+		signal += float64(a[i]) * float64(a[i])
+		d := float64(a[i]) - float64(b[i])
+		noise += d * d
+	}
+	if noise == 0 {
+		return math.Inf(1)
+	}
+	if signal == 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(signal/noise)
+}

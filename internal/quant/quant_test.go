@@ -1,0 +1,172 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/kernels"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func TestCalibrate(t *testing.T) {
+	p := Calibrate([]float32{-2, 0.5, 1})
+	if math.Abs(float64(p.Scale)-2.0/127) > 1e-9 {
+		t.Errorf("scale = %v, want 2/127", p.Scale)
+	}
+	if z := Calibrate(nil); z.Scale != 1 {
+		t.Errorf("empty calibration scale = %v, want 1", z.Scale)
+	}
+	if z := Calibrate([]float32{0, 0}); z.Scale != 1 {
+		t.Errorf("zero calibration scale = %v, want 1", z.Scale)
+	}
+}
+
+func TestQuantizeRoundTripBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	data := make([]float32, 257)
+	for i := range data {
+		data[i] = rng.Float32()*4 - 2
+	}
+	q, p := QuantizeSlice(data)
+	for i, v := range q {
+		back := p.Dequantize(v)
+		if math.Abs(float64(back-data[i])) > float64(p.Scale)/2+1e-6 {
+			t.Fatalf("element %d: %v -> %v (scale %v)", i, data[i], back, p.Scale)
+		}
+	}
+}
+
+func TestQuantizeClamps(t *testing.T) {
+	p := Params{Scale: 0.01}
+	if p.quantize(10) != 127 || p.quantize(-10) != -127 {
+		t.Error("out-of-range values should clamp to ±127")
+	}
+}
+
+func TestTensorQuantizeDequantize(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := tensor.New(tensor.Shape{N: 1, C: 3, H: 5, W: 7}, tensor.NCHW)
+	x.FillRandom(rng, 1.5)
+	q := QuantizeTensor(x)
+	back := q.Dequantize()
+	if d := tensor.MaxAbsDiff(x, back); d > float64(q.Params.Scale)/2+1e-6 {
+		t.Errorf("round trip error %g exceeds half a step %g", d, q.Params.Scale/2)
+	}
+	if got := SQNR(x, back); got < 35 {
+		t.Errorf("tensor SQNR = %.1f dB, want > 35", got)
+	}
+}
+
+func TestQuantizedConvTracksFloat(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	in := tensor.New(tensor.Shape{N: 1, C: 4, H: 10, W: 10}, tensor.NCHW)
+	in.FillRandom(rng, 1)
+	p := nn.ConvParams{OutChannels: 6, KernelH: 3, KernelW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	w := make([]float32, 6*4*9)
+	for i := range w {
+		w[i] = rng.Float32()*2 - 1
+	}
+	bias := make([]float32, 6)
+	for i := range bias {
+		bias[i] = rng.Float32() * 0.1
+	}
+	ref := kernels.ConvDirect(in, w, bias, p)
+
+	qin := QuantizeTensor(in)
+	qw, wp := QuantizeSlice(w)
+	got, err := Conv(qin, qw, wp, bias, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Shape().Equal(ref.Shape()) {
+		t.Fatalf("shape %v, want %v", got.Shape(), ref.Shape())
+	}
+	if sqnr := SQNR(ref, got); sqnr < 25 {
+		t.Errorf("quantized conv SQNR = %.1f dB, want > 25", sqnr)
+	}
+}
+
+func TestQuantizedFCTracksFloat(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	in := tensor.New(tensor.Shape{N: 1, C: 64, H: 1, W: 1}, tensor.NCHW)
+	in.FillRandom(rng, 1)
+	w := make([]float32, 16*64)
+	for i := range w {
+		w[i] = rng.Float32()*2 - 1
+	}
+	bias := make([]float32, 16)
+	ref := kernels.FCGemv(in, w, bias, 16)
+
+	qin := QuantizeTensor(in)
+	qw, wp := QuantizeSlice(w)
+	got, err := FC(qin, qw, wp, bias, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sqnr := SQNR(ref, got); sqnr < 25 {
+		t.Errorf("quantized FC SQNR = %.1f dB, want > 25", sqnr)
+	}
+}
+
+func TestQuantizedConvProperty(t *testing.T) {
+	f := func(ch, oc uint8, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := int(ch%3) + 1
+		o := int(oc%3) + 1
+		in := tensor.New(tensor.Shape{N: 1, C: c, H: 6, W: 6}, tensor.NCHW)
+		in.FillRandom(rng, 1)
+		p := nn.ConvParams{OutChannels: o, KernelH: 3, KernelW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+		w := make([]float32, o*c*9)
+		for i := range w {
+			w[i] = rng.Float32()*2 - 1
+		}
+		bias := make([]float32, o)
+		ref := kernels.ConvDirect(in, w, bias, p)
+		qw, wp := QuantizeSlice(w)
+		got, err := Conv(QuantizeTensor(in), qw, wp, bias, p)
+		if err != nil {
+			return false
+		}
+		return SQNR(ref, got) > 20
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConvFCValidation(t *testing.T) {
+	qin := QuantizeTensor(tensor.New(tensor.Shape{N: 1, C: 2, H: 4, W: 4}, tensor.NCHW))
+	p := nn.ConvParams{OutChannels: 2, KernelH: 3, KernelW: 3, StrideH: 1, StrideW: 1}
+	if _, err := Conv(qin, make([]int8, 3), Params{Scale: 1}, make([]float32, 2), p); err == nil {
+		t.Error("short weights should error")
+	}
+	if _, err := Conv(qin, make([]int8, 2*2*9), Params{Scale: 1}, make([]float32, 1), p); err == nil {
+		t.Error("short bias should error")
+	}
+	if _, err := FC(qin, make([]int8, 3), Params{Scale: 1}, make([]float32, 2), 2); err == nil {
+		t.Error("short FC weights should error")
+	}
+}
+
+func TestSQNREdgeCases(t *testing.T) {
+	a := tensor.New(tensor.Shape{N: 1, C: 1, H: 1, W: 2}, tensor.NCHW)
+	a.Fill(1)
+	if got := SQNR(a, a.Clone()); !math.IsInf(got, 1) {
+		t.Errorf("identical tensors SQNR = %v, want +Inf", got)
+	}
+	zero := tensor.New(a.Shape(), tensor.NCHW)
+	other := tensor.New(a.Shape(), tensor.NCHW)
+	other.Fill(0.5)
+	if got := SQNR(zero, other); !math.IsInf(got, -1) {
+		t.Errorf("zero-signal SQNR = %v, want -Inf", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("shape mismatch should panic")
+		}
+	}()
+	SQNR(a, tensor.New(tensor.Shape{N: 1, C: 1, H: 1, W: 3}, tensor.NCHW))
+}

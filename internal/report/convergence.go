@@ -1,0 +1,70 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/models"
+	"repro/internal/platform"
+	"repro/internal/primitives"
+)
+
+// ConvergenceRow summarizes one network's search behavior — the §V
+// claim ("the design space search ... takes less than 10 min to
+// converge") made measurable.
+type ConvergenceRow struct {
+	// Network is the architecture name.
+	Network string
+	// SpaceSize is the design-space cardinality (GPGPU mode).
+	SpaceSize float64
+	// Episodes is the budget used.
+	Episodes int
+	// ConvergedAt is the first episode within 5 % of the final best.
+	ConvergedAt int
+	// SearchSeconds is the wall-clock of the search phase alone.
+	SearchSeconds float64
+	// BestMs is the found configuration's inference time.
+	BestMs float64
+}
+
+// ConvergenceTable profiles and searches each network, timing the
+// search phase.
+func ConvergenceTable(networks []string, pl *platform.Platform, opts Options) ([]ConvergenceRow, error) {
+	opts = opts.withDefaults()
+	rows := make([]ConvergenceRow, 0, len(networks))
+	for _, name := range networks {
+		net, err := models.Build(name)
+		if err != nil {
+			return nil, err
+		}
+		tab, err := profiledTable(net, pl, primitives.ModeGPGPU, opts)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		res := core.Search(tab, core.Config{Episodes: opts.Episodes, Seed: opts.Seed})
+		rows = append(rows, ConvergenceRow{
+			Network:       name,
+			SpaceSize:     primitives.SpaceSize(net, primitives.ModeGPGPU),
+			Episodes:      opts.Episodes,
+			ConvergedAt:   res.ConvergedAt(0.05),
+			SearchSeconds: time.Since(start).Seconds(),
+			BestMs:        res.Time * 1e3,
+		})
+	}
+	return rows, nil
+}
+
+// FormatConvergence renders the table.
+func FormatConvergence(rows []ConvergenceRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %12s %9s %12s %12s %10s\n",
+		"Network", "space", "episodes", "converged@", "search (s)", "best (ms)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %12.2g %9d %12d %12.2f %10.3f\n",
+			r.Network, r.SpaceSize, r.Episodes, r.ConvergedAt, r.SearchSeconds, r.BestMs)
+	}
+	return b.String()
+}

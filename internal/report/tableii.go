@@ -1,0 +1,232 @@
+// Package report regenerates the paper's evaluation artifacts: Table
+// II (per-library, BSL, QS-DNN and Random-Search speedups over the
+// Vanilla baseline for every network, in CPU and GPGPU modes), the
+// Fig. 4 learning curve, the Fig. 5 RL-vs-RS budget sweep and the
+// Fig. 1 greedy-trap demonstration. The same functions back the cmd/
+// tools and the bench_test.go benchmarks.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/lut"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/platform"
+	"repro/internal/primitives"
+	"repro/internal/profile"
+)
+
+// Options scales the experiments; zero values select the paper's
+// settings.
+type Options struct {
+	// Episodes is the search budget per network (paper: 1000).
+	Episodes int
+	// Samples is the profiling average count (paper: 50).
+	Samples int
+	// Seed drives everything; fixed seed = identical tables.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Episodes == 0 {
+		o.Episodes = 1000
+	}
+	if o.Samples == 0 {
+		o.Samples = 50
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// cpuLibs and gpuLibs are the library columns of Table II.
+var cpuLibs = []primitives.Library{
+	primitives.ATLAS, primitives.OpenBLAS, primitives.NNPACK,
+	primitives.ArmCL, primitives.Sparse,
+}
+var gpuLibs = []primitives.Library{primitives.CuDNN, primitives.CuBLAS}
+
+// Row is one network's line of Table II. All speedups are relative to
+// the all-Vanilla baseline of the same mode (>1 is faster).
+type Row struct {
+	// Network is the architecture name.
+	Network string
+	// LibSpeedupCPU maps each CPU library to its whole-library
+	// substitution speedup (CPU mode).
+	LibSpeedupCPU map[string]float64
+	// LibSpeedupGPU maps the GPU libraries to their substitution
+	// speedup (GPGPU mode).
+	LibSpeedupGPU map[string]float64
+	// BSLCPU / BSLGPU name the best single library per mode.
+	BSLCPU, BSLGPU string
+	// QSDNNCPU / QSDNNGPU are QS-DNN's speedups over Vanilla.
+	QSDNNCPU, QSDNNGPU float64
+	// QSvsBSLCPU / QSvsBSLGPU are QS-DNN's improvements over the best
+	// single library.
+	QSvsBSLCPU, QSvsBSLGPU float64
+	// RSGPU is Random Search's speedup over Vanilla at the same
+	// episode budget (GPGPU mode).
+	RSGPU float64
+	// QSvsRSGPU is QS-DNN's improvement over Random Search.
+	QSvsRSGPU float64
+	// VanillaCPUSeconds / VanillaGPGPUSeconds are the baselines.
+	VanillaCPUSeconds, VanillaGPGPUSeconds float64
+	// QSDNNGPUUsesGPU reports whether the GPGPU-mode winner actually
+	// touches the GPU (false for LeNet-5: pure CPU wins).
+	QSDNNGPUUsesGPU bool
+}
+
+// profiledTable builds the LUT for one network and mode.
+func profiledTable(net *nn.Network, pl *platform.Platform, mode primitives.Mode, opts Options) (*lut.Table, error) {
+	return profile.Run(net, profile.NewSimSource(net, pl), profile.Options{Mode: mode, Samples: opts.Samples})
+}
+
+// TableII computes the full table for the given networks.
+func TableII(networks []string, pl *platform.Platform, opts Options) ([]Row, error) {
+	opts = opts.withDefaults()
+	rows := make([]Row, 0, len(networks))
+	for _, name := range networks {
+		net, err := models.Build(name)
+		if err != nil {
+			return nil, err
+		}
+		row, err := tableIIRow(net, pl, opts)
+		if err != nil {
+			return nil, fmt.Errorf("report: %s: %w", name, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func tableIIRow(net *nn.Network, pl *platform.Platform, opts Options) (Row, error) {
+	row := Row{
+		Network:       net.Name,
+		LibSpeedupCPU: map[string]float64{},
+		LibSpeedupGPU: map[string]float64{},
+	}
+
+	// CPU mode.
+	cpuTab, err := profiledTable(net, pl, primitives.ModeCPU, opts)
+	if err != nil {
+		return row, err
+	}
+	vanCPU := core.VanillaTime(cpuTab)
+	row.VanillaCPUSeconds = vanCPU
+	bslCPU := vanCPU
+	row.BSLCPU = primitives.Vanilla.String()
+	for _, lib := range cpuLibs {
+		t := core.SingleLibrary(cpuTab, lib).Time
+		row.LibSpeedupCPU[lib.String()] = vanCPU / t
+		if t < bslCPU {
+			bslCPU, row.BSLCPU = t, lib.String()
+		}
+	}
+	qsCPU := core.Search(cpuTab, core.Config{Episodes: opts.Episodes, Seed: opts.Seed})
+	row.QSDNNCPU = vanCPU / qsCPU.Time
+	row.QSvsBSLCPU = bslCPU / qsCPU.Time
+
+	// GPGPU mode.
+	gpuTab, err := profiledTable(net, pl, primitives.ModeGPGPU, opts)
+	if err != nil {
+		return row, err
+	}
+	vanGPU := core.VanillaTime(gpuTab)
+	row.VanillaGPGPUSeconds = vanGPU
+	bslGPU := vanGPU
+	row.BSLGPU = primitives.Vanilla.String()
+	for _, lib := range append(append([]primitives.Library{}, cpuLibs...), gpuLibs...) {
+		t := core.SingleLibrary(gpuTab, lib).Time
+		if _, isGPU := map[primitives.Library]bool{primitives.CuDNN: true, primitives.CuBLAS: true}[lib]; isGPU {
+			row.LibSpeedupGPU[lib.String()] = vanGPU / t
+		}
+		if t < bslGPU {
+			bslGPU, row.BSLGPU = t, lib.String()
+		}
+	}
+	qsGPU := core.Search(gpuTab, core.Config{Episodes: opts.Episodes, Seed: opts.Seed})
+	row.QSDNNGPU = vanGPU / qsGPU.Time
+	row.QSvsBSLGPU = bslGPU / qsGPU.Time
+	for _, id := range qsGPU.Assignment {
+		if primitives.ByID(id).Proc == primitives.GPU {
+			row.QSDNNGPUUsesGPU = true
+			break
+		}
+	}
+
+	rs := core.RandomSearch(gpuTab, opts.Episodes, opts.Seed)
+	row.RSGPU = vanGPU / rs.Time
+	row.QSvsRSGPU = rs.Time / qsGPU.Time
+	return row, nil
+}
+
+// FormatTableII renders rows as a fixed-width text table in the
+// paper's layout.
+func FormatTableII(rows []Row) string {
+	var b strings.Builder
+	cpuCols := make([]string, 0, len(cpuLibs))
+	for _, l := range cpuLibs {
+		cpuCols = append(cpuCols, l.String())
+	}
+	gpuCols := make([]string, 0, len(gpuLibs))
+	for _, l := range gpuLibs {
+		gpuCols = append(gpuCols, l.String())
+	}
+	fmt.Fprintf(&b, "Inference-time speedup over Vanilla (dependency-free) baseline\n\n")
+	fmt.Fprintf(&b, "%-13s", "Network")
+	for _, c := range cpuCols {
+		fmt.Fprintf(&b, " %9s", c)
+	}
+	fmt.Fprintf(&b, " %9s %9s |", "QS(CPU)", "QS/BSL")
+	for _, c := range gpuCols {
+		fmt.Fprintf(&b, " %9s", c)
+	}
+	fmt.Fprintf(&b, " %9s %9s %9s %9s\n", "QS(GPU)", "QS/BSL", "RS(GPU)", "QS/RS")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-13s", r.Network)
+		for _, c := range cpuCols {
+			fmt.Fprintf(&b, " %8.1fx", r.LibSpeedupCPU[c])
+		}
+		fmt.Fprintf(&b, " %8.1fx %8.2fx |", r.QSDNNCPU, r.QSvsBSLCPU)
+		for _, c := range gpuCols {
+			fmt.Fprintf(&b, " %8.1fx", r.LibSpeedupGPU[c])
+		}
+		gpuNote := ""
+		if !r.QSDNNGPUUsesGPU {
+			gpuNote = "*" // pure-CPU winner (LeNet-5 in the paper)
+		}
+		fmt.Fprintf(&b, " %7.1fx%s %8.2fx %8.1fx %8.2fx\n",
+			r.QSDNNGPU, gpuNote, r.QSvsBSLGPU, r.RSGPU, r.QSvsRSGPU)
+	}
+	fmt.Fprintf(&b, "\n* GPGPU-mode winner uses no GPU primitive (transfers outweigh gains).\n")
+
+	// Paper headline aggregates.
+	var maxCPU, sumBSL float64
+	n := 0.0
+	for _, r := range rows {
+		if r.QSDNNCPU > maxCPU {
+			maxCPU = r.QSDNNCPU
+		}
+		sumBSL += r.QSvsBSLGPU
+		n++
+	}
+	fmt.Fprintf(&b, "\nHeadlines: best CPU speedup vs Vanilla %.0fx (paper: 45x); "+
+		"mean GPGPU speedup vs BSL %.2fx (paper: ~2x)\n", maxCPU, sumBSL/n)
+	return b.String()
+}
+
+// SortedLibraries returns a row's CPU library columns sorted by name
+// (stable iteration for tests and rendering).
+func SortedLibraries(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

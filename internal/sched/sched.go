@@ -1,0 +1,123 @@
+// Package sched analyzes deployment plans for streaming workloads.
+// The paper optimizes single-image latency (batch 1, the edge-
+// inference setting); this package answers the follow-on deployment
+// question: what throughput does the chosen mapping sustain when
+// images stream in and the CPU, the GPU and the interconnect can each
+// work on a *different* image concurrently (double buffering)? The
+// steady-state rate is set by the busiest resource, and a discrete
+// simulation gives exact makespans for finite batches.
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/plan"
+)
+
+// resourceOf maps a plan step to the hardware resource it occupies.
+func resourceOf(s plan.Step) string {
+	switch s.Kind {
+	case plan.Compat:
+		if s.Transfer {
+			return "interconnect"
+		}
+		return s.Proc
+	case plan.Return:
+		if s.Transfer {
+			return "interconnect"
+		}
+		return "CPU"
+	default:
+		return s.Proc
+	}
+}
+
+// Analysis summarizes a plan's streaming behavior.
+type Analysis struct {
+	// LatencySeconds is the single-image end-to-end latency (the sum
+	// of all steps — what the paper's search minimizes).
+	LatencySeconds float64
+	// PerResourceSeconds is each resource's busy time per image.
+	PerResourceSeconds map[string]float64
+	// Bottleneck is the busiest resource.
+	Bottleneck string
+	// ThroughputUpperBound is the best possible pipelined rate,
+	// 1 / busy(bottleneck). A mapping that ping-pongs between
+	// processors (re-entrant flow) generally cannot reach it — use
+	// Makespan to get the rate a FIFO pipeline actually achieves.
+	ThroughputUpperBound float64
+	// MaxPipelineSpeedup is ThroughputUpperBound x latency: 1.0 means
+	// no overlap is possible (everything on one resource).
+	MaxPipelineSpeedup float64
+}
+
+// Analyze computes the steady-state analysis of a plan.
+func Analyze(p *plan.Plan) *Analysis {
+	a := &Analysis{PerResourceSeconds: map[string]float64{}}
+	for _, s := range p.Steps {
+		a.LatencySeconds += s.Seconds
+		a.PerResourceSeconds[resourceOf(s)] += s.Seconds
+	}
+	for res, busy := range a.PerResourceSeconds {
+		if busy > a.PerResourceSeconds[a.Bottleneck] || a.Bottleneck == "" {
+			a.Bottleneck = res
+		}
+	}
+	if busy := a.PerResourceSeconds[a.Bottleneck]; busy > 0 {
+		a.ThroughputUpperBound = 1 / busy
+		a.MaxPipelineSpeedup = a.LatencySeconds / busy
+	}
+	return a
+}
+
+// AchievedThroughput simulates a FIFO pipeline over n images and
+// returns the sustained rate (images/second).
+func AchievedThroughput(p *plan.Plan, n int) (float64, error) {
+	ms, err := Makespan(p, n)
+	if err != nil {
+		return 0, err
+	}
+	return float64(n) / ms, nil
+}
+
+// Makespan simulates processing `images` inputs through the plan with
+// per-resource pipelining: each image executes its steps in order,
+// and each resource serves images FIFO. Returns the total time until
+// the last image completes.
+func Makespan(p *plan.Plan, images int) (float64, error) {
+	if images <= 0 {
+		return 0, fmt.Errorf("sched: images must be positive, got %d", images)
+	}
+	resourceFree := map[string]float64{}
+	prevDone := 0.0 // finish time of the current image's previous step
+	var last float64
+	for img := 0; img < images; img++ {
+		prevDone = 0
+		for _, s := range p.Steps {
+			res := resourceOf(s)
+			start := prevDone
+			if resourceFree[res] > start {
+				start = resourceFree[res]
+			}
+			done := start + s.Seconds
+			resourceFree[res] = done
+			prevDone = done
+		}
+		last = prevDone
+	}
+	return last, nil
+}
+
+// Render formats the analysis for terminal output.
+func (a *Analysis) Render() string {
+	out := fmt.Sprintf("latency %.3f ms, pipelined rate <= %.1f img/s (max speedup %.2fx)\n",
+		a.LatencySeconds*1e3, a.ThroughputUpperBound, a.MaxPipelineSpeedup)
+	for res, busy := range a.PerResourceSeconds {
+		mark := ""
+		if res == a.Bottleneck {
+			mark = "  <- bottleneck"
+		}
+		out += fmt.Sprintf("  %-13s busy %8.3f ms/image%s\n", res, busy*1e3, mark)
+	}
+	return out
+}

@@ -1,0 +1,131 @@
+package sched
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/models"
+	"repro/internal/plan"
+	"repro/internal/platform"
+	"repro/internal/primitives"
+	"repro/internal/profile"
+)
+
+func mobilenetPlan(t *testing.T) *plan.Plan {
+	t.Helper()
+	net := models.MustBuild("mobilenet-v1")
+	pl := platform.JetsonTX2Like()
+	tab, err := profile.Run(net, profile.NewSimSource(net, pl),
+		profile.Options{Mode: primitives.ModeGPGPU, Samples: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := core.Search(tab, core.Config{Episodes: 600, Seed: 1})
+	p, err := plan.Build(net, tab, res.Assignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestAnalyzeConsistency(t *testing.T) {
+	p := mobilenetPlan(t)
+	a := Analyze(p)
+	if math.Abs(a.LatencySeconds-p.TotalSeconds) > 1e-12 {
+		t.Errorf("latency %v != plan total %v", a.LatencySeconds, p.TotalSeconds)
+	}
+	// Busy times sum to the latency (every step occupies exactly one
+	// resource).
+	var sum float64
+	for _, b := range a.PerResourceSeconds {
+		sum += b
+	}
+	if math.Abs(sum-a.LatencySeconds) > 1e-12 {
+		t.Errorf("resource busy sum %v != latency %v", sum, a.LatencySeconds)
+	}
+	// The searched MobileNet mapping uses CPU, GPU and interconnect.
+	for _, res := range []string{"CPU", "GPU", "interconnect"} {
+		if a.PerResourceSeconds[res] <= 0 {
+			t.Errorf("resource %s unused — expected a heterogeneous mapping", res)
+		}
+	}
+	if a.MaxPipelineSpeedup < 1 {
+		t.Errorf("max pipeline speedup %v < 1", a.MaxPipelineSpeedup)
+	}
+	if a.ThroughputUpperBound <= 1/a.LatencySeconds-1e-9 {
+		t.Error("pipelined upper bound should be at least the sequential rate")
+	}
+}
+
+func TestMakespanBounds(t *testing.T) {
+	p := mobilenetPlan(t)
+	a := Analyze(p)
+	one, err := Makespan(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(one-a.LatencySeconds) > 1e-9 {
+		t.Errorf("makespan(1) = %v, want latency %v", one, a.LatencySeconds)
+	}
+	n := 20
+	many, err := Makespan(p, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bounds: pipelined is no worse than sequential and no better
+	// than the bottleneck rate.
+	if many > float64(n)*a.LatencySeconds+1e-9 {
+		t.Errorf("makespan(%d) = %v exceeds sequential %v", n, many, float64(n)*a.LatencySeconds)
+	}
+	lower := float64(n) * a.PerResourceSeconds[a.Bottleneck]
+	if many < lower-1e-9 {
+		t.Errorf("makespan(%d) = %v beats the bottleneck bound %v", n, many, lower)
+	}
+	// Monotone in n.
+	fewer, err := Makespan(p, n-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fewer > many {
+		t.Error("makespan should be monotone in the batch size")
+	}
+}
+
+func TestAchievedRateWithinBounds(t *testing.T) {
+	// A re-entrant mapping (CPU<->GPU ping-pong) cannot reach the
+	// bottleneck bound with a FIFO pipeline, but must stay between the
+	// sequential rate and the bound.
+	p := mobilenetPlan(t)
+	a := Analyze(p)
+	n := 200
+	rate, err := AchievedThroughput(p, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate > a.ThroughputUpperBound+1e-9 {
+		t.Errorf("simulated rate %v exceeds the bound %v", rate, a.ThroughputUpperBound)
+	}
+	seq := 1 / a.LatencySeconds
+	if rate < seq*(1-1e-9)*float64(n)/(float64(n)+1) {
+		t.Errorf("simulated rate %v below the sequential rate %v", rate, seq)
+	}
+}
+
+func TestMakespanValidation(t *testing.T) {
+	p := mobilenetPlan(t)
+	if _, err := Makespan(p, 0); err == nil {
+		t.Error("zero images should error")
+	}
+}
+
+func TestRender(t *testing.T) {
+	a := Analyze(mobilenetPlan(t))
+	out := a.Render()
+	for _, want := range []string{"latency", "img/s", "bottleneck"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package tensor
+
+// Layout identifies the memory order of a 4-D activation tensor.
+// Different acceleration libraries require different layouts (e.g.
+// cuDNN and the BLAS lowerings prefer NCHW while NNPACK-style and some
+// ArmCL primitives prefer NHWC); inserting a conversion between two
+// layers whose primitives disagree costs time, which is the core
+// incompatibility the QS-DNN search must learn to navigate.
+type Layout uint8
+
+const (
+	// NCHW stores channels outermost (planar): all of channel 0's
+	// pixels, then channel 1's, and so on.
+	NCHW Layout = iota
+	// NHWC stores channels innermost (interleaved): for each pixel,
+	// all channels are adjacent.
+	NHWC
+)
+
+// String returns the conventional name of the layout.
+func (l Layout) String() string {
+	switch l {
+	case NCHW:
+		return "NCHW"
+	case NHWC:
+		return "NHWC"
+	default:
+		return "Layout(?)"
+	}
+}
+
+// Layouts lists all supported layouts.
+func Layouts() []Layout { return []Layout{NCHW, NHWC} }

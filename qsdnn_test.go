@@ -1,0 +1,145 @@
+package qsdnn
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/lut"
+)
+
+func TestModelsZoo(t *testing.T) {
+	if len(Models()) != 13 {
+		t.Fatalf("zoo has %d models", len(Models()))
+	}
+	net, err := Model("lenet5")
+	if err != nil || net.Name != "lenet5" {
+		t.Fatalf("Model(lenet5) = %v, %v", net, err)
+	}
+	if _, err := Model("bogus"); err == nil {
+		t.Error("unknown model should error")
+	}
+}
+
+func TestOptimizeEndToEnd(t *testing.T) {
+	net := MustModel("lenet5")
+	rep, err := Optimize(net, NewTX2Platform(), Options{Mode: ModeGPGPU, Episodes: 400, Samples: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Seconds <= 0 || math.IsInf(rep.Seconds, 0) {
+		t.Fatalf("Seconds = %v", rep.Seconds)
+	}
+	if rep.SpeedupVsVanilla < 1 {
+		t.Errorf("QS-DNN should beat Vanilla, speedup %v", rep.SpeedupVsVanilla)
+	}
+	if rep.SpeedupVsBSL < 0.999 {
+		t.Errorf("QS-DNN should not lose to BSL, ratio %v", rep.SpeedupVsBSL)
+	}
+	if len(rep.Choices) != net.Len()-1 {
+		t.Errorf("choices = %d, want %d", len(rep.Choices), net.Len()-1)
+	}
+	if len(rep.Curve) != 400 {
+		t.Errorf("curve = %d points", len(rep.Curve))
+	}
+	// LeNet-5's paper-reproduced quirk: the GPGPU winner is pure CPU.
+	for _, c := range rep.Choices {
+		if c.Processor != "CPU" {
+			t.Errorf("lenet5 GPGPU winner should be pure CPU, %s runs on %s", c.Layer, c.Processor)
+		}
+	}
+	sum := rep.Summary()
+	for _, want := range []string{"lenet5", "Vanilla baseline", "QS-DNN", "speedup"} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("summary missing %q:\n%s", want, sum)
+		}
+	}
+	mix := rep.LibraryMix()
+	total := 0
+	for _, n := range mix {
+		total += n
+	}
+	if total != len(rep.Choices) {
+		t.Errorf("library mix covers %d layers, want %d", total, len(rep.Choices))
+	}
+}
+
+func TestOptimizeTableRejectsMismatch(t *testing.T) {
+	netA := MustModel("lenet5")
+	netB := MustModel("alexnet")
+	tab, err := Profile(netA, NewTX2Platform(), ModeCPU, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OptimizeTable(netB, tab, Options{}); err == nil {
+		t.Error("table/network mismatch should error")
+	}
+}
+
+func TestProfileSearchRoundTripThroughJSON(t *testing.T) {
+	// The CLI workflow: profile -> save -> load -> search.
+	net := MustModel("lenet5")
+	tab, err := Profile(net, NewTX2Platform(), ModeGPGPU, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := lut.Load(data, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := OptimizeTable(net, tab, Options{Episodes: 200, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := OptimizeTable(net, back, Options{Episodes: 200, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Seconds != b.Seconds {
+		t.Errorf("search through JSON round trip differs: %v vs %v", a.Seconds, b.Seconds)
+	}
+}
+
+func TestBaselinesExposed(t *testing.T) {
+	net := MustModel("mobilenet-v1")
+	tab, err := Profile(net, NewTX2Platform(), ModeGPGPU, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := Optimal(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl := Search(tab, SearchConfig{Episodes: 600, Seed: 2})
+	rs := RandomSearch(tab, 600, 2)
+	greedy := Greedy(tab)
+	// Ordering invariants: optimum <= RL <= RS; greedy valid but can
+	// be anywhere above the optimum.
+	if rl.Time < opt.Time-1e-12 {
+		t.Error("RL below DP optimum — impossible")
+	}
+	if rs.Time < opt.Time-1e-12 || greedy.Time < opt.Time-1e-12 {
+		t.Error("baseline below DP optimum — impossible")
+	}
+	if rl.Time > rs.Time {
+		t.Errorf("RL %v should beat RS %v on MobileNet", rl.Time, rs.Time)
+	}
+}
+
+func TestCPUOnlyPlatform(t *testing.T) {
+	net := MustModel("lenet5")
+	rep, err := Optimize(net, NewCPUOnlyPlatform(), Options{Mode: ModeCPU, Episodes: 200, Samples: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range rep.Choices {
+		if c.Processor == "GPU" {
+			t.Error("CPU-only platform produced a GPU choice")
+		}
+	}
+}
