@@ -1,0 +1,186 @@
+package qsdnn
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/runner"
+)
+
+// This file is the public face of the concurrent batch orchestrator
+// (internal/runner): many (network, mode, seed) optimizations fanned
+// across a bounded worker pool, profiling each distinct
+// (network, mode, samples) combination exactly once via a
+// single-flight cache, with deterministic best-of-N-seeds aggregation
+// — the batch output depends only on the jobs and seeds, never on the
+// worker count or completion order.
+
+// BatchJob requests one network optimization within a batch.
+type BatchJob struct {
+	// Network is the zoo model name.
+	Network string
+	// Mode is the processor mode (default ModeCPU).
+	Mode Mode
+	// Seeds are the search seeds to try, keeping the best result
+	// (best-of-N). Empty derives BestOf consecutive seeds from the
+	// batch Options.Seed.
+	Seeds []int64
+}
+
+// BatchOptions configures OptimizeBatch. The embedded Options supply
+// the per-job defaults (Episodes, Samples, Seed, Search).
+type BatchOptions struct {
+	Options
+	// Workers bounds the worker pool; <= 0 uses one per CPU.
+	Workers int
+	// BestOf is the number of consecutive seeds (starting at
+	// Options.Seed) tried per job when a job has no explicit Seeds;
+	// <= 0 means 1.
+	BestOf int
+	// Platform is the board model; nil selects the TX2-like preset.
+	Platform *Platform
+}
+
+// JobStats carries the per-job batch bookkeeping that is not part of
+// the Report itself. Wall-clock fields are excluded from JSON so a
+// serialized batch is reproducible byte for byte across runs and
+// worker counts.
+type JobStats struct {
+	// Network and Mode identify the job.
+	Network string
+	Mode    Mode
+	// Seeds are the seeds tried, in order.
+	Seeds []int64
+	// BestSeed produced the job's Report.
+	BestSeed int64
+	// SeedSeconds holds each seed's best inference time, seed order.
+	SeedSeconds []float64
+	// Elapsed is the summed search wall-clock across the job's seeds.
+	Elapsed time.Duration `json:"-"`
+}
+
+// BatchReport is the outcome of OptimizeBatch.
+type BatchReport struct {
+	// Reports holds one best-of-seeds Report per job, in input order.
+	Reports []*Report
+	// Stats holds the matching per-job seed and timing details.
+	Stats []JobStats
+	// Elapsed is the whole batch's wall clock, profiling included
+	// (excluded from JSON: it varies run to run).
+	Elapsed time.Duration `json:"-"`
+	// ProfileHits counts profiling requests served by the shared
+	// cache; ProfileMisses counts distinct profiling runs executed.
+	ProfileHits, ProfileMisses int
+}
+
+// OptimizeBatch profiles and searches every job concurrently on a
+// bounded worker pool and returns the per-job Reports in input order.
+// Tables are shared: each distinct (network, mode, samples)
+// combination is profiled exactly once per batch, even when many
+// workers request it simultaneously.
+func OptimizeBatch(jobs []BatchJob, opts BatchOptions) (*BatchReport, error) {
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("qsdnn: empty batch")
+	}
+	opts.Options = opts.Options.withDefaults()
+	if opts.BestOf <= 0 {
+		opts.BestOf = 1
+	}
+	rjobs := make([]runner.Job, len(jobs))
+	for i, j := range jobs {
+		seeds := j.Seeds
+		if len(seeds) == 0 {
+			seeds = make([]int64, opts.BestOf)
+			for k := range seeds {
+				seeds[k] = opts.Seed + int64(k)
+			}
+		}
+		rjobs[i] = runner.Job{
+			Network:  j.Network,
+			Mode:     j.Mode,
+			Seeds:    seeds,
+			Episodes: opts.Episodes,
+			Samples:  opts.Samples,
+			Search:   opts.Search,
+		}
+	}
+	batch, err := runner.Run(rjobs, runner.Options{Workers: opts.Workers, Platform: opts.Platform})
+	if err != nil {
+		return nil, err
+	}
+	out := &BatchReport{
+		Reports:       make([]*Report, len(batch.Jobs)),
+		Stats:         make([]JobStats, len(batch.Jobs)),
+		Elapsed:       batch.Elapsed,
+		ProfileHits:   batch.ProfileHits,
+		ProfileMisses: batch.ProfileMisses,
+	}
+	for i, jr := range batch.Jobs {
+		out.Reports[i] = newReport(jr.Net, jr.Table, jr.Best)
+		st := JobStats{
+			Network:  jr.Job.Network,
+			Mode:     jr.Job.Mode,
+			Seeds:    jr.Job.Seeds,
+			BestSeed: jr.BestSeed,
+			Elapsed:  jr.Elapsed,
+		}
+		for _, sr := range jr.Seeds {
+			st.SeedSeconds = append(st.SeedSeconds, sr.Result.Time)
+		}
+		out.Stats[i] = st
+	}
+	return out, nil
+}
+
+// ZooBatch builds one BatchJob per zoo model under the given mode —
+// the full-sweep input for OptimizeBatch.
+func ZooBatch(mode Mode) []BatchJob {
+	names := Models()
+	jobs := make([]BatchJob, len(names))
+	for i, n := range names {
+		jobs[i] = BatchJob{Network: n, Mode: mode}
+	}
+	return jobs
+}
+
+// Summary renders the batch as a fixed-width table: one line per job
+// with the paper's headline quantities plus the winning seed. The
+// string is deterministic for fixed jobs and seeds — wall-clock stats
+// are reported separately by TimingSummary.
+func (r *BatchReport) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %-6s %10s %10s %10s %9s %8s\n",
+		"network", "mode", "qsdnn(ms)", "vanilla/x", "bsl/x", "seeds", "best")
+	for i, rep := range r.Reports {
+		st := r.Stats[i]
+		fmt.Fprintf(&b, "%-16s %-6s %10.3f %9.1fx %9.2fx %9d %8d\n",
+			rep.Network, rep.Mode, rep.Seconds*1e3,
+			rep.SpeedupVsVanilla, rep.SpeedupVsBSL, len(st.Seeds), st.BestSeed)
+	}
+	return b.String()
+}
+
+// TimingSummary renders the wall-clock side of the batch: per-job
+// search times (descending), total elapsed and cache effectiveness.
+func (r *BatchReport) TimingSummary() string {
+	type jt struct {
+		name string
+		d    time.Duration
+	}
+	items := make([]jt, len(r.Stats))
+	var total time.Duration
+	for i, st := range r.Stats {
+		items[i] = jt{name: fmt.Sprintf("%s/%s", st.Network, st.Mode), d: st.Elapsed}
+		total += st.Elapsed
+	}
+	sort.SliceStable(items, func(i, j int) bool { return items[i].d > items[j].d })
+	var b strings.Builder
+	fmt.Fprintf(&b, "batch wall-clock %v (search time summed over jobs %v)\n", r.Elapsed, total)
+	fmt.Fprintf(&b, "profile cache: %d runs, %d shared\n", r.ProfileMisses, r.ProfileHits)
+	for _, it := range items {
+		fmt.Fprintf(&b, "  %-24s %v\n", it.name, it.d)
+	}
+	return b.String()
+}

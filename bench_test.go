@@ -9,6 +9,7 @@ package qsdnn
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -503,6 +504,40 @@ func BenchmarkBoltzmannVsEpsilonGreedy(b *testing.B) {
 		}
 		b.ReportMetric(res.Time*1e3, "ms_solution")
 	})
+}
+
+// BenchmarkOptimizeBatch measures the batch orchestrator's throughput
+// at one worker (pure sequential, pool bypassed) versus an 8-worker
+// pool, over a mixed batch with best-of-2 seeds per job (8 units).
+// The ms_batch metric is the wall-clock of one whole batch; on a host
+// with C cores the pooled variant divides it by roughly min(C, 8),
+// while on a single core it exposes the scheduling overhead instead.
+func BenchmarkOptimizeBatch(b *testing.B) {
+	b.Logf("GOMAXPROCS=%d NumCPU=%d", runtime.GOMAXPROCS(0), runtime.NumCPU())
+	jobs := []BatchJob{
+		{Network: "lenet5", Mode: ModeGPGPU},
+		{Network: "mobilenet-v1", Mode: ModeGPGPU},
+		{Network: "mobilenet-v1", Mode: ModeCPU},
+		{Network: "squeezenet", Mode: ModeGPGPU},
+	}
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			var batch *BatchReport
+			for i := 0; i < b.N; i++ {
+				var err error
+				batch, err = OptimizeBatch(jobs, BatchOptions{
+					Options: Options{Episodes: 300, Samples: 10},
+					Workers: workers,
+					BestOf:  2,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(batch.Elapsed.Milliseconds()), "ms_batch")
+			b.ReportMetric(float64(batch.ProfileMisses), "profiles")
+		})
+	}
 }
 
 // BenchmarkSearchEnsemble measures the 5-seed ensemble protocol of

@@ -6,6 +6,12 @@
 // Usage:
 //
 //	qsdnn-table2 [-networks lenet5,alexnet,...] [-episodes 1000] [-samples 50] [-seed 1]
+//	             [-parallel N] [-seeds K]
+//
+// -parallel fans the per-(network, mode) jobs across a bounded worker
+// pool (0 = one worker per CPU); -seeds runs best-of-K consecutive
+// seeds per job. The default (-parallel 1 -seeds 1) reproduces the
+// sequential single-seed sweep exactly.
 package main
 
 import (
@@ -25,11 +31,13 @@ func main() {
 	episodes := flag.Int("episodes", 1000, "search episode budget per network")
 	samples := flag.Int("samples", 50, "profiling samples per measurement")
 	seed := flag.Int64("seed", 1, "random seed")
+	parallel := flag.Int("parallel", 1, "worker pool size (0 = one per CPU)")
+	seeds := flag.Int("seeds", 1, "best-of-N consecutive seeds per network and mode")
 	flag.Parse()
 
 	pl := platform.JetsonTX2Like()
 	opts := report.Options{Episodes: *episodes, Samples: *samples, Seed: *seed}
-	rows, err := report.TableII(strings.Split(*networks, ","), pl, opts)
+	rows, err := report.TableIIParallel(strings.Split(*networks, ","), pl, opts, *parallel, *seeds)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "qsdnn-table2:", err)
 		os.Exit(1)

@@ -36,18 +36,20 @@ func main() {
 	}
 	cmd, args := os.Args[1], os.Args[2:]
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
-	netName := fs.String("net", "mobilenet-v1", "zoo network name")
-	modeStr := fs.String("mode", "gpgpu", "processor mode: cpu or gpgpu")
+	netName := fs.String("net", "mobilenet-v1", "zoo network name (bench-all: comma-separated list or 'all')")
+	modeStr := fs.String("mode", "gpgpu", "processor mode: cpu or gpgpu (bench-all also accepts 'both')")
 	episodes := fs.Int("episodes", 1000, "search episode budget")
 	samples := fs.Int("samples", 50, "profiling samples per measurement")
 	seed := fs.Int64("seed", 1, "random seed")
 	lutFile := fs.String("lut", "", "LUT JSON file to write (profile) or read (search)")
 	platName := fs.String("platform", "tx2-like", "board preset (tx2-like, tx1-like, nano-like, xavier-like, cpu-only)")
+	parallel := fs.Int("parallel", 0, "bench-all worker pool size (0 = one per CPU)")
+	seeds := fs.Int("seeds", 1, "bench-all best-of-N consecutive seeds per job")
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
 	}
 
-	if err := run(cmd, *netName, *modeStr, *episodes, *samples, *seed, *lutFile, *platName); err != nil {
+	if err := run(cmd, *netName, *modeStr, *episodes, *samples, *seed, *lutFile, *platName, *parallel, *seeds); err != nil {
 		fmt.Fprintln(os.Stderr, "qsdnn:", err)
 		os.Exit(1)
 	}
@@ -62,6 +64,9 @@ commands:
   space      show design-space sizes
   profile    run the inference phase and write the look-up table
   search     run the full pipeline (or search a saved LUT) and report
+  bench-all  optimize many networks concurrently on a bounded worker
+             pool (-net all|name,name -mode cpu|gpgpu|both
+             -parallel N -seeds K): the Table II sweep, parallelized
   pbqp       solve with partitioned boolean quadratic programming
   pareto     sweep the latency/energy trade-off (multi-objective)
   plan       search, then emit the deployment plan (+ Chrome trace with -lut FILE)
@@ -70,7 +75,8 @@ commands:
   export     write a network's architecture as JSON (-lut FILE.json) and
              annotated Graphviz DOT (FILE.dot) after searching it
 
-flags: -net NAME -mode cpu|gpgpu -platform NAME -episodes N -samples N -seed N -lut FILE`)
+flags: -net NAME -mode cpu|gpgpu -platform NAME -episodes N -samples N -seed N -lut FILE
+       -parallel N -seeds K (bench-all)`)
 }
 
 func parseMode(s string) (primitives.Mode, error) {
@@ -83,12 +89,46 @@ func parseMode(s string) (primitives.Mode, error) {
 	return 0, fmt.Errorf("unknown mode %q (want cpu or gpgpu)", s)
 }
 
-func run(cmd, netName, modeStr string, episodes, samples int, seed int64, lutFile, platName string) error {
+func run(cmd, netName, modeStr string, episodes, samples int, seed int64, lutFile, platName string, parallel, seeds int) error {
 	board, ok := platform.Preset(platName)
 	if !ok {
 		return fmt.Errorf("unknown platform %q", platName)
 	}
 	switch cmd {
+	case "bench-all":
+		var modes []primitives.Mode
+		if modeStr == "both" {
+			modes = []primitives.Mode{primitives.ModeCPU, primitives.ModeGPGPU}
+		} else {
+			mode, err := parseMode(modeStr)
+			if err != nil {
+				return err
+			}
+			modes = []primitives.Mode{mode}
+		}
+		nets := strings.Split(netName, ",")
+		if netName == "all" || netName == "" {
+			nets = models.All()
+		}
+		var jobs []qsdnn.BatchJob
+		for _, n := range nets {
+			for _, m := range modes {
+				jobs = append(jobs, qsdnn.BatchJob{Network: strings.TrimSpace(n), Mode: m})
+			}
+		}
+		batch, err := qsdnn.OptimizeBatch(jobs, qsdnn.BatchOptions{
+			Options:  qsdnn.Options{Episodes: episodes, Samples: samples, Seed: seed},
+			Workers:  parallel,
+			BestOf:   seeds,
+			Platform: board,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(batch.Summary())
+		fmt.Println()
+		fmt.Print(batch.TimingSummary())
+		return nil
 	case "models":
 		for _, name := range models.All() {
 			net := models.MustBuild(name)

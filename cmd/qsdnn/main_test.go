@@ -39,7 +39,7 @@ const (
 
 func TestModelsCommand(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run("models", "", "gpgpu", fastEpisodes, fastSamples, 1, "", "tx2-like")
+		return run("models", "", "gpgpu", fastEpisodes, fastSamples, 1, "", "tx2-like", 1, 1)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -53,7 +53,7 @@ func TestModelsCommand(t *testing.T) {
 
 func TestPlatformsCommand(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run("platforms", "", "gpgpu", fastEpisodes, fastSamples, 1, "", "tx2-like")
+		return run("platforms", "", "gpgpu", fastEpisodes, fastSamples, 1, "", "tx2-like", 1, 1)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -67,7 +67,7 @@ func TestPlatformsCommand(t *testing.T) {
 
 func TestSpaceCommand(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run("space", "lenet5", "gpgpu", fastEpisodes, fastSamples, 1, "", "tx2-like")
+		return run("space", "lenet5", "gpgpu", fastEpisodes, fastSamples, 1, "", "tx2-like", 1, 1)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -80,7 +80,7 @@ func TestSpaceCommand(t *testing.T) {
 func TestProfileThenSearchWithLUTFile(t *testing.T) {
 	lutFile := filepath.Join(t.TempDir(), "lenet.lut.json")
 	if _, err := capture(t, func() error {
-		return run("profile", "lenet5", "cpu", fastEpisodes, fastSamples, 1, lutFile, "tx2-like")
+		return run("profile", "lenet5", "cpu", fastEpisodes, fastSamples, 1, lutFile, "tx2-like", 1, 1)
 	}); err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +88,7 @@ func TestProfileThenSearchWithLUTFile(t *testing.T) {
 		t.Fatalf("LUT file not written: %v", err)
 	}
 	out, err := capture(t, func() error {
-		return run("search", "lenet5", "cpu", fastEpisodes, fastSamples, 1, lutFile, "tx2-like")
+		return run("search", "lenet5", "cpu", fastEpisodes, fastSamples, 1, lutFile, "tx2-like", 1, 1)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -102,7 +102,7 @@ func TestProfileThenSearchWithLUTFile(t *testing.T) {
 
 func TestSearchWithoutLUT(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run("search", "lenet5", "gpgpu", fastEpisodes, fastSamples, 1, "", "nano-like")
+		return run("search", "lenet5", "gpgpu", fastEpisodes, fastSamples, 1, "", "nano-like", 1, 1)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -115,7 +115,7 @@ func TestSearchWithoutLUT(t *testing.T) {
 func TestPlanCommand(t *testing.T) {
 	trace := filepath.Join(t.TempDir(), "trace.json")
 	out, err := capture(t, func() error {
-		return run("plan", "lenet5", "gpgpu", fastEpisodes, fastSamples, 1, trace, "tx2-like")
+		return run("plan", "lenet5", "gpgpu", fastEpisodes, fastSamples, 1, trace, "tx2-like", 1, 1)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -132,7 +132,7 @@ func TestPlanCommand(t *testing.T) {
 
 func TestPBQPCommand(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run("pbqp", "lenet5", "gpgpu", fastEpisodes, fastSamples, 1, "", "tx2-like")
+		return run("pbqp", "lenet5", "gpgpu", fastEpisodes, fastSamples, 1, "", "tx2-like", 1, 1)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -144,7 +144,7 @@ func TestPBQPCommand(t *testing.T) {
 
 func TestParetoCommand(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run("pareto", "lenet5", "gpgpu", fastEpisodes, fastSamples, 1, "", "tx2-like")
+		return run("pareto", "lenet5", "gpgpu", fastEpisodes, fastSamples, 1, "", "tx2-like", 1, 1)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -156,7 +156,7 @@ func TestParetoCommand(t *testing.T) {
 
 func TestAnalyzeCommand(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run("analyze", "lenet5", "cpu", fastEpisodes, fastSamples, 1, "", "tx2-like")
+		return run("analyze", "lenet5", "cpu", fastEpisodes, fastSamples, 1, "", "tx2-like", 1, 1)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -168,25 +168,68 @@ func TestAnalyzeCommand(t *testing.T) {
 	}
 }
 
+func TestBenchAllCommand(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run("bench-all", "lenet5,mobilenet-v1", "both", fastEpisodes, fastSamples, 1, "", "tx2-like", 4, 2)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"lenet5", "mobilenet-v1", "CPU", "GPGPU", "qsdnn(ms)", "profile cache"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("bench-all output missing %q:\n%s", want, out)
+		}
+	}
+	// 2 networks x 2 modes x 2 seeds = 8 units over 4 distinct tables.
+	if !strings.Contains(out, "profile cache: 4 runs, 4 shared") {
+		t.Errorf("bench-all cache accounting wrong:\n%s", out)
+	}
+}
+
+func TestBenchAllSingleMode(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run("bench-all", "lenet5", "cpu", fastEpisodes, fastSamples, 1, "", "tx2-like", 1, 1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "GPGPU") {
+		t.Errorf("cpu-only bench-all mentions GPGPU:\n%s", out)
+	}
+}
+
+func TestBenchAllErrors(t *testing.T) {
+	if _, err := capture(t, func() error {
+		return run("bench-all", "nope", "cpu", 10, 2, 1, "", "tx2-like", 1, 1)
+	}); err == nil {
+		t.Error("bench-all with unknown network should error")
+	}
+	if _, err := capture(t, func() error {
+		return run("bench-all", "lenet5", "turbo", 10, 2, 1, "", "tx2-like", 1, 1)
+	}); err == nil {
+		t.Error("bench-all with unknown mode should error")
+	}
+}
+
 func TestErrorPaths(t *testing.T) {
 	cases := []struct {
 		name string
 		f    func() error
 	}{
 		{"unknown command", func() error {
-			return run("wat", "lenet5", "cpu", 10, 2, 1, "", "tx2-like")
+			return run("wat", "lenet5", "cpu", 10, 2, 1, "", "tx2-like", 1, 1)
 		}},
 		{"unknown model", func() error {
-			return run("search", "nope", "cpu", 10, 2, 1, "", "tx2-like")
+			return run("search", "nope", "cpu", 10, 2, 1, "", "tx2-like", 1, 1)
 		}},
 		{"unknown mode", func() error {
-			return run("search", "lenet5", "turbo", 10, 2, 1, "", "tx2-like")
+			return run("search", "lenet5", "turbo", 10, 2, 1, "", "tx2-like", 1, 1)
 		}},
 		{"unknown platform", func() error {
-			return run("search", "lenet5", "cpu", 10, 2, 1, "", "warpdrive")
+			return run("search", "lenet5", "cpu", 10, 2, 1, "", "warpdrive", 1, 1)
 		}},
 		{"missing lut file", func() error {
-			return run("search", "lenet5", "cpu", 10, 2, 1, "/nonexistent/x.json", "tx2-like")
+			return run("search", "lenet5", "cpu", 10, 2, 1, "/nonexistent/x.json", "tx2-like", 1, 1)
 		}},
 	}
 	for _, tc := range cases {
@@ -199,7 +242,7 @@ func TestErrorPaths(t *testing.T) {
 func TestExportCommand(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "lenet.json")
 	msg, err := capture(t, func() error {
-		return run("export", "lenet5", "cpu", fastEpisodes, fastSamples, 1, out, "tx2-like")
+		return run("export", "lenet5", "cpu", fastEpisodes, fastSamples, 1, out, "tx2-like", 1, 1)
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -5,9 +5,9 @@ import (
 	"math"
 	"math/rand"
 	"sort"
-	"sync"
 
 	"repro/internal/lut"
+	"repro/internal/pool"
 	"repro/internal/primitives"
 	"repro/internal/qlearn"
 )
@@ -176,23 +176,20 @@ type EnsembleStats struct {
 // SearchEnsemble runs n independent searches with consecutive seeds
 // concurrently (the search is CPU-bound and seeds are independent) and
 // aggregates them — the Fig. 5 protocol of averaging complete
-// experiments.
+// experiments. The fan-out goes through the bounded shared worker pool
+// rather than one goroutine per seed, so large ensembles cannot
+// oversubscribe the host; aggregation walks seeds in order, keeping
+// the stats independent of completion order.
 func SearchEnsemble(tab *lut.Table, cfg Config, n int) (*EnsembleStats, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("core: ensemble size %d", n)
 	}
 	results := make([]*Result, n)
-	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			c := cfg
-			c.Seed = cfg.Seed + int64(i)
-			results[i] = Search(tab, c)
-		}(i)
-	}
-	wg.Wait()
+	pool.Run(n, pool.DefaultWorkers(), func(i int) {
+		c := cfg
+		c.Seed = cfg.Seed + int64(i)
+		results[i] = Search(tab, c)
+	})
 	stats := &EnsembleStats{Best: results[0]}
 	for _, r := range results {
 		stats.Times = append(stats.Times, r.Time)

@@ -1,0 +1,156 @@
+package lut
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/primitives"
+	"repro/internal/tensor"
+)
+
+// fuzzNet builds the small chain network all fuzz inputs are loaded
+// against (Load takes the graph structure from the network, so the
+// fuzzer only explores the byte side).
+func fuzzNet() *nn.Network {
+	b := nn.NewBuilder("fuzz-chain", tensor.Shape{N: 1, C: 3, H: 8, W: 8})
+	x := b.Input()
+	x = b.Conv("c1", x, 4, 3, 1, 1)
+	x = b.ReLU("r1", x)
+	x = b.FullyConnected("fc", x, 10)
+	return b.MustBuild()
+}
+
+// fuzzTable returns a fully populated valid table for fuzzNet.
+func fuzzTable(net *nn.Network) *Table {
+	t := New(net, primitives.ModeGPGPU)
+	for i := 1; i < t.NumLayers(); i++ {
+		for k, p := range t.Candidates(i) {
+			t.SetTime(i, p, 0.001*float64(i)+0.0001*float64(k))
+		}
+	}
+	for _, ed := range t.Edges() {
+		for _, fp := range t.Candidates(ed.From) {
+			for _, tp := range t.Candidates(ed.To) {
+				pen := 0.0
+				if fp != tp {
+					pen = 0.0002
+				}
+				t.SetPenalty(ed.From, ed.To, fp, tp, pen)
+			}
+		}
+	}
+	for _, p := range t.Candidates(t.OutputLayer()) {
+		t.SetOutputPenalty(p, 0.0001)
+	}
+	return t
+}
+
+// checkSane asserts a successfully loaded table contains no NaN or
+// negative entry anywhere a search could read one (+Inf marks
+// un-profiled cells and is legal).
+func checkSane(t *testing.T, tab *Table) {
+	t.Helper()
+	bad := func(v float64) bool { return math.IsNaN(v) || (!math.IsInf(v, 1) && v < 0) }
+	for i := 1; i < tab.NumLayers(); i++ {
+		for _, p := range tab.Candidates(i) {
+			if v := tab.Time(i, p); bad(v) {
+				t.Fatalf("layer %d prim %d: loaded time %v", i, p, v)
+			}
+		}
+	}
+	for _, ed := range tab.Edges() {
+		for _, fp := range tab.Candidates(ed.From) {
+			for _, tp := range tab.Candidates(ed.To) {
+				if v := tab.Penalty(ed.From, ed.To, fp, tp); bad(v) {
+					t.Fatalf("edge %d->%d: loaded penalty %v", ed.From, ed.To, v)
+				}
+			}
+		}
+	}
+	for _, p := range tab.Candidates(tab.OutputLayer()) {
+		if v := tab.OutputPenalty(p); bad(v) {
+			t.Fatalf("output penalty %v", v)
+		}
+	}
+}
+
+// FuzzLoad drives Load with arbitrary bytes: valid tables must load
+// and stay sane, anything else must fail with an error — never a
+// panic, and never a table carrying NaN or negative times.
+func FuzzLoad(f *testing.F) {
+	net := fuzzNet()
+	valid, err := json.Marshal(fuzzTable(net))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"network":"fuzz-chain","mode":"GPGPU","layers":4,"output":3}`))
+	f.Add(bytes.Replace(valid, []byte(`"sec":0.001`), []byte(`"sec":-1`), 1))
+	f.Add(bytes.Replace(valid, []byte(`"layer":1`), []byte(`"layer":99`), 1))
+	f.Add(bytes.Replace(valid, []byte(`"from":0`), []byte(`"from":7`), 1))
+	f.Add(bytes.Replace(valid, []byte(`"prim":"vanilla-direct"`), []byte(`"prim":"warp-core"`), 1))
+	f.Add(bytes.Replace(valid, []byte(`"mode":"GPGPU"`), []byte(`"mode":"TPU"`), 1))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tab, err := Load(data, net)
+		if err != nil {
+			return
+		}
+		checkSane(t, tab)
+		// A loaded table must serialize again (canonical form).
+		if _, err := json.Marshal(tab); err != nil {
+			t.Fatalf("re-marshal of loaded table failed: %v", err)
+		}
+	})
+}
+
+// TestMarshalLoadRoundTripExact: serializing a table, loading it back
+// and serializing again reproduces the bytes exactly.
+func TestMarshalLoadRoundTripExact(t *testing.T) {
+	net := fuzzNet()
+	tab := fuzzTable(net)
+	first, err := json.Marshal(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(first, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := json.Marshal(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Errorf("round trip not exact:\n first: %s\nsecond: %s", first, second)
+	}
+}
+
+// TestLoadRejectsCorruptTables spells out the classes of corruption
+// Load must refuse (the fuzz seeds, asserted deterministically).
+func TestLoadRejectsCorruptTables(t *testing.T) {
+	net := fuzzNet()
+	valid, err := json.Marshal(fuzzTable(net))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"negative time":      bytes.Replace(valid, []byte(`"sec":0.001`), []byte(`"sec":-1`), 1),
+		"out-of-range layer": bytes.Replace(valid, []byte(`"layer":1`), []byte(`"layer":99`), 1),
+		"nonexistent edge":   bytes.Replace(valid, []byte(`"from":0`), []byte(`"from":7`), 1),
+		"unknown primitive":  bytes.Replace(valid, []byte(`"prim":"vanilla-direct"`), []byte(`"prim":"warp-core"`), 1),
+		"unknown mode":       bytes.Replace(valid, []byte(`"mode":"GPGPU"`), []byte(`"mode":"TPU"`), 1),
+		"wrong output":       bytes.Replace(valid, []byte(`"output":3`), []byte(`"output":1`), 1),
+	}
+	for name, data := range cases {
+		if bytes.Equal(data, valid) {
+			t.Fatalf("%s: mutation did not change the bytes", name)
+		}
+		if _, err := Load(data, net); err == nil {
+			t.Errorf("%s: Load accepted corrupt table", name)
+		}
+	}
+}

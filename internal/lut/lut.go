@@ -24,6 +24,14 @@ type Edge struct {
 // Table is the measurement database for one (network, mode) pair.
 // Entries not explicitly set are +Inf, so an un-profiled choice can
 // never look attractive to a search.
+//
+// Concurrency: a Table is written only while it is being populated
+// (New plus the Set* methods); once profiling finishes it is
+// effectively immutable and every read-side method (Time, Penalty,
+// LayerCost, TotalTime, Candidates, ...) is safe to call from any
+// number of goroutines simultaneously. This is what lets the batch
+// runner share one profiled table across concurrent searches. Callers
+// must not interleave Set* calls with concurrent reads.
 type Table struct {
 	// Network is the architecture name the table was profiled for.
 	Network string
@@ -125,15 +133,34 @@ func (t *Table) Time(i int, p primitives.ID) float64 {
 	return t.times[i*t.numPrims+int(p)]
 }
 
+// findEdge locates an edge, reporting whether it exists.
+func (t *Table) findEdge(from, to int) (int, bool) {
+	for e, ed := range t.edges {
+		if ed.From == from && ed.To == to {
+			return e, true
+		}
+	}
+	return 0, false
+}
+
 // edgeIndex locates an edge or panics — tables are always walked with
 // edges obtained from Edges().
 func (t *Table) edgeIndex(from, to int) int {
-	for e, ed := range t.edges {
-		if ed.From == from && ed.To == to {
-			return e
-		}
+	if e, ok := t.findEdge(from, to); ok {
+		return e
 	}
 	panic(fmt.Sprintf("lut: no edge %d->%d", from, to))
+}
+
+// isCandidate reports whether primitive id is in layer i's candidate
+// set.
+func (t *Table) isCandidate(i int, id primitives.ID) bool {
+	for _, c := range t.candidates[i] {
+		if c == id {
+			return true
+		}
+	}
+	return false
 }
 
 // SetPenalty records the compatibility cost of edge (from, to) under
@@ -280,7 +307,12 @@ func (t *Table) MarshalJSON() ([]byte, error) {
 }
 
 // Load deserializes a table previously produced by MarshalJSON for
-// the given network (the network supplies the graph structure).
+// the given network (the network supplies the graph structure). Every
+// entry is validated against the network's structure and the global
+// registry — layer indices in range, edges that exist, primitives that
+// are real candidates of their layer, and finite non-negative times —
+// so corrupt or adversarial bytes yield an error, never a panic or a
+// table a search would misprice.
 func Load(data []byte, net *nn.Network) (*Table, error) {
 	var in tableJSON
 	if err := json.Unmarshal(data, &in); err != nil {
@@ -289,13 +321,21 @@ func Load(data []byte, net *nn.Network) (*Table, error) {
 	if in.Network != net.Name {
 		return nil, fmt.Errorf("lut: table is for %q, network is %q", in.Network, net.Name)
 	}
-	mode := primitives.ModeCPU
-	if in.Mode == primitives.ModeGPGPU.String() {
+	var mode primitives.Mode
+	switch in.Mode {
+	case primitives.ModeCPU.String():
+		mode = primitives.ModeCPU
+	case primitives.ModeGPGPU.String():
 		mode = primitives.ModeGPGPU
+	default:
+		return nil, fmt.Errorf("lut: unknown mode %q", in.Mode)
 	}
 	t := New(net, mode)
 	if t.numLayers != in.Layers {
 		return nil, fmt.Errorf("lut: table has %d layers, network has %d", in.Layers, t.numLayers)
+	}
+	if t.output != in.Output {
+		return nil, fmt.Errorf("lut: table output layer %d, network output %d", in.Output, t.output)
 	}
 	byName := func(name string) (primitives.ID, error) {
 		p, ok := primitives.ByName(name)
@@ -304,16 +344,35 @@ func Load(data []byte, net *nn.Network) (*Table, error) {
 		}
 		return p.Idx, nil
 	}
+	checkSec := func(what string, sec float64) error {
+		if math.IsNaN(sec) || math.IsInf(sec, 0) || sec < 0 {
+			return fmt.Errorf("lut: %s has invalid time %v", what, sec)
+		}
+		return nil
+	}
 	for _, lt := range in.Times {
+		if lt.Layer < 0 || lt.Layer >= t.numLayers {
+			return nil, fmt.Errorf("lut: time entry for out-of-range layer %d", lt.Layer)
+		}
 		for _, pt := range lt.Times {
 			id, err := byName(pt.Prim)
 			if err != nil {
+				return nil, err
+			}
+			if !t.isCandidate(lt.Layer, id) {
+				return nil, fmt.Errorf("lut: %q is not a candidate of layer %d", pt.Prim, lt.Layer)
+			}
+			if err := checkSec(fmt.Sprintf("layer %d/%s", lt.Layer, pt.Prim), pt.Sec); err != nil {
 				return nil, err
 			}
 			t.SetTime(lt.Layer, id, pt.Sec)
 		}
 	}
 	for _, ep := range in.Edges {
+		e, ok := t.findEdge(ep.From, ep.To)
+		if !ok {
+			return nil, fmt.Errorf("lut: penalty entry for nonexistent edge %d->%d", ep.From, ep.To)
+		}
 		for _, pr := range ep.Pairs {
 			fp, err := byName(pr.FromPrim)
 			if err != nil {
@@ -323,12 +382,25 @@ func Load(data []byte, net *nn.Network) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			t.SetPenalty(ep.From, ep.To, fp, tp, pr.Sec)
+			if !t.isCandidate(ep.From, fp) || !t.isCandidate(ep.To, tp) {
+				return nil, fmt.Errorf("lut: edge %d->%d pair (%s, %s) is not a candidate pair",
+					ep.From, ep.To, pr.FromPrim, pr.ToPrim)
+			}
+			if err := checkSec(fmt.Sprintf("edge %d->%d", ep.From, ep.To), pr.Sec); err != nil {
+				return nil, err
+			}
+			t.penalties[e][int(fp)*t.numPrims+int(tp)] = pr.Sec
 		}
 	}
 	for _, pt := range in.OutPen {
 		id, err := byName(pt.Prim)
 		if err != nil {
+			return nil, err
+		}
+		if !t.isCandidate(t.output, id) {
+			return nil, fmt.Errorf("lut: output penalty for non-candidate %q", pt.Prim)
+		}
+		if err := checkSec(fmt.Sprintf("output penalty %s", pt.Prim), pt.Sec); err != nil {
 			return nil, err
 		}
 		t.SetOutputPenalty(id, pt.Sec)

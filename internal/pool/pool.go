@@ -1,0 +1,61 @@
+// Package pool provides the bounded worker pool shared by the batch
+// runner (internal/runner) and the multi-seed ensembles of
+// internal/core. Centralizing the fan-out keeps every concurrent path
+// in the tree on the same, race-tested primitive instead of ad-hoc
+// goroutine spawning.
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers returns the default concurrency: one worker per
+// available CPU.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Run invokes fn(i) for every i in [0, n), using at most workers
+// concurrent goroutines, and returns when all calls have finished.
+// workers <= 0 selects DefaultWorkers(). Items are claimed in index
+// order, so with workers == 1 the calls are strictly sequential —
+// callers exploit this to check that their aggregation is
+// order-independent.
+//
+// fn must confine its writes to per-index state (e.g. results[i]);
+// Run itself introduces no synchronization beyond the completion
+// barrier, which does establish a happens-before edge between every
+// fn call and Run's return.
+func Run(n, workers int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -2,6 +2,7 @@ package report
 
 import (
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -219,5 +220,40 @@ func TestSortedLibraries(t *testing.T) {
 		if got[i] != want[i] {
 			t.Fatalf("sorted = %v", got)
 		}
+	}
+}
+
+func TestTableIIParallelMatchesSequential(t *testing.T) {
+	pl := platform.JetsonTX2Like()
+	nets := []string{"lenet5", "mobilenet-v1"}
+	opts := Options{Episodes: 150, Samples: 3, Seed: 1}
+	seq, err := TableII(nets, pl, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := TableIIParallel(nets, pl, opts, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("parallel rows differ from sequential:\nseq: %+v\npar: %+v", seq, par)
+	}
+}
+
+func TestTableIIParallelBestOfSeeds(t *testing.T) {
+	pl := platform.JetsonTX2Like()
+	opts := Options{Episodes: 150, Samples: 3, Seed: 1}
+	one, err := TableIIParallel([]string{"lenet5"}, pl, opts, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	three, err := TableIIParallel([]string{"lenet5"}, pl, opts, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// More seeds can only match or improve the QS-DNN speedups.
+	if three[0].QSDNNCPU < one[0].QSDNNCPU || three[0].QSDNNGPU < one[0].QSDNNGPU {
+		t.Errorf("best-of-3 (%v/%v) worse than single seed (%v/%v)",
+			three[0].QSDNNCPU, three[0].QSDNNGPU, one[0].QSDNNCPU, one[0].QSDNNGPU)
 	}
 }

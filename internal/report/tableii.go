@@ -13,11 +13,11 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/lut"
-	"repro/internal/models"
 	"repro/internal/nn"
 	"repro/internal/platform"
 	"repro/internal/primitives"
 	"repro/internal/profile"
+	"repro/internal/runner"
 )
 
 // Options scales the experiments; zero values select the paper's
@@ -81,42 +81,69 @@ type Row struct {
 	QSDNNGPUUsesGPU bool
 }
 
-// profiledTable builds the LUT for one network and mode.
+// profiledTable builds the LUT for one network and mode (the figure
+// generators profile outside the batch runner).
 func profiledTable(net *nn.Network, pl *platform.Platform, mode primitives.Mode, opts Options) (*lut.Table, error) {
 	return profile.Run(net, profile.NewSimSource(net, pl), profile.Options{Mode: mode, Samples: opts.Samples})
 }
 
-// TableII computes the full table for the given networks.
+// TableII computes the full table for the given networks,
+// sequentially with the paper's single-seed protocol. It is
+// TableIIParallel with one worker and one seed.
 func TableII(networks []string, pl *platform.Platform, opts Options) ([]Row, error) {
+	return TableIIParallel(networks, pl, opts, 1, 1)
+}
+
+// TableIIParallel computes Table II through the batch runner: every
+// (network, mode) pair is one job fanned across a bounded worker pool
+// with best-of-seeds searches, and each pair is profiled exactly once
+// (single-flight LUT cache). Rows come back in input order; with
+// workers == 1 and seeds == 1 the output is identical to the original
+// sequential sweep.
+func TableIIParallel(networks []string, pl *platform.Platform, opts Options, workers, seeds int) ([]Row, error) {
 	opts = opts.withDefaults()
-	rows := make([]Row, 0, len(networks))
+	if seeds <= 0 {
+		seeds = 1
+	}
+	seedList := make([]int64, seeds)
+	for i := range seedList {
+		seedList[i] = opts.Seed + int64(i)
+	}
+	jobs := make([]runner.Job, 0, 2*len(networks))
 	for _, name := range networks {
-		net, err := models.Build(name)
-		if err != nil {
-			return nil, err
+		for _, mode := range []primitives.Mode{primitives.ModeCPU, primitives.ModeGPGPU} {
+			jobs = append(jobs, runner.Job{
+				Network:  name,
+				Mode:     mode,
+				Seeds:    seedList,
+				Episodes: opts.Episodes,
+				Samples:  opts.Samples,
+			})
 		}
-		row, err := tableIIRow(net, pl, opts)
-		if err != nil {
-			return nil, fmt.Errorf("report: %s: %w", name, err)
-		}
-		rows = append(rows, row)
+	}
+	batch, err := runner.Run(jobs, runner.Options{Workers: workers, Platform: pl})
+	if err != nil {
+		return nil, fmt.Errorf("report: %w", err)
+	}
+	rows := make([]Row, len(networks))
+	for i := range networks {
+		rows[i] = tableIIRow(&batch.Jobs[2*i], &batch.Jobs[2*i+1], opts)
 	}
 	return rows, nil
 }
 
-func tableIIRow(net *nn.Network, pl *platform.Platform, opts Options) (Row, error) {
+// tableIIRow assembles one row from a network's CPU-mode and
+// GPGPU-mode job results.
+func tableIIRow(cpu, gpu *runner.JobResult, opts Options) Row {
 	row := Row{
-		Network:       net.Name,
+		Network:       cpu.Job.Network,
 		LibSpeedupCPU: map[string]float64{},
 		LibSpeedupGPU: map[string]float64{},
 	}
 
 	// CPU mode.
-	cpuTab, err := profiledTable(net, pl, primitives.ModeCPU, opts)
-	if err != nil {
-		return row, err
-	}
-	vanCPU := core.VanillaTime(cpuTab)
+	cpuTab := cpu.Table
+	vanCPU := cpu.VanillaSeconds
 	row.VanillaCPUSeconds = vanCPU
 	bslCPU := vanCPU
 	row.BSLCPU = primitives.Vanilla.String()
@@ -127,32 +154,27 @@ func tableIIRow(net *nn.Network, pl *platform.Platform, opts Options) (Row, erro
 			bslCPU, row.BSLCPU = t, lib.String()
 		}
 	}
-	qsCPU := core.Search(cpuTab, core.Config{Episodes: opts.Episodes, Seed: opts.Seed})
-	row.QSDNNCPU = vanCPU / qsCPU.Time
-	row.QSvsBSLCPU = bslCPU / qsCPU.Time
+	row.QSDNNCPU = vanCPU / cpu.Best.Time
+	row.QSvsBSLCPU = bslCPU / cpu.Best.Time
 
 	// GPGPU mode.
-	gpuTab, err := profiledTable(net, pl, primitives.ModeGPGPU, opts)
-	if err != nil {
-		return row, err
-	}
-	vanGPU := core.VanillaTime(gpuTab)
+	gpuTab := gpu.Table
+	vanGPU := gpu.VanillaSeconds
 	row.VanillaGPGPUSeconds = vanGPU
 	bslGPU := vanGPU
 	row.BSLGPU = primitives.Vanilla.String()
 	for _, lib := range append(append([]primitives.Library{}, cpuLibs...), gpuLibs...) {
 		t := core.SingleLibrary(gpuTab, lib).Time
-		if _, isGPU := map[primitives.Library]bool{primitives.CuDNN: true, primitives.CuBLAS: true}[lib]; isGPU {
+		if lib == primitives.CuDNN || lib == primitives.CuBLAS {
 			row.LibSpeedupGPU[lib.String()] = vanGPU / t
 		}
 		if t < bslGPU {
 			bslGPU, row.BSLGPU = t, lib.String()
 		}
 	}
-	qsGPU := core.Search(gpuTab, core.Config{Episodes: opts.Episodes, Seed: opts.Seed})
-	row.QSDNNGPU = vanGPU / qsGPU.Time
-	row.QSvsBSLGPU = bslGPU / qsGPU.Time
-	for _, id := range qsGPU.Assignment {
+	row.QSDNNGPU = vanGPU / gpu.Best.Time
+	row.QSvsBSLGPU = bslGPU / gpu.Best.Time
+	for _, id := range gpu.Best.Assignment {
 		if primitives.ByID(id).Proc == primitives.GPU {
 			row.QSDNNGPUUsesGPU = true
 			break
@@ -161,8 +183,8 @@ func tableIIRow(net *nn.Network, pl *platform.Platform, opts Options) (Row, erro
 
 	rs := core.RandomSearch(gpuTab, opts.Episodes, opts.Seed)
 	row.RSGPU = vanGPU / rs.Time
-	row.QSvsRSGPU = rs.Time / qsGPU.Time
-	return row, nil
+	row.QSvsRSGPU = rs.Time / gpu.Best.Time
+	return row
 }
 
 // FormatTableII renders rows as a fixed-width text table in the

@@ -1,0 +1,71 @@
+package runner
+
+import (
+	"sync"
+
+	"repro/internal/lut"
+	"repro/internal/primitives"
+)
+
+// cacheKey identifies one profiling run. Two jobs that agree on all
+// three fields consume byte-identical look-up tables (profiling is
+// deterministic per sample index), so the table is built once and
+// shared.
+type cacheKey struct {
+	network string
+	mode    primitives.Mode
+	samples int
+}
+
+// cacheEntry is one in-flight or completed profiling run. ready is
+// closed when tab/err are final; waiters block on it instead of
+// holding the cache lock across the (expensive) build.
+type cacheEntry struct {
+	ready chan struct{}
+	tab   *lut.Table
+	err   error
+}
+
+// tableCache is a keyed single-flight cache: the first request for a
+// key builds the table, every concurrent or later request for the same
+// key waits for (or immediately gets) that one result.
+type tableCache struct {
+	mu      sync.Mutex
+	entries map[cacheKey]*cacheEntry
+	hits    int
+	misses  int
+}
+
+func newTableCache() *tableCache {
+	return &tableCache{entries: map[cacheKey]*cacheEntry{}}
+}
+
+// get returns the table for key, building it with build on the first
+// request. Concurrent callers with the same key share the single
+// build; build errors are cached and returned to every waiter.
+func (c *tableCache) get(key cacheKey, build func() (*lut.Table, error)) (*lut.Table, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		<-e.ready
+		return e.tab, e.err
+	}
+	e := &cacheEntry{ready: make(chan struct{})}
+	c.entries[key] = e
+	c.misses++
+	c.mu.Unlock()
+
+	e.tab, e.err = build()
+	close(e.ready)
+	return e.tab, e.err
+}
+
+// stats returns the lookup counters: hits is the number of requests
+// served from (or coalesced into) an existing entry, misses the number
+// of distinct builds executed.
+func (c *tableCache) stats() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

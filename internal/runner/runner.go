@@ -1,0 +1,230 @@
+// Package runner is the concurrent search orchestrator: it fans a
+// batch of (network, mode, seed) search jobs across a bounded worker
+// pool, shares profiled look-up tables through a keyed single-flight
+// cache (each distinct (network, mode, samples) combination is
+// profiled exactly once, even when many workers request it at the same
+// instant), and aggregates per-job results deterministically — the
+// output depends only on the jobs and their seeds, never on worker
+// count or completion order.
+//
+// The search itself (core.Search) is a pure function of (table, config)
+// and lut.Table is read-only after profiling, so arbitrarily many
+// searches may share one table concurrently; the runner exploits both.
+package runner
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/lut"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/platform"
+	"repro/internal/pool"
+	"repro/internal/primitives"
+	"repro/internal/profile"
+)
+
+// Job is one network to optimize: the search runs once per seed and
+// the best result wins (best-of-N protocol).
+type Job struct {
+	// Network is the zoo model name.
+	Network string
+	// Mode is the processor mode to profile and search under.
+	Mode primitives.Mode
+	// Seeds are the search seeds to try; empty selects {1}.
+	Seeds []int64
+	// Episodes is the per-seed episode budget (default 1000).
+	Episodes int
+	// Samples is the profiling average count (default 50).
+	Samples int
+	// Search optionally overrides the full agent configuration; its
+	// Episodes and Seed fields are set per seed from the job.
+	Search core.Config
+}
+
+// withDefaults fills unset job fields.
+func (j Job) withDefaults() Job {
+	if len(j.Seeds) == 0 {
+		j.Seeds = []int64{1}
+	}
+	if j.Episodes == 0 {
+		j.Episodes = 1000
+	}
+	if j.Samples == 0 {
+		j.Samples = 50
+	}
+	return j
+}
+
+// ProfileFunc builds the look-up table for one (network, mode,
+// samples) combination. The runner wraps it in the single-flight
+// cache, so it is called at most once per distinct combination per
+// batch.
+type ProfileFunc func(net *nn.Network, mode primitives.Mode, samples int) (*lut.Table, error)
+
+// Options configures a batch run.
+type Options struct {
+	// Workers bounds the worker pool; <= 0 selects one per CPU.
+	Workers int
+	// Platform is the board model profiled against when Profile is
+	// nil; nil selects the TX2-like preset.
+	Platform *platform.Platform
+	// Profile overrides the profiling step (e.g. to load saved tables
+	// or drive the real engine). nil profiles on the Platform
+	// simulator.
+	Profile ProfileFunc
+}
+
+// SeedResult is one seed's search outcome within a job.
+type SeedResult struct {
+	// Seed is the search seed.
+	Seed int64
+	// Result is the search outcome for this seed.
+	Result *core.Result
+	// Elapsed is the wall-clock time of this seed's search (profiling
+	// excluded — tables are shared across seeds and jobs).
+	Elapsed time.Duration
+}
+
+// JobResult aggregates one job: every per-seed result plus the
+// comparison quantities of the paper's Table II.
+type JobResult struct {
+	// Job echoes the (defaulted) input job.
+	Job Job
+	// Net is the built network.
+	Net *nn.Network
+	// Table is the shared profiled look-up table.
+	Table *lut.Table
+	// Seeds holds one result per seed, in the job's seed order.
+	Seeds []SeedResult
+	// Best is the fastest per-seed result (ties break toward the
+	// earlier seed, so aggregation is order-independent).
+	Best *core.Result
+	// BestSeed is the seed that produced Best.
+	BestSeed int64
+	// VanillaSeconds is the all-Vanilla baseline time.
+	VanillaSeconds float64
+	// BSLSeconds is the Best-Single-Library time.
+	BSLSeconds float64
+	// BSLLibrary is the library achieving BSLSeconds.
+	BSLLibrary primitives.Library
+	// Elapsed is the summed search wall-clock across the job's seeds.
+	Elapsed time.Duration
+}
+
+// SpeedupVsVanilla returns VanillaSeconds / Best.Time.
+func (r *JobResult) SpeedupVsVanilla() float64 { return r.VanillaSeconds / r.Best.Time }
+
+// SpeedupVsBSL returns BSLSeconds / Best.Time.
+func (r *JobResult) SpeedupVsBSL() float64 { return r.BSLSeconds / r.Best.Time }
+
+// BatchResult is the outcome of a batch run.
+type BatchResult struct {
+	// Jobs holds one result per input job, in input order.
+	Jobs []JobResult
+	// Elapsed is the batch wall-clock, profiling included.
+	Elapsed time.Duration
+	// ProfileHits counts table requests served by the cache;
+	// ProfileMisses counts the distinct profiling runs executed.
+	ProfileHits, ProfileMisses int
+}
+
+// Run executes the batch. Jobs are validated up front (unknown
+// networks fail the whole batch before any work starts); every
+// (job, seed) pair then becomes one unit of work on the pool.
+func Run(jobs []Job, opts Options) (*BatchResult, error) {
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("runner: empty batch")
+	}
+	pl := opts.Platform
+	if pl == nil {
+		pl = platform.JetsonTX2Like()
+	}
+	profileFn := opts.Profile
+	if profileFn == nil {
+		profileFn = func(net *nn.Network, mode primitives.Mode, samples int) (*lut.Table, error) {
+			return profile.Run(net, profile.NewSimSource(net, pl), profile.Options{Mode: mode, Samples: samples})
+		}
+	}
+
+	// Validate and default every job; build each distinct network once.
+	defaulted := make([]Job, len(jobs))
+	nets := map[string]*nn.Network{}
+	for i, j := range jobs {
+		j = j.withDefaults()
+		if _, ok := nets[j.Network]; !ok {
+			net, err := models.Build(j.Network)
+			if err != nil {
+				return nil, fmt.Errorf("runner: job %d: %w", i, err)
+			}
+			nets[j.Network] = net
+		}
+		defaulted[i] = j
+	}
+
+	// Flatten to (job, seed) units. Each unit writes only its own
+	// slots, so the pool needs no further synchronization.
+	type unit struct{ job, seed int }
+	var units []unit
+	for ji, j := range defaulted {
+		for si := range j.Seeds {
+			units = append(units, unit{job: ji, seed: si})
+		}
+	}
+	results := make([][]SeedResult, len(defaulted))
+	tables := make([][]*lut.Table, len(defaulted))
+	errs := make([]error, len(units))
+	for ji, j := range defaulted {
+		results[ji] = make([]SeedResult, len(j.Seeds))
+		tables[ji] = make([]*lut.Table, len(j.Seeds))
+	}
+
+	cache := newTableCache()
+	start := time.Now()
+	pool.Run(len(units), opts.Workers, func(u int) {
+		ji, si := units[u].job, units[u].seed
+		job := defaulted[ji]
+		net := nets[job.Network]
+		tab, err := cache.get(cacheKey{network: job.Network, mode: job.Mode, samples: job.Samples},
+			func() (*lut.Table, error) { return profileFn(net, job.Mode, job.Samples) })
+		if err != nil {
+			errs[u] = fmt.Errorf("runner: profiling %s/%s: %w", job.Network, job.Mode, err)
+			return
+		}
+		tables[ji][si] = tab
+		cfg := job.Search
+		cfg.Episodes = job.Episodes
+		cfg.Seed = job.Seeds[si]
+		t0 := time.Now()
+		res := core.Search(tab, cfg)
+		results[ji][si] = SeedResult{Seed: job.Seeds[si], Result: res, Elapsed: time.Since(t0)}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Aggregate in input order: completion order never leaks into the
+	// result. Ties between seeds break toward the earlier seed.
+	batch := &BatchResult{Jobs: make([]JobResult, len(defaulted))}
+	for ji, j := range defaulted {
+		jr := JobResult{Job: j, Net: nets[j.Network], Table: tables[ji][0], Seeds: results[ji]}
+		for si, sr := range results[ji] {
+			jr.Elapsed += sr.Elapsed
+			if jr.Best == nil || sr.Result.Time < jr.Best.Time {
+				jr.Best = sr.Result
+				jr.BestSeed = j.Seeds[si]
+			}
+		}
+		jr.VanillaSeconds = core.VanillaTime(jr.Table)
+		lib, bsl := core.BestSingleLibrary(jr.Table)
+		jr.BSLLibrary, jr.BSLSeconds = lib, bsl.Time
+		batch.Jobs[ji] = jr
+	}
+	batch.Elapsed = time.Since(start)
+	batch.ProfileHits, batch.ProfileMisses = cache.stats()
+	return batch, nil
+}

@@ -1,0 +1,163 @@
+package runner
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/lut"
+	"repro/internal/nn"
+	"repro/internal/platform"
+	"repro/internal/primitives"
+	"repro/internal/profile"
+)
+
+// countingProfile wraps the simulator profile with an execution
+// counter so tests can assert the single-flight property.
+func countingProfile(pl *platform.Platform, calls *atomic.Int64) ProfileFunc {
+	return func(net *nn.Network, mode primitives.Mode, samples int) (*lut.Table, error) {
+		calls.Add(1)
+		return profile.Run(net, profile.NewSimSource(net, pl), profile.Options{Mode: mode, Samples: samples})
+	}
+}
+
+func TestRunProfilesEachKeyExactlyOnce(t *testing.T) {
+	// 3 jobs sharing one (network, mode, samples) key plus 1 distinct
+	// key, 3 seeds each, spread over 8 workers: the shared key must be
+	// profiled once no matter how the 12 units interleave.
+	jobs := []Job{
+		{Network: "lenet5", Mode: primitives.ModeGPGPU, Seeds: []int64{1, 2, 3}, Episodes: 60, Samples: 2},
+		{Network: "lenet5", Mode: primitives.ModeGPGPU, Seeds: []int64{4, 5, 6}, Episodes: 60, Samples: 2},
+		{Network: "lenet5", Mode: primitives.ModeGPGPU, Seeds: []int64{7, 8, 9}, Episodes: 60, Samples: 2},
+		{Network: "lenet5", Mode: primitives.ModeCPU, Seeds: []int64{1, 2, 3}, Episodes: 60, Samples: 2},
+	}
+	var calls atomic.Int64
+	batch, err := Run(jobs, Options{Workers: 8, Profile: countingProfile(platform.JetsonTX2Like(), &calls)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 2 {
+		t.Errorf("profile executed %d times, want 2 (distinct keys)", calls.Load())
+	}
+	if batch.ProfileMisses != 2 {
+		t.Errorf("ProfileMisses = %d, want 2", batch.ProfileMisses)
+	}
+	if batch.ProfileHits != 12-2 {
+		t.Errorf("ProfileHits = %d, want %d", batch.ProfileHits, 12-2)
+	}
+	// Jobs sharing a key share the identical table instance.
+	if batch.Jobs[0].Table != batch.Jobs[1].Table || batch.Jobs[1].Table != batch.Jobs[2].Table {
+		t.Error("jobs with the same key got different table instances")
+	}
+	if batch.Jobs[0].Table == batch.Jobs[3].Table {
+		t.Error("different modes share a table")
+	}
+}
+
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	jobs := []Job{
+		{Network: "lenet5", Mode: primitives.ModeGPGPU, Seeds: []int64{1, 2, 3, 4}, Episodes: 120, Samples: 3},
+		{Network: "mobilenet-v1", Mode: primitives.ModeCPU, Seeds: []int64{5, 6}, Episodes: 80, Samples: 2},
+		{Network: "lenet5", Mode: primitives.ModeCPU, Seeds: []int64{1}, Episodes: 100, Samples: 3},
+	}
+	run := func(workers int) *BatchResult {
+		b, err := Run(jobs, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := run(1), run(8)
+	if len(a.Jobs) != len(b.Jobs) {
+		t.Fatalf("job counts differ: %d vs %d", len(a.Jobs), len(b.Jobs))
+	}
+	for i := range a.Jobs {
+		ja, jb := a.Jobs[i], b.Jobs[i]
+		if ja.Best.Time != jb.Best.Time || ja.BestSeed != jb.BestSeed {
+			t.Errorf("job %d: best differs: %v/seed %d vs %v/seed %d",
+				i, ja.Best.Time, ja.BestSeed, jb.Best.Time, jb.BestSeed)
+		}
+		if ja.VanillaSeconds != jb.VanillaSeconds || ja.BSLSeconds != jb.BSLSeconds {
+			t.Errorf("job %d: baselines differ", i)
+		}
+		for s := range ja.Seeds {
+			ra, rb := ja.Seeds[s].Result, jb.Seeds[s].Result
+			if ra.Time != rb.Time {
+				t.Errorf("job %d seed %d: time %v vs %v", i, s, ra.Time, rb.Time)
+			}
+			if fmt.Sprint(ra.Assignment) != fmt.Sprint(rb.Assignment) {
+				t.Errorf("job %d seed %d: assignments differ", i, s)
+			}
+		}
+	}
+}
+
+func TestRunBestOfSeedsAndOrdering(t *testing.T) {
+	job := Job{Network: "lenet5", Mode: primitives.ModeCPU, Seeds: []int64{3, 1, 7}, Episodes: 150, Samples: 2}
+	batch, err := Run([]Job{job}, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jr := batch.Jobs[0]
+	if len(jr.Seeds) != 3 {
+		t.Fatalf("got %d seed results", len(jr.Seeds))
+	}
+	// Seed results stay in the job's declared seed order.
+	for i, want := range []int64{3, 1, 7} {
+		if jr.Seeds[i].Seed != want {
+			t.Errorf("seed slot %d = %d, want %d", i, jr.Seeds[i].Seed, want)
+		}
+	}
+	// Best is the minimum over seeds, with a matching recorded seed.
+	minTime, minSeed := jr.Seeds[0].Result.Time, jr.Seeds[0].Seed
+	for _, sr := range jr.Seeds[1:] {
+		if sr.Result.Time < minTime {
+			minTime, minSeed = sr.Result.Time, sr.Seed
+		}
+	}
+	if jr.Best.Time != minTime || jr.BestSeed != minSeed {
+		t.Errorf("Best = %v/seed %d, want %v/seed %d", jr.Best.Time, jr.BestSeed, minTime, minSeed)
+	}
+	// Best-of-N can only improve on any single seed.
+	single := core.Search(jr.Table, core.Config{Episodes: 150, Seed: 3})
+	if jr.Best.Time > single.Time {
+		t.Errorf("best-of-3 (%v) worse than seed 3 alone (%v)", jr.Best.Time, single.Time)
+	}
+	if jr.SpeedupVsVanilla() < 1 {
+		t.Errorf("speedup vs vanilla %v < 1", jr.SpeedupVsVanilla())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := Run(nil, Options{}); err == nil {
+		t.Error("empty batch should error")
+	}
+	if _, err := Run([]Job{{Network: "bogus"}}, Options{}); err == nil {
+		t.Error("unknown network should error before any work")
+	}
+	failing := func(net *nn.Network, mode primitives.Mode, samples int) (*lut.Table, error) {
+		return nil, fmt.Errorf("board unreachable")
+	}
+	_, err := Run([]Job{{Network: "lenet5", Episodes: 10, Samples: 2}}, Options{Profile: failing})
+	if err == nil {
+		t.Error("profile failure should fail the batch")
+	}
+}
+
+func TestRunDefaults(t *testing.T) {
+	batch, err := Run([]Job{{Network: "lenet5", Episodes: 20, Samples: 2}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jr := batch.Jobs[0]
+	if len(jr.Seeds) != 1 || jr.Seeds[0].Seed != 1 {
+		t.Errorf("default seeds = %v, want [1]", jr.Job.Seeds)
+	}
+	if jr.Job.Mode != primitives.ModeCPU {
+		t.Errorf("default mode = %v", jr.Job.Mode)
+	}
+	if jr.Net == nil || jr.Net.Name != "lenet5" {
+		t.Error("Net not populated")
+	}
+}

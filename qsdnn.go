@@ -192,7 +192,12 @@ func OptimizeTable(net *Network, tab *Table, opts Options) (*Report, error) {
 	if tab.Network != net.Name {
 		return nil, fmt.Errorf("qsdnn: table is for %q, network is %q", tab.Network, net.Name)
 	}
-	res := core.Search(tab, opts.Search)
+	return newReport(net, tab, core.Search(tab, opts.Search)), nil
+}
+
+// newReport assembles the public Report around a finished search
+// result — the shared back end of OptimizeTable and OptimizeBatch.
+func newReport(net *Network, tab *Table, res *Result) *Report {
 	bslLib, bsl := core.BestSingleLibrary(tab)
 	rep := &Report{
 		Network:        net.Name,
@@ -219,7 +224,7 @@ func OptimizeTable(net *Network, tab *Table, opts Options) (*Report, error) {
 			Seconds:   tab.Time(i, p.Idx),
 		})
 	}
-	return rep, nil
+	return rep
 }
 
 // Summary renders the headline numbers of a report.

@@ -1,6 +1,7 @@
 package qsdnn
 
 import (
+	"bytes"
 	"encoding/json"
 	"math"
 	"strings"
@@ -128,6 +129,165 @@ func TestBaselinesExposed(t *testing.T) {
 	}
 	if rl.Time > rs.Time {
 		t.Errorf("RL %v should beat RS %v on MobileNet", rl.Time, rs.Time)
+	}
+}
+
+func TestOptimizeBatchBasics(t *testing.T) {
+	jobs := []BatchJob{
+		{Network: "lenet5", Mode: ModeGPGPU},
+		{Network: "lenet5", Mode: ModeCPU},
+	}
+	batch, err := OptimizeBatch(jobs, BatchOptions{
+		Options: Options{Episodes: 200, Samples: 3, Seed: 1},
+		Workers: 4,
+		BestOf:  3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Reports) != 2 || len(batch.Stats) != 2 {
+		t.Fatalf("got %d reports, %d stats", len(batch.Reports), len(batch.Stats))
+	}
+	for i, rep := range batch.Reports {
+		if rep.Network != "lenet5" {
+			t.Errorf("report %d network %q", i, rep.Network)
+		}
+		if rep.Seconds <= 0 || math.IsInf(rep.Seconds, 0) {
+			t.Errorf("report %d seconds %v", i, rep.Seconds)
+		}
+		st := batch.Stats[i]
+		if len(st.Seeds) != 3 || len(st.SeedSeconds) != 3 {
+			t.Errorf("report %d: %d seeds, %d seed times", i, len(st.Seeds), len(st.SeedSeconds))
+		}
+		// The report carries the best seed's time.
+		best := st.SeedSeconds[0]
+		for _, s := range st.SeedSeconds[1:] {
+			if s < best {
+				best = s
+			}
+		}
+		if rep.Seconds != best {
+			t.Errorf("report %d: Seconds %v != best seed time %v", i, rep.Seconds, best)
+		}
+	}
+	// Two modes of the same network are two distinct profiling keys.
+	if batch.ProfileMisses != 2 {
+		t.Errorf("ProfileMisses = %d, want 2", batch.ProfileMisses)
+	}
+	if batch.ProfileHits != 6-2 {
+		t.Errorf("ProfileHits = %d, want 4 (6 units, 2 builds)", batch.ProfileHits)
+	}
+	sum := batch.Summary()
+	for _, want := range []string{"lenet5", "GPGPU", "qsdnn(ms)"} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("batch summary missing %q:\n%s", want, sum)
+		}
+	}
+	if !strings.Contains(batch.TimingSummary(), "profile cache: 2 runs, 4 shared") {
+		t.Errorf("timing summary: %s", batch.TimingSummary())
+	}
+}
+
+// TestOptimizeBatchDeterministicAcrossWorkers is the acceptance bar of
+// the orchestrator: the full model zoo, searched with 8 workers, must
+// produce byte-identical Reports to sequential (1-worker) execution,
+// while profiling each (network, mode, samples) key exactly once even
+// though every network is requested twice.
+func TestOptimizeBatchDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-zoo batch in -short mode")
+	}
+	// Two jobs per network (different seed sets, same profiling key)
+	// so the single-flight cache is actually contended.
+	var jobs []BatchJob
+	for _, name := range Models() {
+		jobs = append(jobs,
+			BatchJob{Network: name, Mode: ModeGPGPU, Seeds: []int64{1, 2}},
+			BatchJob{Network: name, Mode: ModeGPGPU, Seeds: []int64{3}},
+		)
+	}
+	run := func(workers int) *BatchReport {
+		t.Helper()
+		batch, err := OptimizeBatch(jobs, BatchOptions{
+			Options: Options{Episodes: 120, Samples: 2},
+			Workers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return batch
+	}
+	seq, par := run(1), run(8)
+
+	nets := len(Models())
+	for _, b := range []*BatchReport{seq, par} {
+		if b.ProfileMisses != nets {
+			t.Errorf("ProfileMisses = %d, want %d (one per network/mode/samples key)", b.ProfileMisses, nets)
+		}
+		units := 3 * nets // seeds per network across both jobs
+		if b.ProfileHits != units-nets {
+			t.Errorf("ProfileHits = %d, want %d", b.ProfileHits, units-nets)
+		}
+	}
+
+	a, err := json.Marshal(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("serialized batch reports differ between 1 and 8 workers")
+	}
+	if seq.Summary() != par.Summary() {
+		t.Errorf("summaries differ:\n%s\nvs\n%s", seq.Summary(), par.Summary())
+	}
+}
+
+func TestOptimizeBatchErrors(t *testing.T) {
+	if _, err := OptimizeBatch(nil, BatchOptions{}); err == nil {
+		t.Error("empty batch should error")
+	}
+	if _, err := OptimizeBatch([]BatchJob{{Network: "bogus"}}, BatchOptions{}); err == nil {
+		t.Error("unknown network should error")
+	}
+}
+
+func TestZooBatchCoversZoo(t *testing.T) {
+	jobs := ZooBatch(ModeGPGPU)
+	if len(jobs) != len(Models()) {
+		t.Fatalf("ZooBatch has %d jobs, zoo has %d models", len(jobs), len(Models()))
+	}
+	for i, j := range jobs {
+		if j.Network != Models()[i] || j.Mode != ModeGPGPU {
+			t.Errorf("job %d = %+v", i, j)
+		}
+	}
+}
+
+// TestOptimizeBatchMatchesOptimizeTable: a 1-job, 1-seed batch must
+// reproduce exactly what the sequential single-network pipeline finds.
+func TestOptimizeBatchMatchesOptimizeTable(t *testing.T) {
+	opts := Options{Mode: ModeGPGPU, Episodes: 250, Samples: 3, Seed: 7}
+	single, err := Optimize(MustModel("lenet5"), NewTX2Platform(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := OptimizeBatch([]BatchJob{{Network: "lenet5", Mode: ModeGPGPU}}, BatchOptions{Options: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := batch.Reports[0]
+	if got.Seconds != single.Seconds || got.VanillaSeconds != single.VanillaSeconds ||
+		got.BSLSeconds != single.BSLSeconds || got.BSLLibrary != single.BSLLibrary {
+		t.Errorf("batch report %+v differs from sequential %+v", got, single)
+	}
+	for i := range single.Choices {
+		if got.Choices[i] != single.Choices[i] {
+			t.Errorf("choice %d differs: %+v vs %+v", i, got.Choices[i], single.Choices[i])
+		}
 	}
 }
 
