@@ -1,6 +1,7 @@
 package qsdnn
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -41,6 +42,14 @@ type BatchOptions struct {
 	BestOf int
 	// Platform is the board model; nil selects the TX2-like preset.
 	Platform *Platform
+	// Robust selects the fault-tolerant profiling policy (retry,
+	// per-sample timeout, robust aggregation, graceful degradation).
+	// nil keeps the strict legacy path unless Faults is set, in which
+	// case the default policy applies.
+	Robust *RobustPolicy
+	// Faults, when non-nil, wraps the profiling source in a seeded
+	// deterministic fault injector.
+	Faults *FaultInjection
 }
 
 // JobStats carries the per-job batch bookkeeping that is not part of
@@ -55,8 +64,16 @@ type JobStats struct {
 	Seeds []int64
 	// BestSeed produced the job's Report.
 	BestSeed int64
-	// SeedSeconds holds each seed's best inference time, seed order.
+	// SeedSeconds holds each seed's best inference time, seed order
+	// (seeds that never ran — profiling failure or cancellation — are
+	// omitted).
 	SeedSeconds []float64
+	// Excluded lists candidates the graceful-degradation policy
+	// dropped while profiling this job's table, as "layer:primitive".
+	Excluded []string `json:",omitempty"`
+	// Err is the job's failure (or cancellation) cause; nil for a
+	// completed job. Excluded from JSON like the wall-clock fields.
+	Err error `json:"-"`
 	// Elapsed is the summed search wall-clock across the job's seeds.
 	Elapsed time.Duration `json:"-"`
 }
@@ -64,9 +81,14 @@ type JobStats struct {
 // BatchReport is the outcome of OptimizeBatch.
 type BatchReport struct {
 	// Reports holds one best-of-seeds Report per job, in input order.
+	// A job that failed or was canceled before any seed completed has
+	// a nil entry; its Stats slot carries the error.
 	Reports []*Report
 	// Stats holds the matching per-job seed and timing details.
 	Stats []JobStats
+	// Canceled reports that the batch context was done before every
+	// unit ran; the populated entries are the flushed partial results.
+	Canceled bool
 	// Elapsed is the whole batch's wall clock, profiling included
 	// (excluded from JSON: it varies run to run).
 	Elapsed time.Duration `json:"-"`
@@ -80,7 +102,29 @@ type BatchReport struct {
 // Tables are shared: each distinct (network, mode, samples)
 // combination is profiled exactly once per batch, even when many
 // workers request it simultaneously.
+//
+// OptimizeBatch keeps the legacy all-or-nothing contract: the first
+// per-job failure fails the whole call. Use OptimizeBatchContext for
+// partial results under failure or cancellation.
 func OptimizeBatch(jobs []BatchJob, opts BatchOptions) (*BatchReport, error) {
+	out, err := OptimizeBatchContext(context.Background(), jobs, opts)
+	if err != nil {
+		return nil, err
+	}
+	for i := range out.Stats {
+		if jerr := out.Stats[i].Err; jerr != nil {
+			return nil, jerr
+		}
+	}
+	return out, nil
+}
+
+// OptimizeBatchContext runs the batch under ctx. A failing job records
+// its error in the matching Stats entry (its Reports slot stays nil)
+// while the rest proceed; cancellation stops further work, sets
+// Canceled, and returns whatever jobs completed — an interrupted sweep
+// still flushes its partial results.
+func OptimizeBatchContext(ctx context.Context, jobs []BatchJob, opts BatchOptions) (*BatchReport, error) {
 	if len(jobs) == 0 {
 		return nil, fmt.Errorf("qsdnn: empty batch")
 	}
@@ -106,28 +150,44 @@ func OptimizeBatch(jobs []BatchJob, opts BatchOptions) (*BatchReport, error) {
 			Search:   opts.Search,
 		}
 	}
-	batch, err := runner.Run(rjobs, runner.Options{Workers: opts.Workers, Platform: opts.Platform})
+	batch, err := runner.RunContext(ctx, rjobs, runner.Options{
+		Workers:  opts.Workers,
+		Platform: opts.Platform,
+		Robust:   opts.Robust,
+		Faults:   opts.Faults,
+	})
 	if err != nil {
 		return nil, err
 	}
 	out := &BatchReport{
 		Reports:       make([]*Report, len(batch.Jobs)),
 		Stats:         make([]JobStats, len(batch.Jobs)),
+		Canceled:      batch.Canceled,
 		Elapsed:       batch.Elapsed,
 		ProfileHits:   batch.ProfileHits,
 		ProfileMisses: batch.ProfileMisses,
 	}
 	for i, jr := range batch.Jobs {
-		out.Reports[i] = newReport(jr.Net, jr.Table, jr.Best)
 		st := JobStats{
 			Network:  jr.Job.Network,
 			Mode:     jr.Job.Mode,
 			Seeds:    jr.Job.Seeds,
 			BestSeed: jr.BestSeed,
+			Err:      jr.Err,
 			Elapsed:  jr.Elapsed,
 		}
+		if jr.Profile != nil {
+			for _, e := range jr.Profile.Excluded {
+				st.Excluded = append(st.Excluded, fmt.Sprintf("%s:%s", e.LayerName, e.Primitive))
+			}
+		}
 		for _, sr := range jr.Seeds {
-			st.SeedSeconds = append(st.SeedSeconds, sr.Result.Time)
+			if sr.Result != nil {
+				st.SeedSeconds = append(st.SeedSeconds, sr.Result.Time)
+			}
+		}
+		if jr.Best != nil {
+			out.Reports[i] = newReport(jr.Net, jr.Table, jr.Best)
 		}
 		out.Stats[i] = st
 	}
@@ -146,18 +206,33 @@ func ZooBatch(mode Mode) []BatchJob {
 }
 
 // Summary renders the batch as a fixed-width table: one line per job
-// with the paper's headline quantities plus the winning seed. The
-// string is deterministic for fixed jobs and seeds — wall-clock stats
-// are reported separately by TimingSummary.
+// with the paper's headline quantities plus the winning seed. Failed
+// or canceled jobs render a FAILED line with their cause; degraded
+// jobs get a footer listing the excluded primitives. The string is
+// deterministic for fixed jobs, seeds and fault schedules —
+// wall-clock stats are reported separately by TimingSummary.
 func (r *BatchReport) Summary() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-16s %-6s %10s %10s %10s %9s %8s\n",
 		"network", "mode", "qsdnn(ms)", "vanilla/x", "bsl/x", "seeds", "best")
 	for i, rep := range r.Reports {
 		st := r.Stats[i]
+		if rep == nil {
+			fmt.Fprintf(&b, "%-16s %-6s %10s  %v\n", st.Network, st.Mode, "FAILED", st.Err)
+			continue
+		}
 		fmt.Fprintf(&b, "%-16s %-6s %10.3f %9.1fx %9.2fx %9d %8d\n",
 			rep.Network, rep.Mode, rep.Seconds*1e3,
 			rep.SpeedupVsVanilla, rep.SpeedupVsBSL, len(st.Seeds), st.BestSeed)
+	}
+	for _, st := range r.Stats {
+		if len(st.Excluded) > 0 {
+			fmt.Fprintf(&b, "degraded %s/%s: dropped %s\n",
+				st.Network, st.Mode, strings.Join(st.Excluded, ", "))
+		}
+	}
+	if r.Canceled {
+		b.WriteString("batch interrupted: partial results above\n")
 	}
 	return b.String()
 }

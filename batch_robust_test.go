@@ -1,0 +1,76 @@
+package qsdnn
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestOptimizeBatchContextWithFaults: the public acceptance path — a
+// seeded fault schedule through the batch API completes with valid
+// reports, the degradation surfaces in JobStats, and the summary is
+// deterministic for the fixed seed.
+func TestOptimizeBatchContextWithFaults(t *testing.T) {
+	faults := DefaultFaultInjection(42)
+	robust := DefaultRobustPolicy()
+	robust.SampleTimeout = 250 * time.Millisecond
+	opts := BatchOptions{
+		Options: Options{Episodes: 150, Samples: 3},
+		Workers: 4, BestOf: 2,
+		Robust: robust, Faults: &faults,
+	}
+	jobs := []BatchJob{
+		{Network: "lenet5", Mode: ModeCPU},
+		{Network: "lenet5", Mode: ModeGPGPU},
+	}
+	run := func() *BatchReport {
+		b, err := OptimizeBatchContext(context.Background(), jobs, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := run(), run()
+	if a.Canceled {
+		t.Error("Canceled set on a completed batch")
+	}
+	for i := range a.Reports {
+		if a.Reports[i] == nil || a.Stats[i].Err != nil {
+			t.Fatalf("job %d failed under faults: %v", i, a.Stats[i].Err)
+		}
+		if a.Reports[i].Seconds != b.Reports[i].Seconds {
+			t.Errorf("job %d: fault-injected result not deterministic", i)
+		}
+	}
+	if a.Summary() != b.Summary() {
+		t.Errorf("fault-injected summaries differ:\n%s\nvs\n%s", a.Summary(), b.Summary())
+	}
+}
+
+// TestOptimizeBatchContextCancellation: a canceled context returns the
+// batch with Canceled set, errors recorded per job, and a summary that
+// still renders (FAILED lines instead of a panic on nil reports).
+func TestOptimizeBatchContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	batch, err := OptimizeBatchContext(ctx, []BatchJob{{Network: "lenet5"}}, BatchOptions{
+		Options: Options{Episodes: 50, Samples: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !batch.Canceled {
+		t.Error("Canceled not set")
+	}
+	if batch.Stats[0].Err == nil {
+		t.Error("canceled job has no error")
+	}
+	if s := batch.Summary(); !strings.Contains(s, "FAILED") || !strings.Contains(s, "interrupted") {
+		t.Errorf("canceled summary missing markers:\n%s", s)
+	}
+	// The legacy surface refuses a canceled batch outright.
+	if _, err := OptimizeBatch(nil, BatchOptions{}); err == nil {
+		t.Error("empty batch should still error")
+	}
+}

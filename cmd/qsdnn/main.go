@@ -9,12 +9,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/core"
@@ -45,14 +49,58 @@ func main() {
 	platName := fs.String("platform", "tx2-like", "board preset (tx2-like, tx1-like, nano-like, xavier-like, cpu-only)")
 	parallel := fs.Int("parallel", 0, "bench-all worker pool size (0 = one per CPU)")
 	seeds := fs.Int("seeds", 1, "bench-all best-of-N consecutive seeds per job")
+	robust := fs.Bool("robust", false, "profile with the fault-tolerant policy (retry, timeout, robust aggregation, degradation)")
+	retries := fs.Int("retries", -1, "robust profiling: retry budget per measurement (-1 = policy default)")
+	sampleTimeout := fs.Duration("sample-timeout", 0, "robust profiling: per-measurement timeout (0 = policy default)")
+	faultSeed := fs.Int64("fault-seed", 0, "inject a seeded deterministic fault schedule into profiling (0 = off; implies -robust)")
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
 	}
 
-	if err := run(cmd, *netName, *modeStr, *episodes, *samples, *seed, *lutFile, *platName, *parallel, *seeds); err != nil {
+	// SIGINT/SIGTERM cancel the context: in-flight work stops claiming,
+	// partial batch results are flushed, and the process exits cleanly.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	ft := faultFlags{robust: *robust, retries: *retries, sampleTimeout: *sampleTimeout, faultSeed: *faultSeed}
+	if err := runCtx(ctx, cmd, *netName, *modeStr, *episodes, *samples, *seed, *lutFile, *platName, *parallel, *seeds, ft); err != nil {
 		fmt.Fprintln(os.Stderr, "qsdnn:", err)
 		os.Exit(1)
 	}
+}
+
+// faultFlags bundles the fault-tolerance CLI flags.
+type faultFlags struct {
+	robust        bool
+	retries       int
+	sampleTimeout time.Duration
+	faultSeed     int64
+}
+
+// policy translates the flags into a robust measurement policy; nil
+// means the strict legacy path. Fault injection implies the robust
+// path — injected faults without recovery would just fail the run.
+func (f faultFlags) policy() *qsdnn.RobustPolicy {
+	if !f.robust && f.faultSeed == 0 {
+		return nil
+	}
+	pol := qsdnn.DefaultRobustPolicy()
+	if f.retries >= 0 {
+		pol.MaxRetries = f.retries
+	}
+	if f.sampleTimeout > 0 {
+		pol.SampleTimeout = f.sampleTimeout
+	}
+	return pol
+}
+
+// faults returns the injection schedule, or nil when disabled.
+func (f faultFlags) faults() *qsdnn.FaultInjection {
+	if f.faultSeed == 0 {
+		return nil
+	}
+	fi := qsdnn.DefaultFaultInjection(f.faultSeed)
+	return &fi
 }
 
 func usage() {
@@ -76,7 +124,10 @@ commands:
              annotated Graphviz DOT (FILE.dot) after searching it
 
 flags: -net NAME -mode cpu|gpgpu -platform NAME -episodes N -samples N -seed N -lut FILE
-       -parallel N -seeds K (bench-all)`)
+       -parallel N -seeds K (bench-all)
+       -robust -retries N -sample-timeout DUR   fault-tolerant profiling
+       -fault-seed N                            seeded fault injection (testing)
+SIGINT/SIGTERM interrupt cleanly: a running bench-all flushes its partial results.`)
 }
 
 func parseMode(s string) (primitives.Mode, error) {
@@ -89,7 +140,32 @@ func parseMode(s string) (primitives.Mode, error) {
 	return 0, fmt.Errorf("unknown mode %q (want cpu or gpgpu)", s)
 }
 
+// run is the legacy entry point: background context, no fault flags.
 func run(cmd, netName, modeStr string, episodes, samples int, seed int64, lutFile, platName string, parallel, seeds int) error {
+	return runCtx(context.Background(), cmd, netName, modeStr, episodes, samples, seed, lutFile, platName, parallel, seeds, faultFlags{})
+}
+
+// profileTable runs the inference phase for one network under the
+// fault flags, printing the degradation report when anything fired.
+func profileTable(ctx context.Context, ft faultFlags, net *qsdnn.Network, board *platform.Platform, mode primitives.Mode, samples int) (*lut.Table, error) {
+	sim := profile.NewSimSource(net, board)
+	var src profile.FallibleSource = profile.AsFallible(sim)
+	if f := ft.faults(); f != nil {
+		src = profile.NewFaultSource(sim, *f)
+	}
+	tab, rep, err := profile.RunFallible(ctx, net, src, profile.Options{
+		Mode: mode, Samples: samples, Robust: ft.policy(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if rep != nil && (rep.Flaky() || rep.Degraded()) {
+		fmt.Print(rep.Render())
+	}
+	return tab, nil
+}
+
+func runCtx(ctx context.Context, cmd, netName, modeStr string, episodes, samples int, seed int64, lutFile, platName string, parallel, seeds int, ft faultFlags) error {
 	board, ok := platform.Preset(platName)
 	if !ok {
 		return fmt.Errorf("unknown platform %q", platName)
@@ -116,11 +192,13 @@ func run(cmd, netName, modeStr string, episodes, samples int, seed int64, lutFil
 				jobs = append(jobs, qsdnn.BatchJob{Network: strings.TrimSpace(n), Mode: m})
 			}
 		}
-		batch, err := qsdnn.OptimizeBatch(jobs, qsdnn.BatchOptions{
+		batch, err := qsdnn.OptimizeBatchContext(ctx, jobs, qsdnn.BatchOptions{
 			Options:  qsdnn.Options{Episodes: episodes, Samples: samples, Seed: seed},
 			Workers:  parallel,
 			BestOf:   seeds,
 			Platform: board,
+			Robust:   ft.policy(),
+			Faults:   ft.faults(),
 		})
 		if err != nil {
 			return err
@@ -128,6 +206,9 @@ func run(cmd, netName, modeStr string, episodes, samples int, seed int64, lutFil
 		fmt.Print(batch.Summary())
 		fmt.Println()
 		fmt.Print(batch.TimingSummary())
+		if batch.Canceled {
+			return fmt.Errorf("interrupted: %w", context.Cause(ctx))
+		}
 		return nil
 	case "models":
 		for _, name := range models.All() {
@@ -159,7 +240,7 @@ func run(cmd, netName, modeStr string, episodes, samples int, seed int64, lutFil
 		if err != nil {
 			return err
 		}
-		tab, err := profile.Run(net, profile.NewSimSource(net, board), profile.Options{Mode: mode, Samples: samples})
+		tab, err := profileTable(ctx, ft, net, board, mode, samples)
 		if err != nil {
 			return err
 		}
@@ -178,7 +259,7 @@ func run(cmd, netName, modeStr string, episodes, samples int, seed int64, lutFil
 		if err != nil {
 			return err
 		}
-		tab, err := profile.Run(net, profile.NewSimSource(net, board), profile.Options{Mode: mode, Samples: samples})
+		tab, err := profileTable(ctx, ft, net, board, mode, samples)
 		if err != nil {
 			return err
 		}
@@ -211,7 +292,7 @@ func run(cmd, netName, modeStr string, episodes, samples int, seed int64, lutFil
 		if err != nil {
 			return err
 		}
-		tab, err := profile.Run(net, profile.NewSimSource(net, board), profile.Options{Mode: mode, Samples: samples})
+		tab, err := profileTable(ctx, ft, net, board, mode, samples)
 		if err != nil {
 			return err
 		}
@@ -249,7 +330,7 @@ func run(cmd, netName, modeStr string, episodes, samples int, seed int64, lutFil
 		if err != nil {
 			return err
 		}
-		tab, err := profile.Run(net, profile.NewSimSource(net, board), profile.Options{Mode: mode, Samples: samples})
+		tab, err := profileTable(ctx, ft, net, board, mode, samples)
 		if err != nil {
 			return err
 		}
@@ -288,8 +369,8 @@ func run(cmd, netName, modeStr string, episodes, samples int, seed int64, lutFil
 		if err != nil {
 			return err
 		}
-		tt, et, err := profile.RunWithEnergy(net, profile.NewSimSource(net, board),
-			profile.Options{Mode: mode, Samples: samples})
+		tt, et, err := profile.RunWithEnergyContext(ctx, net, profile.NewSimSource(net, board),
+			profile.Options{Mode: mode, Samples: samples, Robust: ft.policy()})
 		if err != nil {
 			return err
 		}
@@ -323,7 +404,7 @@ func run(cmd, netName, modeStr string, episodes, samples int, seed int64, lutFil
 		if err != nil {
 			return err
 		}
-		tab, err := profile.Run(net, profile.NewSimSource(net, board), profile.Options{Mode: mode, Samples: samples})
+		tab, err := profileTable(ctx, ft, net, board, mode, samples)
 		if err != nil {
 			return err
 		}
@@ -361,7 +442,7 @@ func run(cmd, netName, modeStr string, episodes, samples int, seed int64, lutFil
 				return err
 			}
 		} else {
-			tab, err = profile.Run(net, profile.NewSimSource(net, board), profile.Options{Mode: mode, Samples: samples})
+			tab, err = profileTable(ctx, ft, net, board, mode, samples)
 			if err != nil {
 				return err
 			}

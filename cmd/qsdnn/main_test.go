@@ -1,10 +1,12 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 // capture runs f with stdout redirected and returns what it printed.
@@ -236,6 +238,72 @@ func TestErrorPaths(t *testing.T) {
 		if _, err := capture(t, tc.f); err == nil {
 			t.Errorf("%s: expected error", tc.name)
 		}
+	}
+}
+
+// TestBenchAllWithFaultInjection: the acceptance scenario — a seeded
+// fault schedule through bench-all completes (transient faults retried
+// away, persistent failures degraded), and the summary is
+// deterministic for a fixed seed.
+func TestBenchAllWithFaultInjection(t *testing.T) {
+	ft := faultFlags{faultSeed: 42, retries: 3, sampleTimeout: 250 * time.Millisecond}
+	bench := func() string {
+		out, err := capture(t, func() error {
+			return runCtx(context.Background(), "bench-all", "lenet5", "both",
+				fastEpisodes, fastSamples, 1, "", "tx2-like", 4, 2, ft)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := bench(), bench()
+	// The summary block (everything before TimingSummary's wall-clock
+	// lines) must be byte-identical across runs.
+	cut := func(s string) string { return strings.SplitN(s, "batch wall-clock", 2)[0] }
+	if cut(a) != cut(b) {
+		t.Errorf("fault-injected bench-all not deterministic:\n%s\nvs\n%s", cut(a), cut(b))
+	}
+	if !strings.Contains(a, "qsdnn(ms)") || strings.Contains(a, "FAILED") {
+		t.Errorf("bench-all under faults did not complete cleanly:\n%s", a)
+	}
+}
+
+// TestSearchWithRobustProfiling: -robust plus fault injection on the
+// single-network pipeline still produces a full report, and the CLI
+// prints the profiling report when the machinery fired.
+func TestSearchWithRobustProfiling(t *testing.T) {
+	ft := faultFlags{robust: true, faultSeed: 7, sampleTimeout: 250 * time.Millisecond}
+	out, err := capture(t, func() error {
+		return runCtx(context.Background(), "search", "lenet5", "cpu",
+			fastEpisodes, fastSamples, 1, "", "tx2-like", 1, 1, ft)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "QS-DNN") {
+		t.Errorf("search output missing report:\n%s", out)
+	}
+	if !strings.Contains(out, "retries") {
+		t.Errorf("fault-injected search printed no profiling report:\n%s", out)
+	}
+}
+
+// TestBenchAllInterrupted: a canceled context makes bench-all return
+// an "interrupted" error after flushing whatever summary exists —
+// the SIGINT path without the signal plumbing.
+func TestBenchAllInterrupted(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := capture(t, func() error {
+		return runCtx(ctx, "bench-all", "lenet5", "cpu",
+			fastEpisodes, fastSamples, 1, "", "tx2-like", 1, 1, faultFlags{})
+	})
+	if err == nil || !strings.Contains(err.Error(), "interrupted") {
+		t.Fatalf("err = %v, want interrupted", err)
+	}
+	if !strings.Contains(out, "batch interrupted") {
+		t.Errorf("interrupted bench-all printed no partial-results marker:\n%s", out)
 	}
 }
 

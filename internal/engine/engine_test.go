@@ -171,6 +171,11 @@ func TestWeightsSeedDeterminism(t *testing.T) {
 
 func e0(net *nn.Network, seed int64) *Engine { return New(net, seed, 1.0) }
 
+// The engine source must satisfy the error-aware profiling contract so
+// AsFallible preserves its genuine error reporting instead of wrapping
+// the panicking legacy methods.
+var _ profile.FallibleSource = (*Source)(nil)
+
 // End-to-end on real measurements: profile with the engine source,
 // search, and execute the found assignment — it must be valid and
 // compute the reference function.

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -46,9 +47,25 @@ func NewSource(e *Engine, input *tensor.Tensor) (*Source, error) {
 
 // Sample times one execution of layer i under primitive p on the
 // cached activations. The sample index is accepted for interface
-// compatibility; real time naturally varies between calls.
+// compatibility; real time naturally varies between calls. Execution
+// failures panic — prefer MeasureSample, which reports them as errors
+// the fault-tolerant profiling layer can retry or degrade on.
 func (s *Source) Sample(i int, p *primitives.Primitive, sample int) float64 {
+	v, err := s.MeasureSample(context.Background(), i, p, sample)
+	if err != nil {
+		panic(fmt.Sprintf("engine: %v", err))
+	}
+	return v
+}
+
+// MeasureSample is the fallible twin of Sample: a primitive that
+// cannot execute the layer yields an error instead of a panic, which
+// lets profile.RunFallible retry it or drop it from the candidate set.
+func (s *Source) MeasureSample(ctx context.Context, i int, p *primitives.Primitive, sample int) (float64, error) {
 	_ = sample
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	l := s.eng.Net.Layers[i]
 	inputs := make([]*tensor.Tensor, len(l.Inputs))
 	for k, src := range l.Inputs {
@@ -56,9 +73,26 @@ func (s *Source) Sample(i int, p *primitives.Primitive, sample int) float64 {
 	}
 	t0 := time.Now()
 	if _, err := s.eng.exec(i, l, p, inputs); err != nil {
-		panic(fmt.Sprintf("engine: profiling %s with %s: %v", l.Name, p.Name, err))
+		return 0, fmt.Errorf("profiling %s with %s: %w", l.Name, p.Name, err)
 	}
-	return time.Since(t0).Seconds()
+	return time.Since(t0).Seconds(), nil
+}
+
+// MeasureEdgePenalty is the fallible, cancellable twin of EdgePenalty.
+func (s *Source) MeasureEdgePenalty(ctx context.Context, producer int, fp, tp *primitives.Primitive) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return s.EdgePenalty(producer, fp, tp), nil
+}
+
+// MeasureOutputPenalty is the fallible, cancellable twin of
+// OutputPenalty.
+func (s *Source) MeasureOutputPenalty(ctx context.Context, output int, p *primitives.Primitive) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return s.OutputPenalty(output, p), nil
 }
 
 // EdgePenalty times the real layout conversion between the producer's
@@ -73,6 +107,9 @@ func (s *Source) EdgePenalty(producer int, fp, tp *primitives.Primitive) float64
 	src.ToLayout(tp.Layout)
 	return time.Since(t0).Seconds()
 }
+
+// The fallible methods satisfy profile.FallibleSource structurally;
+// engine_test asserts it without adding a package dependency here.
 
 // OutputPenalty times the conversion of the output layer's activation
 // back to the host NCHW format.

@@ -122,8 +122,31 @@ func (t *Table) Candidates(i int) []primitives.ID { return t.candidates[i] }
 // Edges returns every producer->consumer dependency.
 func (t *Table) Edges() []Edge { return t.edges }
 
+// ValidSeconds reports whether sec is an admissible table entry: a
+// finite, non-negative measurement. This is the same invariant Load
+// enforces on deserialized bytes; the Set* methods enforce it at write
+// time so a NaN, infinite or negative observation can never enter a
+// table silently — sources must reject (or retry) such values before
+// storing them.
+func ValidSeconds(sec float64) bool {
+	return !math.IsNaN(sec) && !math.IsInf(sec, 0) && sec >= 0
+}
+
+// checkSet panics when sec violates the table invariant. Writing an
+// invalid value is a programming error in the caller (the profiling
+// layer validates measurements at the source boundary), so it is loud
+// rather than silent.
+func checkSet(what string, sec float64) {
+	if !ValidSeconds(sec) {
+		panic(fmt.Sprintf("lut: %s: invalid time %v (want finite, >= 0)", what, sec))
+	}
+}
+
 // SetTime records the measured latency of layer i under primitive p.
+// It panics if sec is NaN, infinite or negative — the same invariant
+// Load enforces.
 func (t *Table) SetTime(i int, p primitives.ID, sec float64) {
+	checkSet(fmt.Sprintf("SetTime(%d, %d)", i, p), sec)
 	t.times[i*t.numPrims+int(p)] = sec
 }
 
@@ -164,8 +187,10 @@ func (t *Table) isCandidate(i int, id primitives.ID) bool {
 }
 
 // SetPenalty records the compatibility cost of edge (from, to) under
-// the primitive pair (fp, tp).
+// the primitive pair (fp, tp). It panics if sec is NaN, infinite or
+// negative — the same invariant Load enforces.
 func (t *Table) SetPenalty(from, to int, fp, tp primitives.ID, sec float64) {
+	checkSet(fmt.Sprintf("SetPenalty(%d->%d, %d, %d)", from, to, fp, tp), sec)
 	t.penalties[t.edgeIndex(from, to)][int(fp)*t.numPrims+int(tp)] = sec
 }
 
@@ -182,9 +207,31 @@ func (t *Table) penaltyByEdge(e int, fp, tp primitives.ID) float64 {
 }
 
 // SetOutputPenalty records the host-return cost for the output layer
-// under primitive p.
+// under primitive p. It panics if sec is NaN, infinite or negative —
+// the same invariant Load enforces.
 func (t *Table) SetOutputPenalty(p primitives.ID, sec float64) {
+	checkSet(fmt.Sprintf("SetOutputPenalty(%d)", p), sec)
 	t.outputPen[int(p)] = sec
+}
+
+// DropCandidate removes primitive p from layer i's candidate set and
+// reports whether it was present. This is the graceful-degradation
+// hook: when a primitive persistently fails to profile on a layer, the
+// profiling layer drops it so the search only ever sees measurable
+// choices. The input pseudo-layer's candidate cannot be dropped.
+// Like the Set* methods, DropCandidate may only be called while the
+// table is being populated, never concurrently with reads.
+func (t *Table) DropCandidate(i int, p primitives.ID) bool {
+	if i == 0 {
+		return false
+	}
+	for k, c := range t.candidates[i] {
+		if c == p {
+			t.candidates[i] = append(t.candidates[i][:k], t.candidates[i][k+1:]...)
+			return true
+		}
+	}
+	return false
 }
 
 // OutputPenalty returns the host-return cost under primitive p.

@@ -1,0 +1,113 @@
+package lut
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/primitives"
+)
+
+// mustPanic asserts that f panics; the write-path validators are loud
+// by contract.
+func mustPanic(t *testing.T, what string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic on invalid value", what)
+		}
+	}()
+	f()
+}
+
+// TestSetRejectsInvalidValues is the write-path twin of Load's
+// validation: NaN, +/-Inf and negative values must never enter a table
+// silently (regression: they previously did, and only Load would have
+// caught them on a round trip).
+func TestSetRejectsInvalidValues(t *testing.T) {
+	net := chainNet(t)
+	tab := New(net, primitives.ModeGPGPU)
+	p := tab.Candidates(1)[0]
+	ed := tab.Edges()[0]
+	out := tab.OutputLayer()
+	op := tab.Candidates(out)[0]
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), -1e-9} {
+		mustPanic(t, "SetTime", func() { tab.SetTime(1, p, bad) })
+		mustPanic(t, "SetPenalty", func() { tab.SetPenalty(ed.From, ed.To, p, p, bad) })
+		mustPanic(t, "SetOutputPenalty", func() { tab.SetOutputPenalty(op, bad) })
+	}
+	// Valid boundary values are accepted.
+	tab.SetTime(1, p, 0)
+	tab.SetPenalty(ed.From, ed.To, tab.Candidates(ed.From)[0], tab.Candidates(ed.To)[0], 0)
+	tab.SetOutputPenalty(op, 1e-6)
+}
+
+func TestValidSeconds(t *testing.T) {
+	for _, ok := range []float64{0, 1e-12, 42.5} {
+		if !ValidSeconds(ok) {
+			t.Errorf("ValidSeconds(%v) = false", ok)
+		}
+	}
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), -0.001} {
+		if ValidSeconds(bad) {
+			t.Errorf("ValidSeconds(%v) = true", bad)
+		}
+	}
+}
+
+func TestDropCandidate(t *testing.T) {
+	net := chainNet(t)
+	tab := New(net, primitives.ModeGPGPU)
+	cands := tab.Candidates(1)
+	if len(cands) < 2 {
+		t.Fatalf("layer 1 has %d candidates, need >= 2", len(cands))
+	}
+	victim := cands[len(cands)-1]
+	before := len(cands)
+	if !tab.DropCandidate(1, victim) {
+		t.Fatal("DropCandidate returned false for a present candidate")
+	}
+	if got := len(tab.Candidates(1)); got != before-1 {
+		t.Errorf("candidate count after drop = %d, want %d", got, before-1)
+	}
+	for _, c := range tab.Candidates(1) {
+		if c == victim {
+			t.Error("dropped candidate still present")
+		}
+	}
+	if tab.DropCandidate(1, victim) {
+		t.Error("dropping twice reported success")
+	}
+	if tab.DropCandidate(0, tab.Candidates(0)[0]) {
+		t.Error("input pseudo-layer candidate must not be droppable")
+	}
+	// A dropped candidate's (unset, +Inf) entries are skipped by the
+	// sparse serializer, so a degraded table still round-trips Load.
+	fillValid(tab)
+	data, err := tab.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(data, net); err != nil {
+		t.Errorf("degraded table failed Load round trip: %v", err)
+	}
+}
+
+// fillValid populates every remaining candidate entry with valid
+// values.
+func fillValid(tab *Table) {
+	for i := 1; i < tab.NumLayers(); i++ {
+		for _, p := range tab.Candidates(i) {
+			tab.SetTime(i, p, 0.001*float64(i+1))
+		}
+	}
+	for _, ed := range tab.Edges() {
+		for _, fp := range tab.Candidates(ed.From) {
+			for _, tp := range tab.Candidates(ed.To) {
+				tab.SetPenalty(ed.From, ed.To, fp, tp, 0.0001)
+			}
+		}
+	}
+	for _, p := range tab.Candidates(tab.OutputLayer()) {
+		tab.SetOutputPenalty(p, 0.0002)
+	}
+}

@@ -1,8 +1,11 @@
 package pool
 
 import (
+	"context"
+	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestRunCoversEveryIndexOnce(t *testing.T) {
@@ -34,6 +37,118 @@ func TestRunSingleWorkerIsSequential(t *testing.T) {
 		if i != v {
 			t.Fatalf("order[%d] = %d, want %d", i, v, i)
 		}
+	}
+}
+
+// TestRunContextRecoversPanics: a panicking job fails only itself —
+// every other job still runs, the process survives, and the panic is
+// reported with a captured stack. Run with several worker counts under
+// -race.
+func TestRunContextRecoversPanics(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		const n = 40
+		var ran [n]atomic.Int32
+		out := RunContext(context.Background(), n, workers, func(i int) {
+			ran[i].Add(1)
+			if i%10 == 3 {
+				panic("job exploded")
+			}
+		})
+		if out.Completed != n-4 {
+			t.Errorf("workers=%d: Completed = %d, want %d", workers, out.Completed, n-4)
+		}
+		if len(out.Panics) != 4 {
+			t.Fatalf("workers=%d: %d panics, want 4", workers, len(out.Panics))
+		}
+		for k, pe := range out.Panics {
+			if pe.Index != 10*k+3 {
+				t.Errorf("panic %d at index %d, want %d (sorted)", k, pe.Index, 10*k+3)
+			}
+			if pe.Value != "job exploded" {
+				t.Errorf("panic value = %v", pe.Value)
+			}
+			if !strings.Contains(string(pe.Stack), "pool_test") {
+				t.Error("captured stack does not reach the panicking job")
+			}
+		}
+		for i := range ran {
+			if ran[i].Load() != 1 {
+				t.Errorf("workers=%d: job %d ran %d times despite sibling panics", workers, i, ran[i].Load())
+			}
+		}
+		if err := out.Err(); err == nil || !strings.Contains(err.Error(), "job 3 panicked") {
+			t.Errorf("Err() = %v", err)
+		}
+	}
+}
+
+// TestRunRepanicsAfterCompletion: the legacy Run surface still raises
+// a job panic, but only after draining every job (no half-run batch).
+func TestRunRepanicsAfterCompletion(t *testing.T) {
+	var ran atomic.Int32
+	defer func() {
+		if recover() == nil {
+			t.Error("Run swallowed the job panic")
+		}
+		if ran.Load() != 10 {
+			t.Errorf("%d/10 jobs ran before the re-panic", ran.Load())
+		}
+	}()
+	Run(10, 4, func(i int) {
+		ran.Add(1)
+		if i == 2 {
+			panic("boom")
+		}
+	})
+}
+
+// TestRunContextCancellationSkipsRemaining: once the context is done,
+// no new index is claimed; in-flight jobs finish and the outcome
+// accounts for every index exactly once.
+func TestRunContextCancellationSkipsRemaining(t *testing.T) {
+	const n = 200
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	out := RunContext(ctx, n, 2, func(i int) {
+		if ran.Add(1) == 10 {
+			cancel()
+		}
+	})
+	if out.Skipped == 0 {
+		t.Error("cancellation skipped nothing")
+	}
+	if got := out.Completed + out.Skipped + len(out.Panics); got != n {
+		t.Errorf("accounting: %d + %d + %d != %d", out.Completed, out.Skipped, len(out.Panics), n)
+	}
+	if int(ran.Load()) != out.Completed {
+		t.Errorf("ran %d jobs but Completed = %d", ran.Load(), out.Completed)
+	}
+}
+
+// TestRunContextPreCanceled: an already-canceled context runs nothing.
+func TestRunContextPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out := RunContext(ctx, 50, 4, func(int) { t.Error("job ran under canceled context") })
+	if out.Skipped != 50 || out.Completed != 0 {
+		t.Errorf("outcome = %+v, want all skipped", out)
+	}
+}
+
+// TestRunContextCancellationIsPrompt: cancellation between jobs stops
+// the pool without waiting for the whole queue.
+func TestRunContextCancellationIsPrompt(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	start := time.Now()
+	var once atomic.Bool
+	RunContext(ctx, 10000, 2, func(i int) {
+		if once.CompareAndSwap(false, true) {
+			cancel()
+		}
+		time.Sleep(100 * time.Microsecond)
+	})
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("pool drained for %v after cancellation", elapsed)
 	}
 }
 

@@ -17,7 +17,9 @@
 package profile
 
 import (
+	"context"
 	"fmt"
+	"math"
 
 	"repro/internal/compat"
 	"repro/internal/lut"
@@ -50,6 +52,14 @@ type Options struct {
 	// Samples is the number of images averaged per measurement; the
 	// paper uses 50.
 	Samples int
+	// Robust, when non-nil, enables the fault-tolerant protocol:
+	// per-sample timeouts, retry with backoff, outlier-robust
+	// aggregation, and graceful degradation (persistently failing
+	// primitives are dropped from their layer's candidate set instead
+	// of aborting the run). nil selects the strict legacy protocol —
+	// any failure or invalid observation is an immediate error and
+	// samples are aggregated with the plain mean.
+	Robust *Robust
 }
 
 // DefaultOptions returns the paper's profiling settings.
@@ -58,10 +68,39 @@ func DefaultOptions(mode primitives.Mode) Options {
 }
 
 // Run executes the two-phase protocol and returns the populated table.
+// It is the non-cancellable strict entry point kept for existing
+// callers; RunContext adds cancellation and the degradation report.
 func Run(net *nn.Network, src Source, opts Options) (*lut.Table, error) {
+	t, _, err := RunContext(context.Background(), net, src, opts)
+	return t, err
+}
+
+// RunContext executes the protocol under a context. With Options.Robust
+// set, the run is fault-tolerant and the returned Report records every
+// retry, rejection and exclusion; with Robust nil the report only
+// carries identification fields. The report is non-nil whenever the
+// run got past argument validation, even on error.
+func RunContext(ctx context.Context, net *nn.Network, src Source, opts Options) (*lut.Table, *Report, error) {
+	return RunFallible(ctx, net, AsFallible(src), opts)
+}
+
+// RunFallible is RunContext for sources that report measurement
+// errors. It implements the fault-tolerance tentpole:
+//
+//   - every measurement goes through the Robust policy (timeout, retry
+//     with backoff, validity checking at the source boundary);
+//   - a primitive that persistently fails on a layer is dropped from
+//     that layer's candidate set (Vanilla fallback) and recorded in
+//     the Report — the search proceeds on a reduced-but-valid table;
+//   - the run errors only when a layer has no surviving candidate, an
+//     edge has no measurable pair, or the context is canceled.
+func RunFallible(ctx context.Context, net *nn.Network, src FallibleSource, opts Options) (*lut.Table, *Report, error) {
 	if opts.Samples <= 0 {
-		return nil, fmt.Errorf("profile: Samples must be positive, got %d", opts.Samples)
+		return nil, nil, fmt.Errorf("profile: Samples must be positive, got %d", opts.Samples)
 	}
+	rep := &Report{Network: net.Name, Mode: opts.Mode, Samples: opts.Samples}
+	m := &meter{policy: opts.Robust, report: rep}
+	degrade := opts.Robust != nil
 	t := lut.New(net, opts.Mode)
 
 	// Phase 1a: one global implementation per primitive. A layer's
@@ -79,29 +118,109 @@ func Run(net *nn.Network, src Source, opts Options) (*lut.Table, error) {
 			if !supports(l, p, opts.Mode) {
 				continue
 			}
-			var sum float64
-			for s := 0; s < opts.Samples; s++ {
-				sum += src.Sample(i, p, s)
+			what := fmt.Sprintf("layer %d (%s) with %s", i, l.Name, p.Name)
+			v, err := m.series(ctx, what, opts.Samples, func(ctx context.Context, s int) (float64, error) {
+				return src.MeasureSample(ctx, i, p, s)
+			})
+			if err != nil {
+				if ctx.Err() != nil || !degrade {
+					return nil, rep, fmt.Errorf("profile: %w", err)
+				}
+				t.DropCandidate(i, p.Idx)
+				rep.Excluded = append(rep.Excluded, Exclusion{
+					Layer: i, LayerName: l.Name, Primitive: p.Name, Reason: err.Error(),
+				})
+				continue
 			}
-			t.SetTime(i, p.Idx, sum/float64(opts.Samples))
+			t.SetTime(i, p.Idx, v)
+		}
+	}
+
+	// Degradation floor: the search needs at least one measured
+	// primitive per layer; a layer that lost everything (Vanilla
+	// included) cannot be scheduled at all.
+	for i := 1; i < t.NumLayers(); i++ {
+		ok := false
+		for _, id := range t.Candidates(i) {
+			if !math.IsInf(t.Time(i, id), 1) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return nil, rep, fmt.Errorf("profile: layer %d (%s): no surviving primitive after degradation",
+				i, net.Layers[i].Name)
 		}
 	}
 
 	// Phase 1b: one pass over all compatibility layers — every edge,
-	// every primitive pair, plus the host-return penalty.
+	// every surviving primitive pair, plus the host-return penalty. A
+	// pair whose penalty cannot be measured stays +Inf (the search can
+	// never find it attractive); an edge with no measurable pair at
+	// all makes every assignment unschedulable, which is an error.
 	for _, ed := range t.Edges() {
+		okPair := false
 		for _, fp := range t.Candidates(ed.From) {
 			for _, tp := range t.Candidates(ed.To) {
-				pen := src.EdgePenalty(ed.From, primitives.ByID(fp), primitives.ByID(tp))
+				what := fmt.Sprintf("edge %d->%d (%s -> %s)",
+					ed.From, ed.To, primitives.ByID(fp).Name, primitives.ByID(tp).Name)
+				pen, err := m.single(ctx, what, func(ctx context.Context) (float64, error) {
+					return src.MeasureEdgePenalty(ctx, ed.From, primitives.ByID(fp), primitives.ByID(tp))
+				})
+				if err != nil {
+					if ctx.Err() != nil || !degrade {
+						return nil, rep, fmt.Errorf("profile: %w", err)
+					}
+					rep.EdgeExcluded = append(rep.EdgeExcluded, EdgeExclusion{
+						From: ed.From, To: ed.To,
+						FromPrim: primitives.ByID(fp).Name, ToPrim: primitives.ByID(tp).Name,
+						Reason: err.Error(),
+					})
+					continue
+				}
 				t.SetPenalty(ed.From, ed.To, fp, tp, pen)
+				okPair = true
 			}
+		}
+		if !okPair {
+			return nil, rep, fmt.Errorf("profile: edge %d->%d: no measurable primitive pair", ed.From, ed.To)
 		}
 	}
 	out := t.OutputLayer()
-	for _, p := range t.Candidates(out) {
-		t.SetOutputPenalty(p, src.OutputPenalty(out, primitives.ByID(p)))
+	for _, p := range append([]primitives.ID(nil), t.Candidates(out)...) {
+		what := fmt.Sprintf("output penalty (%s)", primitives.ByID(p).Name)
+		pen, err := m.single(ctx, what, func(ctx context.Context) (float64, error) {
+			return src.MeasureOutputPenalty(ctx, out, primitives.ByID(p))
+		})
+		if err != nil {
+			if ctx.Err() != nil || !degrade {
+				return nil, rep, fmt.Errorf("profile: %w", err)
+			}
+			// Without a host-return cost the primitive is unusable at
+			// the output layer specifically, so it is dropped there.
+			t.DropCandidate(out, p)
+			rep.Excluded = append(rep.Excluded, Exclusion{
+				Layer: out, LayerName: net.Layers[out].Name,
+				Primitive: primitives.ByID(p).Name, Reason: err.Error(),
+			})
+			continue
+		}
+		t.SetOutputPenalty(p, pen)
 	}
-	return t, nil
+	if len(t.Candidates(out)) == 0 {
+		return nil, rep, fmt.Errorf("profile: output layer %d: no surviving primitive after degradation", out)
+	}
+	return t, rep, nil
+}
+
+// isCandidateOf reports whether id is in layer i's candidate set of t.
+func isCandidateOf(t *lut.Table, i int, id primitives.ID) bool {
+	for _, c := range t.Candidates(i) {
+		if c == id {
+			return true
+		}
+	}
+	return false
 }
 
 // supports reports whether p is a candidate for layer l under mode.
@@ -134,34 +253,70 @@ type EnergySource interface {
 // identical structure — lut.Table is objective-agnostic, so the same
 // machinery evaluates either.
 func RunWithEnergy(net *nn.Network, src EnergySource, opts Options) (timeTab, energyTab *lut.Table, err error) {
-	timeTab, err = Run(net, src, opts)
+	return RunWithEnergyContext(context.Background(), net, src, opts)
+}
+
+// RunWithEnergyContext is RunWithEnergy under a context: cancellation
+// is observed between measurements, and invalid energy observations
+// (NaN, +/-Inf, negative) are rejected at the source boundary with an
+// error instead of silently entering the table.
+func RunWithEnergyContext(ctx context.Context, net *nn.Network, src EnergySource, opts Options) (timeTab, energyTab *lut.Table, err error) {
+	timeTab, _, err = RunContext(ctx, net, src, opts)
 	if err != nil {
 		return nil, nil, err
+	}
+	checkJ := func(what string, v float64) error {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("profile: %w", err)
+		}
+		if !ValidObservation(v) {
+			return fmt.Errorf("profile: %s: invalid energy observation %v", what, v)
+		}
+		return nil
 	}
 	energyTab = lut.New(net, opts.Mode)
 	for i, l := range net.Layers {
 		if i == 0 {
 			continue
 		}
-		for _, p := range primitives.Candidates(l, opts.Mode) {
+		// Mirror any degradation of the latency table: both objectives
+		// must expose identical candidate sets to the search.
+		for _, id := range append([]primitives.ID(nil), energyTab.Candidates(i)...) {
+			if !isCandidateOf(timeTab, i, id) {
+				energyTab.DropCandidate(i, id)
+			}
+		}
+		for _, id := range energyTab.Candidates(i) {
+			p := primitives.ByID(id)
 			var sum float64
 			for s := 0; s < opts.Samples; s++ {
-				sum += src.SampleEnergy(i, p, s)
+				v := src.SampleEnergy(i, p, s)
+				if err := checkJ(fmt.Sprintf("layer %d (%s) with %s", i, l.Name, p.Name), v); err != nil {
+					return nil, nil, err
+				}
+				sum += v
 			}
-			energyTab.SetTime(i, p.Idx, sum/float64(opts.Samples))
+			energyTab.SetTime(i, id, sum/float64(opts.Samples))
 		}
 	}
 	for _, ed := range energyTab.Edges() {
 		for _, fp := range energyTab.Candidates(ed.From) {
 			for _, tp := range energyTab.Candidates(ed.To) {
 				pen := src.EdgeEnergyPenalty(ed.From, primitives.ByID(fp), primitives.ByID(tp))
+				if err := checkJ(fmt.Sprintf("edge %d->%d", ed.From, ed.To), pen); err != nil {
+					return nil, nil, err
+				}
 				energyTab.SetPenalty(ed.From, ed.To, fp, tp, pen)
 			}
 		}
 	}
 	out := energyTab.OutputLayer()
 	for _, p := range energyTab.Candidates(out) {
-		energyTab.SetOutputPenalty(p, src.OutputEnergyPenalty(out, primitives.ByID(p)))
+		pen := src.OutputEnergyPenalty(out, primitives.ByID(p))
+		if err := checkJ("output penalty", pen); err != nil {
+			return nil, nil, err
+		}
+		energyTab.SetOutputPenalty(p, pen)
 	}
 	return timeTab, energyTab, nil
 }

@@ -1,0 +1,109 @@
+package profile
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/primitives"
+)
+
+// Exclusion records one (layer, primitive) candidate dropped by the
+// graceful-degradation policy: the primitive persistently failed to
+// profile on the layer (retries exhausted or too few valid samples),
+// so it was removed from the candidate set and the search proceeds
+// without it (every layer always retains Vanilla unless Vanilla itself
+// is broken).
+type Exclusion struct {
+	// Layer is the layer index; LayerName its zoo name.
+	Layer     int    `json:"layer"`
+	LayerName string `json:"layer_name"`
+	// Primitive is the dropped primitive's name.
+	Primitive string `json:"primitive"`
+	// Reason is the final error that exhausted the retry budget.
+	Reason string `json:"reason"`
+}
+
+// EdgeExclusion records one compatibility pair whose penalty could not
+// be measured; the pair's entry stays +Inf, so the search can never
+// find it attractive, but both endpoint primitives remain usable via
+// other pairings.
+type EdgeExclusion struct {
+	From     int    `json:"from"`
+	To       int    `json:"to"`
+	FromPrim string `json:"from_prim"`
+	ToPrim   string `json:"to_prim"`
+	Reason   string `json:"reason"`
+}
+
+// Report is the structured outcome of a fault-tolerant profiling run:
+// what was dropped, what was retried, what was rejected. It is
+// deterministic for a deterministic source (e.g. a seeded fault
+// schedule), so batch outputs that embed it stay byte-reproducible.
+type Report struct {
+	// Network and Mode identify the profiled table.
+	Network string          `json:"network"`
+	Mode    primitives.Mode `json:"mode"`
+	// Samples is the per-measurement sample budget.
+	Samples int `json:"samples"`
+	// Excluded lists (layer, primitive) candidates dropped after the
+	// retry budget was exhausted.
+	Excluded []Exclusion `json:"excluded,omitempty"`
+	// EdgeExcluded lists compatibility pairs left unprofiled (+Inf).
+	EdgeExcluded []EdgeExclusion `json:"edge_excluded,omitempty"`
+	// Retries counts retry attempts performed (successful or not).
+	Retries int `json:"retries"`
+	// Timeouts counts attempts killed by the per-sample timeout.
+	Timeouts int `json:"timeouts"`
+	// Invalid counts observations rejected at the source boundary
+	// (NaN, +/-Inf, negative).
+	Invalid int `json:"invalid"`
+	// Outliers counts valid observations discarded by the robust
+	// aggregation (MAD rejection + trimming).
+	Outliers int `json:"outliers"`
+	// DroppedSamples counts samples abandoned after retries while the
+	// measurement as a whole still succeeded.
+	DroppedSamples int `json:"dropped_samples"`
+}
+
+// Degraded reports whether any candidate or pair was excluded — i.e.
+// whether the search will run on a reduced (but valid) table.
+func (r *Report) Degraded() bool {
+	return len(r.Excluded) > 0 || len(r.EdgeExcluded) > 0
+}
+
+// Flaky reports whether any fault-tolerance machinery fired at all,
+// even if nothing was permanently excluded.
+func (r *Report) Flaky() bool {
+	return r.Retries > 0 || r.Timeouts > 0 || r.Invalid > 0 || r.DroppedSamples > 0
+}
+
+// Lines renders the degradation outcome as human-readable lines, one
+// per exclusion — the form the CLI prints. Deterministic for a
+// deterministic source.
+func (r *Report) Lines() []string {
+	var out []string
+	for _, e := range r.Excluded {
+		out = append(out, fmt.Sprintf("dropped %s on layer %d (%s): %s", e.Primitive, e.Layer, e.LayerName, e.Reason))
+	}
+	for _, e := range r.EdgeExcluded {
+		out = append(out, fmt.Sprintf("unprofiled pair (%s -> %s) on edge %d->%d: %s",
+			e.FromPrim, e.ToPrim, e.From, e.To, e.Reason))
+	}
+	return out
+}
+
+// Render returns the full report as text: the counters plus every
+// exclusion line.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "profiling %s (%s, %d samples): %d retries, %d timeouts, %d invalid, %d outliers rejected, %d samples dropped\n",
+		r.Network, r.Mode, r.Samples, r.Retries, r.Timeouts, r.Invalid, r.Outliers, r.DroppedSamples)
+	if !r.Degraded() {
+		b.WriteString("  no candidates excluded\n")
+		return b.String()
+	}
+	for _, line := range r.Lines() {
+		fmt.Fprintf(&b, "  %s\n", line)
+	}
+	return b.String()
+}

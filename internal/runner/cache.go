@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/lut"
 	"repro/internal/primitives"
+	"repro/internal/profile"
 )
 
 // cacheKey identifies one profiling run. Two jobs that agree on all
@@ -18,11 +19,12 @@ type cacheKey struct {
 }
 
 // cacheEntry is one in-flight or completed profiling run. ready is
-// closed when tab/err are final; waiters block on it instead of
+// closed when tab/rep/err are final; waiters block on it instead of
 // holding the cache lock across the (expensive) build.
 type cacheEntry struct {
 	ready chan struct{}
 	tab   *lut.Table
+	rep   *profile.Report
 	err   error
 }
 
@@ -42,23 +44,35 @@ func newTableCache() *tableCache {
 
 // get returns the table for key, building it with build on the first
 // request. Concurrent callers with the same key share the single
-// build; build errors are cached and returned to every waiter.
-func (c *tableCache) get(key cacheKey, build func() (*lut.Table, error)) (*lut.Table, error) {
+// build; waiters coalesced onto a failing build all see its error, but
+// the failed entry is then evicted, so the key's next get retries the
+// build instead of replaying a cached failure forever — a transient
+// board outage must not poison the batch.
+func (c *tableCache) get(key cacheKey, build func() (*lut.Table, *profile.Report, error)) (*lut.Table, *profile.Report, error) {
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
 		c.hits++
 		c.mu.Unlock()
 		<-e.ready
-		return e.tab, e.err
+		return e.tab, e.rep, e.err
 	}
 	e := &cacheEntry{ready: make(chan struct{})}
 	c.entries[key] = e
 	c.misses++
 	c.mu.Unlock()
 
-	e.tab, e.err = build()
+	e.tab, e.rep, e.err = build()
+	if e.err != nil {
+		c.mu.Lock()
+		// Guard on identity: a later successful rebuild must not be
+		// evicted by a stale failure.
+		if c.entries[key] == e {
+			delete(c.entries, key)
+		}
+		c.mu.Unlock()
+	}
 	close(e.ready)
-	return e.tab, e.err
+	return e.tab, e.rep, e.err
 }
 
 // stats returns the lookup counters: hits is the number of requests

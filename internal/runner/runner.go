@@ -10,9 +10,16 @@
 // The search itself (core.Search) is a pure function of (table, config)
 // and lut.Table is read-only after profiling, so arbitrarily many
 // searches may share one table concurrently; the runner exploits both.
+//
+// Fault tolerance: a failing profiling run fails only the jobs that
+// depend on its table (and is evicted from the cache so a later batch
+// or retry can succeed); a canceled context stops workers from
+// claiming further units while letting in-flight searches finish, so
+// the batch returns whatever partial results exist.
 package runner
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -61,8 +68,12 @@ func (j Job) withDefaults() Job {
 // ProfileFunc builds the look-up table for one (network, mode,
 // samples) combination. The runner wraps it in the single-flight
 // cache, so it is called at most once per distinct combination per
-// batch.
-type ProfileFunc func(net *nn.Network, mode primitives.Mode, samples int) (*lut.Table, error)
+// batch (failed builds are evicted and may be retried by a later
+// request). It must honor ctx: a canceled context should abort the
+// build promptly with ctx.Err(). The returned Report may be nil when
+// the implementation has nothing to report (e.g. tables loaded from
+// disk).
+type ProfileFunc func(ctx context.Context, net *nn.Network, mode primitives.Mode, samples int) (*lut.Table, *profile.Report, error)
 
 // Options configures a batch run.
 type Options struct {
@@ -75,13 +86,24 @@ type Options struct {
 	// or drive the real engine). nil profiles on the Platform
 	// simulator.
 	Profile ProfileFunc
+	// Robust selects the fault-tolerant measurement policy for the
+	// default simulator profiler (retry, per-sample timeout, robust
+	// aggregation, graceful degradation). nil keeps the strict legacy
+	// path unless Faults is set, in which case profile.DefaultRobust()
+	// applies. Ignored when Profile is non-nil.
+	Robust *profile.Robust
+	// Faults, when non-nil, wraps the default simulator source in a
+	// seeded fault injector — the test harness for the robustness
+	// machinery. Ignored when Profile is non-nil.
+	Faults *profile.FaultConfig
 }
 
 // SeedResult is one seed's search outcome within a job.
 type SeedResult struct {
 	// Seed is the search seed.
 	Seed int64
-	// Result is the search outcome for this seed.
+	// Result is the search outcome for this seed; nil if the unit
+	// never ran (profiling failed or the batch was canceled first).
 	Result *core.Result
 	// Elapsed is the wall-clock time of this seed's search (profiling
 	// excluded — tables are shared across seeds and jobs).
@@ -95,12 +117,24 @@ type JobResult struct {
 	Job Job
 	// Net is the built network.
 	Net *nn.Network
-	// Table is the shared profiled look-up table.
+	// Table is the shared profiled look-up table; nil if profiling
+	// never completed for this job.
 	Table *lut.Table
+	// Profile is the profiling degradation/fault report for the job's
+	// table; nil when the profiler had nothing to report.
+	Profile *profile.Report
+	// Err is the first error that hit one of this job's units
+	// (profiling failure, recovered search panic, or cancellation).
+	// A job with Err != nil may still carry partial Seeds results.
+	Err error
+	// Complete reports that every seed ran to completion.
+	Complete bool
 	// Seeds holds one result per seed, in the job's seed order.
+	// Entries with a nil Result did not run.
 	Seeds []SeedResult
-	// Best is the fastest per-seed result (ties break toward the
-	// earlier seed, so aggregation is order-independent).
+	// Best is the fastest per-seed result over the seeds that ran
+	// (ties break toward the earlier seed, so aggregation is
+	// order-independent); nil if no seed completed.
 	Best *core.Result
 	// BestSeed is the seed that produced Best.
 	BestSeed int64
@@ -124,6 +158,9 @@ func (r *JobResult) SpeedupVsBSL() float64 { return r.BSLSeconds / r.Best.Time }
 type BatchResult struct {
 	// Jobs holds one result per input job, in input order.
 	Jobs []JobResult
+	// Canceled reports that the batch context was done before every
+	// unit ran; Jobs then holds whatever completed first.
+	Canceled bool
 	// Elapsed is the batch wall-clock, profiling included.
 	Elapsed time.Duration
 	// ProfileHits counts table requests served by the cache;
@@ -131,10 +168,44 @@ type BatchResult struct {
 	ProfileHits, ProfileMisses int
 }
 
-// Run executes the batch. Jobs are validated up front (unknown
-// networks fail the whole batch before any work starts); every
-// (job, seed) pair then becomes one unit of work on the pool.
+// FailedJobs counts jobs with a non-nil Err.
+func (b *BatchResult) FailedJobs() int {
+	n := 0
+	for i := range b.Jobs {
+		if b.Jobs[i].Err != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Run executes the batch with a background context and the legacy
+// all-or-nothing contract: the first per-job error fails the whole
+// call. Callers that want partial results under failure or
+// cancellation use RunContext.
 func Run(jobs []Job, opts Options) (*BatchResult, error) {
+	batch, err := RunContext(context.Background(), jobs, opts)
+	if err != nil {
+		return nil, err
+	}
+	for i := range batch.Jobs {
+		if jerr := batch.Jobs[i].Err; jerr != nil {
+			return nil, jerr
+		}
+	}
+	return batch, nil
+}
+
+// RunContext executes the batch under ctx. Jobs are validated up front
+// (unknown networks fail the whole batch before any work starts);
+// every (job, seed) pair then becomes one unit of work on the pool.
+//
+// Per-unit failures do not abort the batch: the affected job records
+// its first error in JobResult.Err and the rest proceed. Cancellation
+// stops further units from starting; completed units survive in the
+// returned BatchResult (with Canceled set), so an interrupted batch
+// still flushes its partial results.
+func RunContext(ctx context.Context, jobs []Job, opts Options) (*BatchResult, error) {
 	if len(jobs) == 0 {
 		return nil, fmt.Errorf("runner: empty batch")
 	}
@@ -144,9 +215,7 @@ func Run(jobs []Job, opts Options) (*BatchResult, error) {
 	}
 	profileFn := opts.Profile
 	if profileFn == nil {
-		profileFn = func(net *nn.Network, mode primitives.Mode, samples int) (*lut.Table, error) {
-			return profile.Run(net, profile.NewSimSource(net, pl), profile.Options{Mode: mode, Samples: samples})
-		}
+		profileFn = simProfile(pl, opts.Robust, opts.Faults)
 	}
 
 	// Validate and default every job; build each distinct network once.
@@ -175,25 +244,28 @@ func Run(jobs []Job, opts Options) (*BatchResult, error) {
 	}
 	results := make([][]SeedResult, len(defaulted))
 	tables := make([][]*lut.Table, len(defaulted))
+	reports := make([][]*profile.Report, len(defaulted))
 	errs := make([]error, len(units))
 	for ji, j := range defaulted {
 		results[ji] = make([]SeedResult, len(j.Seeds))
 		tables[ji] = make([]*lut.Table, len(j.Seeds))
+		reports[ji] = make([]*profile.Report, len(j.Seeds))
 	}
 
 	cache := newTableCache()
 	start := time.Now()
-	pool.Run(len(units), opts.Workers, func(u int) {
+	outcome := pool.RunContext(ctx, len(units), opts.Workers, func(u int) {
 		ji, si := units[u].job, units[u].seed
 		job := defaulted[ji]
 		net := nets[job.Network]
-		tab, err := cache.get(cacheKey{network: job.Network, mode: job.Mode, samples: job.Samples},
-			func() (*lut.Table, error) { return profileFn(net, job.Mode, job.Samples) })
+		tab, rep, err := cache.get(cacheKey{network: job.Network, mode: job.Mode, samples: job.Samples},
+			func() (*lut.Table, *profile.Report, error) { return profileFn(ctx, net, job.Mode, job.Samples) })
 		if err != nil {
 			errs[u] = fmt.Errorf("runner: profiling %s/%s: %w", job.Network, job.Mode, err)
 			return
 		}
 		tables[ji][si] = tab
+		reports[ji][si] = rep
 		cfg := job.Search
 		cfg.Episodes = job.Episodes
 		cfg.Seed = job.Seeds[si]
@@ -201,30 +273,77 @@ func Run(jobs []Job, opts Options) (*BatchResult, error) {
 		res := core.Search(tab, cfg)
 		results[ji][si] = SeedResult{Seed: job.Seeds[si], Result: res, Elapsed: time.Since(t0)}
 	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	// A recovered search panic fails its unit like any other error —
+	// the message carries the captured stack for the report.
+	for _, pe := range outcome.Panics {
+		if errs[pe.Index] == nil {
+			errs[pe.Index] = fmt.Errorf("runner: %w\n%s", pe, pe.Stack)
 		}
 	}
 
 	// Aggregate in input order: completion order never leaks into the
 	// result. Ties between seeds break toward the earlier seed.
-	batch := &BatchResult{Jobs: make([]JobResult, len(defaulted))}
+	batch := &BatchResult{Jobs: make([]JobResult, len(defaulted)), Canceled: ctx.Err() != nil}
+	jobErr := make([]error, len(defaulted))
+	for u, un := range units {
+		if errs[u] != nil && jobErr[un.job] == nil {
+			jobErr[un.job] = errs[u]
+		}
+	}
 	for ji, j := range defaulted {
-		jr := JobResult{Job: j, Net: nets[j.Network], Table: tables[ji][0], Seeds: results[ji]}
+		jr := JobResult{Job: j, Net: nets[j.Network], Err: jobErr[ji], Seeds: results[ji]}
+		ran := 0
 		for si, sr := range results[ji] {
+			if tables[ji][si] != nil && jr.Table == nil {
+				jr.Table = tables[ji][si]
+				jr.Profile = reports[ji][si]
+			}
+			if sr.Result == nil {
+				continue
+			}
+			ran++
 			jr.Elapsed += sr.Elapsed
 			if jr.Best == nil || sr.Result.Time < jr.Best.Time {
 				jr.Best = sr.Result
 				jr.BestSeed = j.Seeds[si]
 			}
 		}
-		jr.VanillaSeconds = core.VanillaTime(jr.Table)
-		lib, bsl := core.BestSingleLibrary(jr.Table)
-		jr.BSLLibrary, jr.BSLSeconds = lib, bsl.Time
+		jr.Complete = jr.Err == nil && ran == len(j.Seeds)
+		if !jr.Complete && jr.Err == nil {
+			cause := context.Cause(ctx)
+			if cause == nil {
+				cause = context.Canceled
+			}
+			jr.Err = fmt.Errorf("runner: %s/%s: canceled after %d/%d seeds: %w",
+				j.Network, j.Mode, ran, len(j.Seeds), cause)
+		}
+		if jr.Table != nil {
+			jr.VanillaSeconds = core.VanillaTime(jr.Table)
+			lib, bsl := core.BestSingleLibrary(jr.Table)
+			jr.BSLLibrary, jr.BSLSeconds = lib, bsl.Time
+		}
 		batch.Jobs[ji] = jr
 	}
 	batch.Elapsed = time.Since(start)
 	batch.ProfileHits, batch.ProfileMisses = cache.stats()
 	return batch, nil
+}
+
+// simProfile is the default ProfileFunc: profile on the platform
+// simulator, optionally through the fault injector and the robust
+// measurement policy.
+func simProfile(pl *platform.Platform, robust *profile.Robust, faults *profile.FaultConfig) ProfileFunc {
+	return func(ctx context.Context, net *nn.Network, mode primitives.Mode, samples int) (*lut.Table, *profile.Report, error) {
+		sim := profile.NewSimSource(net, pl)
+		var src profile.FallibleSource = profile.AsFallible(sim)
+		if faults != nil {
+			src = profile.NewFaultSource(sim, *faults)
+			if robust == nil {
+				// Injected faults without a recovery policy would just
+				// fail; a fault-injected run implies the robust path.
+				robust = profile.DefaultRobust()
+			}
+		}
+		return profile.RunFallible(ctx, net, src, profile.Options{Mode: mode, Samples: samples, Robust: robust})
+	}
 }

@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"testing"
@@ -16,9 +17,9 @@ import (
 // countingProfile wraps the simulator profile with an execution
 // counter so tests can assert the single-flight property.
 func countingProfile(pl *platform.Platform, calls *atomic.Int64) ProfileFunc {
-	return func(net *nn.Network, mode primitives.Mode, samples int) (*lut.Table, error) {
+	return func(ctx context.Context, net *nn.Network, mode primitives.Mode, samples int) (*lut.Table, *profile.Report, error) {
 		calls.Add(1)
-		return profile.Run(net, profile.NewSimSource(net, pl), profile.Options{Mode: mode, Samples: samples})
+		return profile.RunContext(ctx, net, profile.NewSimSource(net, pl), profile.Options{Mode: mode, Samples: samples})
 	}
 }
 
@@ -136,8 +137,8 @@ func TestRunErrors(t *testing.T) {
 	if _, err := Run([]Job{{Network: "bogus"}}, Options{}); err == nil {
 		t.Error("unknown network should error before any work")
 	}
-	failing := func(net *nn.Network, mode primitives.Mode, samples int) (*lut.Table, error) {
-		return nil, fmt.Errorf("board unreachable")
+	failing := func(ctx context.Context, net *nn.Network, mode primitives.Mode, samples int) (*lut.Table, *profile.Report, error) {
+		return nil, nil, fmt.Errorf("board unreachable")
 	}
 	_, err := Run([]Job{{Network: "lenet5", Episodes: 10, Samples: 2}}, Options{Profile: failing})
 	if err == nil {

@@ -25,6 +25,7 @@
 package qsdnn
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -61,6 +62,19 @@ type EpisodePoint = core.EpisodePoint
 
 // SearchConfig are the QS-DNN agent settings.
 type SearchConfig = core.Config
+
+// RobustPolicy configures the fault-tolerant measurement path:
+// per-sample timeout, bounded retry with backoff, outlier-robust
+// aggregation, and the graceful-degradation thresholds.
+type RobustPolicy = profile.Robust
+
+// FaultInjection is a seeded, deterministic fault schedule for a
+// profiling source — the test harness for the robustness machinery.
+type FaultInjection = profile.FaultConfig
+
+// ProfileReport is the structured outcome of a fault-tolerant
+// profiling run: exclusions, retries, timeouts, rejected observations.
+type ProfileReport = profile.Report
 
 // Processor modes.
 const (
@@ -165,6 +179,15 @@ type Report struct {
 	Raw *Result
 }
 
+// DefaultRobustPolicy returns the standard fault-tolerance settings
+// (2s sample timeout, 3 retries with exponential backoff, 10% trimmed
+// mean with MAD outlier rejection).
+func DefaultRobustPolicy() *RobustPolicy { return profile.DefaultRobust() }
+
+// DefaultFaultInjection returns a moderate seeded fault schedule:
+// transient errors, occasional stalls, NaN samples and latency spikes.
+func DefaultFaultInjection(seed int64) FaultInjection { return profile.DefaultFaults(seed) }
+
 // Profile runs the inference phase on the platform model and returns
 // the look-up table.
 func Profile(net *Network, pl *Platform, mode Mode, samples int) (*Table, error) {
@@ -172,6 +195,19 @@ func Profile(net *Network, pl *Platform, mode Mode, samples int) (*Table, error)
 		samples = 50
 	}
 	return profile.Run(net, profile.NewSimSource(net, pl), profile.Options{Mode: mode, Samples: samples})
+}
+
+// ProfileContext is Profile under a context and an optional robust
+// policy: cancellation aborts the run promptly, and with a non-nil
+// policy failed measurements are retried, outliers rejected, and
+// persistently failing primitives dropped — the returned ProfileReport
+// says what happened.
+func ProfileContext(ctx context.Context, net *Network, pl *Platform, mode Mode, samples int, robust *RobustPolicy) (*Table, *ProfileReport, error) {
+	if samples == 0 {
+		samples = 50
+	}
+	return profile.RunContext(ctx, net, profile.NewSimSource(net, pl),
+		profile.Options{Mode: mode, Samples: samples, Robust: robust})
 }
 
 // Optimize runs the full QS-DNN pipeline — profile then search — and
