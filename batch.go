@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/runner"
+	"repro/internal/store"
 )
 
 // This file is the public face of the concurrent batch orchestrator
@@ -50,6 +51,16 @@ type BatchOptions struct {
 	// Faults, when non-nil, wraps the profiling source in a seeded
 	// deterministic fault injector.
 	Faults *FaultInjection
+	// ManifestDir, when non-empty, makes the batch resumable: each
+	// completed (network, mode, seed) unit is durably journaled in the
+	// directory together with checksummed copies of the profiled
+	// look-up tables, and a re-invoked batch with the same directory
+	// restores every verifiable unit (journal record intact, stored
+	// LUT passes its checksum and matches the record's digest, result
+	// re-evaluates exactly) instead of re-running it — so a killed
+	// sweep converges to the same output as an uninterrupted one,
+	// re-running only what is missing or corrupt.
+	ManifestDir string
 }
 
 // JobStats carries the per-job batch bookkeeping that is not part of
@@ -95,6 +106,9 @@ type BatchReport struct {
 	// ProfileHits counts profiling requests served by the shared
 	// cache; ProfileMisses counts distinct profiling runs executed.
 	ProfileHits, ProfileMisses int
+	// Restored counts units restored from the manifest instead of
+	// re-run (always 0 without BatchOptions.ManifestDir).
+	Restored int
 }
 
 // OptimizeBatch profiles and searches every job concurrently on a
@@ -150,12 +164,21 @@ func OptimizeBatchContext(ctx context.Context, jobs []BatchJob, opts BatchOption
 			Search:   opts.Search,
 		}
 	}
-	batch, err := runner.RunContext(ctx, rjobs, runner.Options{
+	ropts := runner.Options{
 		Workers:  opts.Workers,
 		Platform: opts.Platform,
 		Robust:   opts.Robust,
 		Faults:   opts.Faults,
-	})
+	}
+	if opts.ManifestDir != "" {
+		man, err := store.OpenManifest(opts.ManifestDir)
+		if err != nil {
+			return nil, fmt.Errorf("qsdnn: opening manifest: %w", err)
+		}
+		defer man.Close()
+		ropts.Manifest = man
+	}
+	batch, err := runner.RunContext(ctx, rjobs, ropts)
 	if err != nil {
 		return nil, err
 	}
@@ -166,6 +189,7 @@ func OptimizeBatchContext(ctx context.Context, jobs []BatchJob, opts BatchOption
 		Elapsed:       batch.Elapsed,
 		ProfileHits:   batch.ProfileHits,
 		ProfileMisses: batch.ProfileMisses,
+		Restored:      batch.Restored,
 	}
 	for i, jr := range batch.Jobs {
 		st := JobStats{

@@ -1,0 +1,145 @@
+package main
+
+import (
+	"context"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/store"
+)
+
+// The chaos workload: two networks, both modes, best-of-2 seeds —
+// eight durable units, big enough that a kill lands mid-run.
+const (
+	chaosNets     = "lenet5,mobilenet-v1"
+	chaosEpisodes = 2000
+	chaosSeeds    = 2
+)
+
+// deterministicCut returns a bench-all output up to the wall-clock
+// section, which is the part guaranteed byte-identical across runs.
+func deterministicCut(t *testing.T, out string) string {
+	t.Helper()
+	i := strings.Index(out, "batch wall-clock")
+	if i < 0 {
+		t.Fatalf("no timing section in output:\n%s", out)
+	}
+	return out[:i]
+}
+
+// TestCrashResumeHelper is the child half of the chaos test: invoked
+// by re-executing the test binary, it runs the chaos bench-all against
+// the manifest directory from the environment and atomically writes
+// the deterministic summary to the output file. The parent SIGKILLs it
+// at random points; only a run that reaches the end writes the file.
+func TestCrashResumeHelper(t *testing.T) {
+	if os.Getenv("QSDNN_CRASH_HELPER") != "1" {
+		t.Skip("run only as a re-exec child of TestCrashResumeBenchAll")
+	}
+	dir := os.Getenv("QSDNN_MANIFEST_DIR")
+	outFile := os.Getenv("QSDNN_OUT")
+	out, err := capture(t, func() error {
+		return runCtx(context.Background(), "bench-all", chaosNets, "both",
+			chaosEpisodes, fastSamples, 1, "", "tx2-like", 2, chaosSeeds,
+			faultFlags{}, durableFlags{manifest: dir})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.WriteFileAtomic(outFile, []byte(deterministicCut(t, out)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCrashResumeBenchAll kills a manifest-backed bench-all with
+// SIGKILL at random delays, restarting it on the same directory until
+// an attempt survives, then asserts the crashed-and-resumed output is
+// byte-identical to an uninterrupted in-process run and the journal
+// holds exactly one verified record per unit.
+func TestCrashResumeBenchAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("kill/restart chaos test skipped with -short")
+	}
+	dir := t.TempDir()
+	outFile := filepath.Join(t.TempDir(), "summary.txt")
+	rng := rand.New(rand.NewSource(7))
+
+	const maxAttempts = 6
+	completed := false
+	for attempt := 0; attempt < maxAttempts && !completed; attempt++ {
+		cmd := exec.Command(os.Args[0], "-test.run", "^TestCrashResumeHelper$")
+		cmd.Env = append(os.Environ(),
+			"QSDNN_CRASH_HELPER=1",
+			"QSDNN_MANIFEST_DIR="+dir,
+			"QSDNN_OUT="+outFile)
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan error, 1)
+		go func() { done <- cmd.Wait() }()
+
+		if attempt == maxAttempts-1 {
+			// Last chance: let it run to completion.
+			if err := <-done; err != nil {
+				t.Fatalf("uninterrupted final attempt failed: %v", err)
+			}
+			completed = true
+			break
+		}
+		delay := time.Duration(50+rng.Intn(350)) * time.Millisecond
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("attempt %d failed on its own: %v", attempt, err)
+			}
+			completed = true
+		case <-time.After(delay):
+			if err := cmd.Process.Kill(); err != nil {
+				t.Fatalf("kill: %v", err)
+			}
+			<-done // reap the killed child; its error is expected
+			t.Logf("attempt %d killed after %v", attempt, delay)
+		}
+	}
+	if !completed {
+		t.Fatal("no attempt completed")
+	}
+
+	got, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatalf("surviving attempt left no summary: %v", err)
+	}
+
+	// Reference: the same workload uninterrupted, no manifest at all —
+	// the durable path must change persistence, never results.
+	refOut, err := capture(t, func() error {
+		return runCtx(context.Background(), "bench-all", chaosNets, "both",
+			chaosEpisodes, fastSamples, 1, "", "tx2-like", 2, chaosSeeds,
+			faultFlags{}, durableFlags{})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref := deterministicCut(t, refOut); string(got) != ref {
+		t.Errorf("crashed-and-resumed summary differs from uninterrupted run:\n--- resumed\n%s\n--- reference\n%s", got, ref)
+	}
+
+	// The journal converged to one record per (network, mode, seed)
+	// unit: 2 networks x 2 modes x 2 seeds.
+	man, err := store.OpenManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer man.Close()
+	if want := 8; man.Len() != want {
+		t.Errorf("manifest has %d records, want %d", man.Len(), want)
+	}
+	if man.Lines() < man.Len() {
+		t.Errorf("journal has %d lines for %d records", man.Lines(), man.Len())
+	}
+}

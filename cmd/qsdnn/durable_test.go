@@ -1,0 +1,233 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/store"
+)
+
+// declareFlags mirrors main's flag declarations so validateFlags can
+// be exercised against parsed command lines.
+func declareFlags(fs *flag.FlagSet) {
+	fs.Int("episodes", 1000, "")
+	fs.Int("samples", 50, "")
+	fs.Int("seeds", 1, "")
+	fs.Int("retries", -1, "")
+	fs.Duration("sample-timeout", 0, "")
+	fs.Int("checkpoint-every", core.DefaultSnapshotEvery, "")
+}
+
+func TestValidateFlagsRejectsBadValues(t *testing.T) {
+	bad := [][]string{
+		{"-retries", "-3"},
+		{"-sample-timeout", "-1s"},
+		{"-sample-timeout", "0s"},
+		{"-seeds", "-1"},
+		{"-episodes", "0"},
+		{"-episodes", "-5"},
+		{"-samples", "0"},
+		{"-checkpoint-every", "0"},
+		{"-checkpoint-every", "-10"},
+	}
+	for _, args := range bad {
+		fs := flag.NewFlagSet("test", flag.ContinueOnError)
+		declareFlags(fs)
+		if err := fs.Parse(args); err != nil {
+			t.Fatalf("%v: parse: %v", args, err)
+		}
+		if err := validateFlags(fs); err == nil {
+			t.Errorf("%v accepted, want rejection", args)
+		}
+	}
+}
+
+// TestValidateFlagsKeepsSentinelDefaults: the documented sentinel
+// defaults (-retries -1 meaning "policy default", -sample-timeout 0)
+// must pass when not explicitly set, and sane explicit values pass too.
+func TestValidateFlagsKeepsSentinelDefaults(t *testing.T) {
+	good := [][]string{
+		{}, // nothing set: sentinel defaults stand
+		{"-retries", "0"},
+		{"-retries", "5"},
+		{"-sample-timeout", "250ms"},
+		{"-seeds", "0"},
+		{"-episodes", "100", "-samples", "3", "-checkpoint-every", "50"},
+	}
+	for _, args := range good {
+		fs := flag.NewFlagSet("test", flag.ContinueOnError)
+		declareFlags(fs)
+		if err := fs.Parse(args); err != nil {
+			t.Fatalf("%v: parse: %v", args, err)
+		}
+		if err := validateFlags(fs); err != nil {
+			t.Errorf("%v rejected: %v", args, err)
+		}
+	}
+}
+
+// TestSearchCheckpointMatchesPlain: a search run through the durable
+// checkpoint path prints the same report as the plain path, and leaves
+// a loadable snapshot behind.
+func TestSearchCheckpointMatchesPlain(t *testing.T) {
+	dir := t.TempDir()
+	df := durableFlags{checkpoint: dir, every: 50}
+	durable, err := capture(t, func() error {
+		return runCtx(context.Background(), "search", "lenet5", "cpu",
+			fastEpisodes, fastSamples, 1, "", "tx2-like", 1, 1, faultFlags{}, df)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := capture(t, func() error {
+		return runCtx(context.Background(), "search", "lenet5", "cpu",
+			fastEpisodes, fastSamples, 1, "", "tx2-like", 1, 1, faultFlags{}, durableFlags{})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if durable != plain {
+		t.Errorf("durable search output differs from plain:\n--- durable\n%s\n--- plain\n%s", durable, plain)
+	}
+	if _, err := store.Read(filepath.Join(dir, "checkpoint.qsd")); err != nil {
+		t.Errorf("final snapshot unreadable: %v", err)
+	}
+}
+
+// TestSearchResumeFromSnapshot: rewind the checkpoint to the previous
+// rotation (a mid-run snapshot) and -resume — the resumed invocation
+// must print the same report as the uninterrupted run.
+func TestSearchResumeFromSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	ckPath := filepath.Join(dir, "checkpoint.qsd")
+
+	// Reference: uninterrupted durable run.
+	ref, err := capture(t, func() error {
+		return runCtx(context.Background(), "search", "lenet5", "cpu",
+			fastEpisodes, fastSamples, 1, "", "tx2-like", 1, 1, faultFlags{},
+			durableFlags{checkpoint: dir, every: 60})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a crash: rewind the checkpoint to a mid-run snapshot by
+	// re-running only the first chunk boundary's worth of state. The
+	// simplest faithful rewind uses the previous rotation left by the
+	// final save.
+	prev := store.PreviousPath(ckPath)
+	if _, err := os.Stat(prev); err != nil {
+		t.Fatalf("no previous rotation after run: %v", err)
+	}
+	raw, err := os.ReadFile(prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(ckPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed, err := capture(t, func() error {
+		return runCtx(context.Background(), "search", "lenet5", "cpu",
+			fastEpisodes, fastSamples, 1, "", "tx2-like", 1, 1, faultFlags{},
+			durableFlags{checkpoint: dir, resume: true, every: 60})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed != ref {
+		t.Errorf("resumed output differs from uninterrupted:\n--- resumed\n%s\n--- reference\n%s", resumed, ref)
+	}
+}
+
+// TestSearchResumeCorruptFallsBack: flip a byte in the current
+// snapshot; -resume must fall back to the previous rotation and still
+// complete with the uninterrupted output.
+func TestSearchResumeCorruptFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	ckPath := filepath.Join(dir, "checkpoint.qsd")
+	ref, err := capture(t, func() error {
+		return runCtx(context.Background(), "search", "lenet5", "cpu",
+			fastEpisodes, fastSamples, 1, "", "tx2-like", 1, 1, faultFlags{},
+			durableFlags{checkpoint: dir, every: 60})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(ckPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x20
+	if err := os.WriteFile(ckPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed, err := capture(t, func() error {
+		return runCtx(context.Background(), "search", "lenet5", "cpu",
+			fastEpisodes, fastSamples, 1, "", "tx2-like", 1, 1, faultFlags{},
+			durableFlags{checkpoint: dir, resume: true, every: 60})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed != ref {
+		t.Errorf("corrupt-fallback resume differs from uninterrupted:\n--- resumed\n%s\n--- reference\n%s", resumed, ref)
+	}
+}
+
+// TestSearchResumeNoSnapshotErrors: -resume with an empty checkpoint
+// directory must error rather than silently starting over.
+func TestSearchResumeNoSnapshotErrors(t *testing.T) {
+	_, err := capture(t, func() error {
+		return runCtx(context.Background(), "search", "lenet5", "cpu",
+			fastEpisodes, fastSamples, 1, "", "tx2-like", 1, 1, faultFlags{},
+			durableFlags{checkpoint: t.TempDir(), resume: true, every: 60})
+	})
+	if err == nil || !strings.Contains(err.Error(), "resume") {
+		t.Errorf("want resume error, got %v", err)
+	}
+}
+
+// TestBenchAllManifestResume: a bench-all with -manifest, re-invoked
+// on the same directory, restores every unit and prints an identical
+// deterministic summary (the wall-clock section necessarily differs).
+func TestBenchAllManifestResume(t *testing.T) {
+	dir := t.TempDir()
+	df := durableFlags{manifest: dir}
+	bench := func() string {
+		out, err := capture(t, func() error {
+			return runCtx(context.Background(), "bench-all", "lenet5", "both",
+				fastEpisodes, fastSamples, 1, "", "tx2-like", 2, 2, faultFlags{}, df)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		i := strings.Index(out, "batch wall-clock")
+		if i < 0 {
+			t.Fatalf("no timing section in output:\n%s", out)
+		}
+		return out[:i]
+	}
+	first := bench()
+	second := bench()
+	if first != second {
+		t.Errorf("resumed bench-all summary differs:\n--- first\n%s\n--- second\n%s", first, second)
+	}
+
+	// The journal holds one record per (network, mode, seed) unit plus
+	// its stored LUT blobs.
+	man, err := store.OpenManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer man.Close()
+	if man.Len() != 4 {
+		t.Errorf("manifest has %d records, want 4", man.Len())
+	}
+}

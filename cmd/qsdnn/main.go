@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sort"
 	"strings"
 	"syscall"
@@ -29,6 +30,7 @@ import (
 	"repro/internal/primitives"
 	"repro/internal/profile"
 	"repro/internal/sched"
+	"repro/internal/store"
 
 	qsdnn "repro"
 )
@@ -53,7 +55,15 @@ func main() {
 	retries := fs.Int("retries", -1, "robust profiling: retry budget per measurement (-1 = policy default)")
 	sampleTimeout := fs.Duration("sample-timeout", 0, "robust profiling: per-measurement timeout (0 = policy default)")
 	faultSeed := fs.Int64("fault-seed", 0, "inject a seeded deterministic fault schedule into profiling (0 = off; implies -robust)")
+	manifestDir := fs.String("manifest", "", "bench-all: durable run manifest directory; a re-invoked run skips completed, verified jobs")
+	checkpointDir := fs.String("checkpoint", "", "search: durable checkpoint directory (periodic snapshots with last-good rotation)")
+	resume := fs.Bool("resume", false, "search: continue from the newest valid snapshot in -checkpoint")
+	checkpointEvery := fs.Int("checkpoint-every", core.DefaultSnapshotEvery, "search: snapshot cadence in episodes")
 	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	if err := validateFlags(fs); err != nil {
+		fmt.Fprintln(os.Stderr, "qsdnn:", err)
 		os.Exit(2)
 	}
 
@@ -63,10 +73,60 @@ func main() {
 	defer stop()
 
 	ft := faultFlags{robust: *robust, retries: *retries, sampleTimeout: *sampleTimeout, faultSeed: *faultSeed}
-	if err := runCtx(ctx, cmd, *netName, *modeStr, *episodes, *samples, *seed, *lutFile, *platName, *parallel, *seeds, ft); err != nil {
+	df := durableFlags{manifest: *manifestDir, checkpoint: *checkpointDir, resume: *resume, every: *checkpointEvery}
+	if err := runCtx(ctx, cmd, *netName, *modeStr, *episodes, *samples, *seed, *lutFile, *platName, *parallel, *seeds, ft, df); err != nil {
 		fmt.Fprintln(os.Stderr, "qsdnn:", err)
 		os.Exit(1)
 	}
+}
+
+// validateFlags rejects flag values that earlier versions silently
+// passed through to the policy layer. Only flags the user explicitly
+// set are checked, so the documented sentinel defaults (-retries -1,
+// -sample-timeout 0) keep meaning "policy default".
+func validateFlags(fs *flag.FlagSet) error {
+	var err error
+	fs.Visit(func(f *flag.Flag) {
+		if err != nil {
+			return
+		}
+		get := func() any { return f.Value.(flag.Getter).Get() }
+		switch f.Name {
+		case "retries":
+			if get().(int) < 0 {
+				err = fmt.Errorf("-retries must be >= 0 (got %s)", f.Value)
+			}
+		case "sample-timeout":
+			if get().(time.Duration) <= 0 {
+				err = fmt.Errorf("-sample-timeout must be positive (got %s)", f.Value)
+			}
+		case "seeds":
+			if get().(int) < 0 {
+				err = fmt.Errorf("-seeds must be >= 0 (got %s)", f.Value)
+			}
+		case "episodes":
+			if get().(int) <= 0 {
+				err = fmt.Errorf("-episodes must be positive (got %s)", f.Value)
+			}
+		case "samples":
+			if get().(int) <= 0 {
+				err = fmt.Errorf("-samples must be positive (got %s)", f.Value)
+			}
+		case "checkpoint-every":
+			if get().(int) <= 0 {
+				err = fmt.Errorf("-checkpoint-every must be positive (got %s)", f.Value)
+			}
+		}
+	})
+	return err
+}
+
+// durableFlags bundles the crash-safe-state CLI flags.
+type durableFlags struct {
+	manifest   string
+	checkpoint string
+	resume     bool
+	every      int
 }
 
 // faultFlags bundles the fault-tolerance CLI flags.
@@ -127,6 +187,13 @@ flags: -net NAME -mode cpu|gpgpu -platform NAME -episodes N -samples N -seed N -
        -parallel N -seeds K (bench-all)
        -robust -retries N -sample-timeout DUR   fault-tolerant profiling
        -fault-seed N                            seeded fault injection (testing)
+       -manifest DIR                            bench-all: durable run journal; a
+                                                re-invoked run skips completed,
+                                                checksum-verified jobs
+       -checkpoint DIR -resume -checkpoint-every N
+                                                search: periodic durable snapshots
+                                                with last-good rotation; -resume
+                                                continues a killed search
 SIGINT/SIGTERM interrupt cleanly: a running bench-all flushes its partial results.`)
 }
 
@@ -140,9 +207,54 @@ func parseMode(s string) (primitives.Mode, error) {
 	return 0, fmt.Errorf("unknown mode %q (want cpu or gpgpu)", s)
 }
 
-// run is the legacy entry point: background context, no fault flags.
+// run is the legacy entry point: background context, no fault or
+// durability flags.
 func run(cmd, netName, modeStr string, episodes, samples int, seed int64, lutFile, platName string, parallel, seeds int) error {
-	return runCtx(context.Background(), cmd, netName, modeStr, episodes, samples, seed, lutFile, platName, parallel, seeds, faultFlags{})
+	return runCtx(context.Background(), cmd, netName, modeStr, episodes, samples, seed, lutFile, platName, parallel, seeds, faultFlags{}, durableFlags{})
+}
+
+// searchDurable runs (or resumes) a search with periodic durable
+// snapshots in df.checkpoint: every df.every episodes the agent state
+// and best-so-far are written atomically with last-good/previous
+// rotation. With df.resume, the newest valid snapshot continues the
+// run — a snapshot that fails its CRC or schema validation falls back
+// to the previous rotation (with a warning on stderr), and only when
+// no valid snapshot exists does the resume error out.
+func searchDurable(tab *lut.Table, cfg core.Config, df durableFlags) (*core.Result, error) {
+	if err := os.MkdirAll(df.checkpoint, 0o755); err != nil {
+		return nil, err
+	}
+	ckPath := filepath.Join(df.checkpoint, "checkpoint.qsd")
+	var from *core.Snapshot
+	if df.resume {
+		payload, gen, warn, err := store.LoadRotating(ckPath, func(p []byte) error {
+			_, verr := core.LoadSnapshot(p, tab)
+			return verr
+		})
+		if err != nil {
+			return nil, fmt.Errorf("resume: %w", err)
+		}
+		if warn != nil {
+			fmt.Fprintf(os.Stderr, "qsdnn: warning: current snapshot invalid (%v); resuming from %s rotation\n", warn, gen)
+		}
+		from, err = core.LoadSnapshot(payload, tab)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "qsdnn: resuming from episode %d/%d\n", from.Checkpoint.Episode, max(cfg.Episodes, 1))
+	}
+	res, _, err := core.SearchCheckpointed(tab, cfg, core.DurableOptions{
+		Every: df.every,
+		From:  from,
+		Save: func(s *core.Snapshot) error {
+			payload, err := s.Marshal()
+			if err != nil {
+				return err
+			}
+			return store.SaveRotating(ckPath, payload)
+		},
+	})
+	return res, err
 }
 
 // profileTable runs the inference phase for one network under the
@@ -165,7 +277,7 @@ func profileTable(ctx context.Context, ft faultFlags, net *qsdnn.Network, board 
 	return tab, nil
 }
 
-func runCtx(ctx context.Context, cmd, netName, modeStr string, episodes, samples int, seed int64, lutFile, platName string, parallel, seeds int, ft faultFlags) error {
+func runCtx(ctx context.Context, cmd, netName, modeStr string, episodes, samples int, seed int64, lutFile, platName string, parallel, seeds int, ft faultFlags, df durableFlags) error {
 	board, ok := platform.Preset(platName)
 	if !ok {
 		return fmt.Errorf("unknown platform %q", platName)
@@ -193,15 +305,22 @@ func runCtx(ctx context.Context, cmd, netName, modeStr string, episodes, samples
 			}
 		}
 		batch, err := qsdnn.OptimizeBatchContext(ctx, jobs, qsdnn.BatchOptions{
-			Options:  qsdnn.Options{Episodes: episodes, Samples: samples, Seed: seed},
-			Workers:  parallel,
-			BestOf:   seeds,
-			Platform: board,
-			Robust:   ft.policy(),
-			Faults:   ft.faults(),
+			Options:     qsdnn.Options{Episodes: episodes, Samples: samples, Seed: seed},
+			Workers:     parallel,
+			BestOf:      seeds,
+			Platform:    board,
+			Robust:      ft.policy(),
+			Faults:      ft.faults(),
+			ManifestDir: df.manifest,
 		})
 		if err != nil {
 			return err
+		}
+		if df.manifest != "" {
+			// Resume bookkeeping goes to stderr so the summary on
+			// stdout stays byte-identical to an uninterrupted run.
+			fmt.Fprintf(os.Stderr, "manifest %s: %d jobs restored, %d run\n",
+				df.manifest, batch.Restored, len(jobs)*max(seeds, 1)-batch.Restored)
 		}
 		fmt.Print(batch.Summary())
 		fmt.Println()
@@ -276,7 +395,7 @@ func runCtx(ctx context.Context, cmd, netName, modeStr string, episodes, samples
 			if err != nil {
 				return err
 			}
-			if err := os.WriteFile(lutFile, trace, 0o644); err != nil {
+			if err := store.WriteFileAtomic(lutFile, trace, 0o644); err != nil {
 				return err
 			}
 			fmt.Printf("chrome trace written to %s\n", lutFile)
@@ -304,7 +423,7 @@ func runCtx(ctx context.Context, cmd, netName, modeStr string, episodes, samples
 		if err != nil {
 			return err
 		}
-		if err := os.WriteFile(lutFile, arch, 0o644); err != nil {
+		if err := store.WriteFileAtomic(lutFile, arch, 0o644); err != nil {
 			return err
 		}
 		dot := net.ToDot(func(i int) string {
@@ -315,7 +434,7 @@ func runCtx(ctx context.Context, cmd, netName, modeStr string, episodes, samples
 			return fmt.Sprintf("%s (%s, %.3fms)", p.Name, p.Proc, tab.Time(i, p.Idx)*1e3)
 		})
 		dotFile := strings.TrimSuffix(lutFile, ".json") + ".dot"
-		if err := os.WriteFile(dotFile, []byte(dot), 0o644); err != nil {
+		if err := store.WriteFileAtomic(dotFile, []byte(dot), 0o644); err != nil {
 			return err
 		}
 		fmt.Printf("wrote %s (architecture JSON) and %s (annotated Graphviz)\n", lutFile, dotFile)
@@ -415,7 +534,7 @@ func runCtx(ctx context.Context, cmd, netName, modeStr string, episodes, samples
 		if lutFile == "" {
 			lutFile = netName + "-" + modeStr + ".lut.json"
 		}
-		if err := os.WriteFile(lutFile, data, 0o644); err != nil {
+		if err := store.WriteFileAtomic(lutFile, data, 0o644); err != nil {
 			return err
 		}
 		fmt.Printf("profiled %s (%s): %d layers, %d edges -> %s (%d bytes)\n",
@@ -447,11 +566,23 @@ func runCtx(ctx context.Context, cmd, netName, modeStr string, episodes, samples
 				return err
 			}
 		}
-		rep, err := qsdnn.OptimizeTable(net, tab, qsdnn.Options{
-			Mode: mode, Episodes: episodes, Samples: samples, Seed: seed,
-		})
-		if err != nil {
-			return err
+		var rep *qsdnn.Report
+		if df.checkpoint != "" {
+			res, err := searchDurable(tab, core.Config{Episodes: episodes, Seed: seed}, df)
+			if err != nil {
+				return err
+			}
+			rep, err = qsdnn.ReportForResult(net, tab, res)
+			if err != nil {
+				return err
+			}
+		} else {
+			rep, err = qsdnn.OptimizeTable(net, tab, qsdnn.Options{
+				Mode: mode, Episodes: episodes, Samples: samples, Seed: seed,
+			})
+			if err != nil {
+				return err
+			}
 		}
 		fmt.Print(rep.Summary())
 		fmt.Printf("  random search    : %10.3f ms (same budget)\n",

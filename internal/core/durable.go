@@ -1,0 +1,195 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"repro/internal/lut"
+	"repro/internal/primitives"
+	"repro/internal/qlearn"
+)
+
+// Durable search: SearchResumable already splits a search into
+// sessions; this file adds the pieces a crash-safe CLI needs on top —
+// a serializable Snapshot that carries the best configuration found so
+// far alongside the agent state (the Q-table alone cannot replay a
+// best that was discovered before the last checkpoint boundary), and
+// SearchCheckpointed, which runs the search in fixed-cadence chunks
+// and hands each boundary snapshot to a persistence sink. Because the
+// chunk boundaries are deterministic for a given cadence, a run killed
+// at any instant and resumed from its last snapshot recomputes exactly
+// the chunks the crash destroyed and converges to the same final
+// result as an uninterrupted run of the same cadence.
+
+// Snapshot is the durable state of a checkpointed search: the agent
+// checkpoint plus the best assignment observed so far.
+type Snapshot struct {
+	// Checkpoint is the agent state (Q-table, replay buffer, episode).
+	Checkpoint *qlearn.Checkpoint
+	// BestAssignment is the best configuration found so far; empty
+	// when no episode has completed.
+	BestAssignment []primitives.ID
+	// BestTime is BestAssignment's total time (undefined when
+	// BestAssignment is empty).
+	BestTime float64
+}
+
+// snapshotJSON is the on-disk form of a Snapshot. BestTime is stored
+// only when a best exists, because JSON cannot carry +Inf.
+type snapshotJSON struct {
+	Checkpoint     json.RawMessage `json:"checkpoint"`
+	BestAssignment []int           `json:"best_assignment,omitempty"`
+	BestTime       float64         `json:"best_time,omitempty"`
+}
+
+// Marshal serializes the snapshot.
+func (s *Snapshot) Marshal() ([]byte, error) {
+	ck, err := s.Checkpoint.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	out := snapshotJSON{Checkpoint: ck}
+	if len(s.BestAssignment) > 0 {
+		out.BestAssignment = make([]int, len(s.BestAssignment))
+		for i, id := range s.BestAssignment {
+			out.BestAssignment[i] = int(id)
+		}
+		out.BestTime = s.BestTime
+	}
+	return json.Marshal(out)
+}
+
+// LoadSnapshot restores a snapshot and validates it against the table
+// the search will resume on: the agent dimensions must match, the best
+// assignment (when present) must be a legal configuration, and its
+// recorded time must equal the table's own evaluation of it — a
+// checksum-grade consistency check that ties the snapshot to the exact
+// measurements it was computed from. Any violation is an error, so the
+// rotation loader treats a schema-invalid snapshot like a torn one and
+// falls back to the previous generation.
+func LoadSnapshot(data []byte, tab *lut.Table) (*Snapshot, error) {
+	var in snapshotJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("core: snapshot: %w", err)
+	}
+	ck, err := qlearn.LoadCheckpoint(in.Checkpoint)
+	if err != nil {
+		return nil, err
+	}
+	L := tab.NumLayers()
+	if ck.Table.Steps() != L {
+		return nil, fmt.Errorf("core: snapshot Q-table covers %d steps, table needs %d", ck.Table.Steps(), L)
+	}
+	s := &Snapshot{Checkpoint: ck, BestTime: math.Inf(1)}
+	if len(in.BestAssignment) > 0 {
+		if len(in.BestAssignment) != L {
+			return nil, fmt.Errorf("core: snapshot best assignment has %d layers, table has %d", len(in.BestAssignment), L)
+		}
+		ids := make([]primitives.ID, L)
+		for i, a := range in.BestAssignment {
+			id := primitives.ID(a)
+			if int(id) != a || !isCandidateOf(tab, i, id) {
+				return nil, fmt.Errorf("core: snapshot best assignment layer %d: primitive %d is not a candidate", i, a)
+			}
+			ids[i] = id
+		}
+		if got := tab.TotalTime(ids); got != in.BestTime {
+			return nil, fmt.Errorf("core: snapshot best time %v does not match table evaluation %v", in.BestTime, got)
+		}
+		s.BestAssignment = ids
+		s.BestTime = in.BestTime
+	}
+	return s, nil
+}
+
+// isCandidateOf reports whether id is in layer i's candidate set.
+func isCandidateOf(tab *lut.Table, i int, id primitives.ID) bool {
+	for _, c := range tab.Candidates(i) {
+		if c == id {
+			return true
+		}
+	}
+	return false
+}
+
+// DurableOptions configures SearchCheckpointed.
+type DurableOptions struct {
+	// Every is the snapshot cadence in episodes (<= 0 selects 100).
+	Every int
+	// Save persists one boundary snapshot; a failure aborts the
+	// search (durability is the point — losing snapshots silently
+	// would defeat it). nil disables persistence.
+	Save func(*Snapshot) error
+	// From resumes from a prior snapshot; nil starts fresh.
+	From *Snapshot
+}
+
+// DefaultSnapshotEvery is the default checkpoint cadence in episodes.
+const DefaultSnapshotEvery = 100
+
+// SearchCheckpointed runs a search of cfg.Episodes total episodes in
+// chunks of opts.Every episodes, saving a Snapshot after each chunk.
+// With opts.From it continues from a prior snapshot's episode count —
+// the ε schedule (fixed over the total budget) anneals as if the run
+// were never interrupted, and the carried best-so-far guarantees the
+// final result equals an uninterrupted run at the same cadence.
+//
+// The returned Result covers the episodes run in this session (its
+// Curve starts at the resumed episode); its Time/Assignment reflect
+// the best over the whole logical run, snapshot history included.
+func SearchCheckpointed(tab *lut.Table, cfg Config, opts DurableOptions) (*Result, *Snapshot, error) {
+	cfg = cfg.withDefaults()
+	total := cfg.Episodes
+	every := opts.Every
+	if every <= 0 {
+		every = DefaultSnapshotEvery
+	}
+	start := 0
+	best := &Result{Time: math.Inf(1)}
+	var from *qlearn.Checkpoint
+	if opts.From != nil {
+		from = opts.From.Checkpoint
+		start = from.Episode
+		if len(opts.From.BestAssignment) > 0 {
+			best.Time = opts.From.BestTime
+			best.Assignment = append([]primitives.ID(nil), opts.From.BestAssignment...)
+		}
+	}
+	if start >= total {
+		return nil, nil, fmt.Errorf("core: snapshot already covers %d episodes (budget %d): nothing to resume", start, total)
+	}
+
+	snap := func(ck *qlearn.Checkpoint) *Snapshot {
+		s := &Snapshot{Checkpoint: ck, BestTime: best.Time}
+		if best.Assignment != nil {
+			s.BestAssignment = append([]primitives.ID(nil), best.Assignment...)
+		}
+		return s
+	}
+	var last *Snapshot
+	for ep := start; ep < total; {
+		chunk := every - ep%every // realign to cadence boundaries after a resume
+		if ep+chunk > total {
+			chunk = total - ep
+		}
+		ccfg := cfg
+		ccfg.Episodes = chunk
+		res, ck := SearchResumable(tab, ccfg, from)
+		from = ck
+		ep += chunk
+		if res.Time < best.Time {
+			best.Time = res.Time
+			best.Assignment = append([]primitives.ID(nil), res.Assignment...)
+		}
+		best.Curve = append(best.Curve, res.Curve...)
+		last = snap(ck)
+		if opts.Save != nil {
+			if err := opts.Save(last); err != nil {
+				return nil, nil, fmt.Errorf("core: saving snapshot at episode %d: %w", ep, err)
+			}
+		}
+	}
+	best.Episodes = total - start
+	return best, last, nil
+}

@@ -44,18 +44,50 @@ func (c *Checkpoint) Marshal() ([]byte, error) {
 	return json.Marshal(out)
 }
 
-// LoadCheckpoint restores a checkpoint.
+// Dimension sanity bounds for deserialized checkpoints: large enough
+// for any network the repo can express, small enough that corrupt or
+// adversarial dimension fields cannot drive a giant allocation before
+// the length check fires.
+const (
+	maxCheckpointSteps = 1 << 20
+	maxCheckpointPrims = 1 << 12
+)
+
+// LoadCheckpoint restores a checkpoint. Every field is validated —
+// dimensions bounded and overflow-safe, Q length consistent with
+// steps×prims², episode non-negative, and every replay transition
+// in range for the table — so arbitrary bytes yield an error, never a
+// panic or an agent state that would index out of bounds mid-search.
 func LoadCheckpoint(data []byte) (*Checkpoint, error) {
 	var in checkpointJSON
 	if err := json.Unmarshal(data, &in); err != nil {
 		return nil, fmt.Errorf("qlearn: %w", err)
 	}
-	if in.Steps <= 0 || in.Prims <= 0 {
+	if in.Steps <= 0 || in.Prims <= 0 || in.Steps > maxCheckpointSteps || in.Prims > maxCheckpointPrims {
 		return nil, fmt.Errorf("qlearn: invalid checkpoint dims %dx%d", in.Steps, in.Prims)
 	}
-	if len(in.Q) != in.Steps*in.Prims*in.Prims {
-		return nil, fmt.Errorf("qlearn: checkpoint Q has %d entries, want %d",
-			len(in.Q), in.Steps*in.Prims*in.Prims)
+	if want := uint64(in.Steps) * uint64(in.Prims) * uint64(in.Prims); uint64(len(in.Q)) != want {
+		return nil, fmt.Errorf("qlearn: checkpoint Q has %d entries, want %d", len(in.Q), want)
+	}
+	if in.Episode < 0 {
+		return nil, fmt.Errorf("qlearn: negative checkpoint episode %d", in.Episode)
+	}
+	for ti, traj := range in.Replay {
+		for _, tr := range traj {
+			if tr.Step < 0 || tr.Step >= in.Steps || tr.Prim < 0 || tr.Prim >= in.Prims ||
+				tr.Action < 0 || tr.Action >= in.Prims {
+				return nil, fmt.Errorf("qlearn: replay episode %d transition out of range (step %d, prim %d, action %d)",
+					ti, tr.Step, tr.Prim, tr.Action)
+			}
+			if len(tr.NextAllowed) > 0 && tr.Step+1 >= in.Steps {
+				return nil, fmt.Errorf("qlearn: replay episode %d has successor actions past the final step", ti)
+			}
+			for _, a := range tr.NextAllowed {
+				if a < 0 || a >= in.Prims {
+					return nil, fmt.Errorf("qlearn: replay episode %d successor action %d out of range", ti, a)
+				}
+			}
+		}
 	}
 	t := NewTable(in.Steps, in.Prims)
 	copy(t.q, in.Q)

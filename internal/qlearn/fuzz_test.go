@@ -1,0 +1,66 @@
+package qlearn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzCheckpointUnmarshal drives LoadCheckpoint with arbitrary bytes:
+// whatever the input — truncated JSON, flipped bytes, hostile
+// dimensions, out-of-range replay transitions — it must return an
+// error or a structurally sound checkpoint, never panic, and never
+// produce a Table whose backing slice disagrees with steps×prims².
+func FuzzCheckpointUnmarshal(f *testing.F) {
+	// Seed corpus: a healthy checkpoint plus characteristic damage.
+	healthy := func() []byte {
+		tab := NewTable(3, 4)
+		tab.Set(1, 2, 3, -0.5)
+		rep := NewReplay(4)
+		rep.Add([]Transition{{Step: 0, Prim: 0, Action: 1, Reward: -1, NextAllowed: []int{1, 2}}})
+		ck := &Checkpoint{Table: tab, Replay: rep, Episode: 42}
+		data, err := ck.Marshal()
+		if err != nil {
+			f.Fatal(err)
+		}
+		return data
+	}()
+	f.Add(healthy)
+	f.Add(healthy[:len(healthy)/2])
+	flipped := append([]byte{}, healthy...)
+	flipped[len(flipped)/3] ^= 0x08
+	f.Add(flipped)
+	f.Add([]byte(`{`))
+	f.Add([]byte(`{"steps":1073741824,"prims":1073741824,"q":[]}`))
+	f.Add([]byte(`{"steps":2,"prims":2,"q":[0,0,0,0,0,0,0,0],"episode":-3}`))
+	f.Add([]byte(`{"steps":2,"prims":2,"q":[0,0,0,0,0,0,0,0],"replay":[[{"Step":99,"Prim":0,"Action":0}]]}`))
+	f.Add([]byte(`{"steps":2,"prims":2,"q":[0,0,0,0,0,0,0,0],"replay":[[{"Step":1,"Prim":0,"Action":0,"NextAllowed":[5]}]]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ck, err := LoadCheckpoint(data)
+		if err != nil {
+			if ck != nil {
+				t.Fatal("error with non-nil checkpoint")
+			}
+			return
+		}
+		if ck.Table == nil {
+			t.Fatal("nil table without error")
+		}
+		steps, prims := ck.Table.steps, ck.Table.prims
+		if steps <= 0 || prims <= 0 {
+			t.Fatalf("non-positive dims %dx%d", steps, prims)
+		}
+		if len(ck.Table.q) != steps*prims*prims {
+			t.Fatalf("table has %d entries, dims say %d", len(ck.Table.q), steps*prims*prims)
+		}
+		if ck.Episode < 0 {
+			t.Fatalf("negative episode %d", ck.Episode)
+		}
+		// The restored replay must be safe to apply: replaying into the
+		// restored table may not index out of range.
+		if ck.Replay != nil && ck.Replay.Len() > 0 {
+			rng := rand.New(rand.NewSource(1))
+			ck.Replay.ReplayInto(ck.Table, PaperConfig(), 2*ck.Replay.Len(), rng)
+		}
+	})
+}

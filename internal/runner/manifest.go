@@ -1,0 +1,209 @@
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/lut"
+	"repro/internal/nn"
+	"repro/internal/primitives"
+	"repro/internal/store"
+)
+
+// Manifest-aware batching: with Options.Manifest set, every completed
+// (network, mode, seed) unit is journaled together with a digest of
+// the look-up table it was computed from, and the table itself is kept
+// as a checksummed blob. A re-invoked batch restores every journaled
+// unit whose record parses, whose stored LUT passes its envelope CRC
+// and matches the record's digest, and whose assignment re-evaluates
+// on that LUT to exactly the recorded time — anything less re-runs the
+// unit from scratch. Restored units therefore contribute byte-for-byte
+// the numbers the original run produced, which is what makes an
+// interrupted-and-resumed sweep's summary identical to an
+// uninterrupted one.
+//
+// One caveat: profiling degradation reports are not journaled, so a
+// resumed job restored from the manifest carries a nil Profile report
+// even if the original profiling run degraded. Under the deterministic
+// simulator (no fault injection) the two summaries are identical.
+
+// unitRecord is the journal payload for one completed (job, seed)
+// unit. Seconds round-trips exactly through JSON (Go emits the
+// shortest representation that parses back to the same float64), so a
+// restored result is bit-identical to the one originally computed.
+type unitRecord struct {
+	Seconds    float64 `json:"seconds"`
+	Assignment []int   `json:"assignment"`
+	LUTCRC     uint32  `json:"lut_crc"`
+}
+
+// unitKey names one unit in the journal. Episodes and samples are part
+// of the identity: a record computed under a different budget must not
+// satisfy this run's unit.
+func unitKey(j Job, seed int64) string {
+	return fmt.Sprintf("%s|%s|seed=%d|ep=%d|samples=%d", j.Network, j.Mode, seed, j.Episodes, j.Samples)
+}
+
+// lutBlobName names the stored look-up table for a job's profiling
+// combination.
+func lutBlobName(j Job) string {
+	return fmt.Sprintf("luts/%s-%s-s%d.lut", j.Network, strings.ToLower(j.Mode.String()), j.Samples)
+}
+
+// toResult rebuilds a search result from a journal record, verifying
+// it against the restored table: assignment shape, candidate
+// membership per layer, and — the digest check — that the table
+// re-evaluates the assignment to exactly the recorded time. A record
+// that fails any check reports false and the unit re-runs.
+func (rec unitRecord) toResult(tab *lut.Table, episodes int) (*core.Result, bool) {
+	if tab == nil || len(rec.Assignment) != tab.NumLayers() {
+		return nil, false
+	}
+	ids := make([]primitives.ID, len(rec.Assignment))
+	for i, a := range rec.Assignment {
+		id := primitives.ID(a)
+		found := false
+		for _, c := range tab.Candidates(i) {
+			if c == id {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, false
+		}
+		ids[i] = id
+	}
+	if tab.TotalTime(ids) != rec.Seconds {
+		return nil, false
+	}
+	return &core.Result{Assignment: ids, Time: rec.Seconds, Episodes: episodes}, true
+}
+
+// manifestLUTs bridges the single-flight table cache and the manifest
+// blob store: it loads stored tables (verifying envelope CRC and full
+// lut.Load validation), persists freshly profiled ones, and remembers
+// each combination's blob CRC so unit records can embed the digest of
+// the exact table they were computed from.
+type manifestLUTs struct {
+	man *store.Manifest
+
+	mu   sync.Mutex
+	crcs map[cacheKey]uint32
+}
+
+func newManifestLUTs(man *store.Manifest) *manifestLUTs {
+	return &manifestLUTs{man: man, crcs: map[cacheKey]uint32{}}
+}
+
+// load reads and validates a stored table for the job's combination.
+func (m *manifestLUTs) load(key cacheKey, j Job, net *nn.Network) (*lut.Table, uint32, error) {
+	payload, crc, err := m.man.ReadBlob(lutBlobName(j))
+	if err != nil {
+		return nil, 0, err
+	}
+	tab, err := lut.Load(payload, net)
+	if err != nil {
+		return nil, 0, err
+	}
+	if tab.Mode != j.Mode {
+		return nil, 0, fmt.Errorf("runner: stored LUT is for mode %s, job wants %s", tab.Mode, j.Mode)
+	}
+	m.setCRC(key, crc)
+	return tab, crc, nil
+}
+
+// save persists a freshly profiled table as the combination's blob.
+func (m *manifestLUTs) save(key cacheKey, j Job, tab *lut.Table) error {
+	payload, err := json.Marshal(tab)
+	if err != nil {
+		return err
+	}
+	crc, err := m.man.WriteBlob(lutBlobName(j), payload)
+	if err != nil {
+		return err
+	}
+	m.setCRC(key, crc)
+	return nil
+}
+
+func (m *manifestLUTs) setCRC(key cacheKey, crc uint32) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.crcs[key] = crc
+}
+
+// crc returns the blob digest recorded for a combination this run.
+func (m *manifestLUTs) crc(key cacheKey) (uint32, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	v, ok := m.crcs[key]
+	return v, ok
+}
+
+// record journals one completed unit. The caller guarantees the unit's
+// table went through load or save, so the digest is always available.
+func (m *manifestLUTs) record(j Job, seed int64, res *core.Result, key cacheKey) error {
+	crc, ok := m.crc(key)
+	if !ok {
+		return fmt.Errorf("runner: no LUT digest for %s/%s", j.Network, j.Mode)
+	}
+	assignment := make([]int, len(res.Assignment))
+	for i, id := range res.Assignment {
+		assignment[i] = int(id)
+	}
+	return m.man.Put(unitKey(j, seed), unitRecord{
+		Seconds:    res.Time,
+		Assignment: assignment,
+		LUTCRC:     crc,
+	})
+}
+
+// restore scans the journal for units that can be skipped, fills their
+// result slots, and returns which units remain pending. Tables are
+// loaded and verified once per profiling combination.
+func (m *manifestLUTs) restore(units []unit, defaulted []Job, nets map[string]*nn.Network,
+	results [][]SeedResult, tables [][]*lut.Table) (skip []bool, restored int) {
+	skip = make([]bool, len(units))
+	type combo struct {
+		tab *lut.Table
+		crc uint32
+	}
+	combos := map[cacheKey]*combo{}
+	for u, un := range units {
+		j := defaulted[un.job]
+		seed := j.Seeds[un.seed]
+		raw, ok := m.man.Get(unitKey(j, seed))
+		if !ok {
+			continue
+		}
+		var rec unitRecord
+		if json.Unmarshal(raw, &rec) != nil {
+			continue
+		}
+		key := cacheKey{network: j.Network, mode: j.Mode, samples: j.Samples}
+		c, ok := combos[key]
+		if !ok {
+			c = &combo{}
+			if tab, crc, err := m.load(key, j, nets[j.Network]); err == nil {
+				c.tab, c.crc = tab, crc
+			}
+			combos[key] = c
+		}
+		if c.tab == nil || c.crc != rec.LUTCRC {
+			continue
+		}
+		res, ok := rec.toResult(c.tab, j.Episodes)
+		if !ok {
+			continue
+		}
+		tables[un.job][un.seed] = c.tab
+		results[un.job][un.seed] = SeedResult{Seed: seed, Result: res}
+		skip[u] = true
+		restored++
+	}
+	return skip, restored
+}

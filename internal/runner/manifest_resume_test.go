@@ -1,0 +1,232 @@
+package runner
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/primitives"
+	"repro/internal/store"
+)
+
+func mustUnmarshal(t *testing.T, raw json.RawMessage, v any) {
+	t.Helper()
+	if err := json.Unmarshal(raw, v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// resumeJobs is the standard workload of the manifest tests: two
+// networks, both modes, two seeds each.
+func resumeJobs() []Job {
+	var jobs []Job
+	for _, n := range []string{"lenet5", "mobilenet-v1"} {
+		for _, m := range []primitives.Mode{primitives.ModeCPU, primitives.ModeGPGPU} {
+			jobs = append(jobs, Job{Network: n, Mode: m, Seeds: []int64{1, 2}, Episodes: 150, Samples: 3})
+		}
+	}
+	return jobs
+}
+
+// assertSameOutcome compares the deterministic quantities of two batch
+// results: per-job best time/seed, per-seed times, and baselines.
+func assertSameOutcome(t *testing.T, a, b *BatchResult) {
+	t.Helper()
+	if len(a.Jobs) != len(b.Jobs) {
+		t.Fatalf("job counts %d vs %d", len(a.Jobs), len(b.Jobs))
+	}
+	for i := range a.Jobs {
+		ja, jb := a.Jobs[i], b.Jobs[i]
+		if ja.Best == nil || jb.Best == nil {
+			t.Fatalf("job %d missing best (%v, %v)", i, ja.Best, jb.Best)
+		}
+		if ja.Best.Time != jb.Best.Time || ja.BestSeed != jb.BestSeed {
+			t.Errorf("job %d best %.9g/seed %d vs %.9g/seed %d",
+				i, ja.Best.Time, ja.BestSeed, jb.Best.Time, jb.BestSeed)
+		}
+		if ja.VanillaSeconds != jb.VanillaSeconds || ja.BSLSeconds != jb.BSLSeconds {
+			t.Errorf("job %d baselines differ", i)
+		}
+		for si := range ja.Seeds {
+			ra, rb := ja.Seeds[si].Result, jb.Seeds[si].Result
+			if (ra == nil) != (rb == nil) || (ra != nil && ra.Time != rb.Time) {
+				t.Errorf("job %d seed %d results differ", i, si)
+			}
+		}
+	}
+}
+
+func TestManifestResumeSkipsCompletedUnits(t *testing.T) {
+	dir := t.TempDir()
+	man, err := store.OpenManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := RunContext(context.Background(), resumeJobs(), Options{Workers: 4, Manifest: man})
+	if err != nil {
+		t.Fatal(err)
+	}
+	man.Close()
+	if first.Restored != 0 {
+		t.Fatalf("fresh run restored %d units", first.Restored)
+	}
+
+	man2, err := store.OpenManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer man2.Close()
+	second, err := RunContext(context.Background(), resumeJobs(), Options{Workers: 4, Manifest: man2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 8; second.Restored != want {
+		t.Errorf("restored %d units, want %d", second.Restored, want)
+	}
+	if second.ProfileMisses != 0 {
+		t.Errorf("resumed run re-profiled %d times", second.ProfileMisses)
+	}
+	assertSameOutcome(t, first, second)
+
+	// The manifest matches a no-manifest run of the same jobs: the
+	// durable path changes persistence, never results.
+	plain, err := RunContext(context.Background(), resumeJobs(), Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameOutcome(t, first, plain)
+}
+
+// TestManifestBudgetChangeInvalidatesRecords: records carry their
+// episode/sample budget, so a run with a different budget re-runs
+// everything instead of serving stale results.
+func TestManifestBudgetChangeInvalidatesRecords(t *testing.T) {
+	dir := t.TempDir()
+	jobs := []Job{{Network: "lenet5", Mode: primitives.ModeCPU, Seeds: []int64{1}, Episodes: 100, Samples: 3}}
+	man, _ := store.OpenManifest(dir)
+	if _, err := RunContext(context.Background(), jobs, Options{Manifest: man}); err != nil {
+		t.Fatal(err)
+	}
+	man.Close()
+
+	jobs[0].Episodes = 200
+	man2, _ := store.OpenManifest(dir)
+	defer man2.Close()
+	res, err := RunContext(context.Background(), jobs, Options{Manifest: man2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Restored != 0 {
+		t.Errorf("restored %d units across a budget change", res.Restored)
+	}
+}
+
+// TestManifestCorruptLUTIsReprofiled: a flipped byte in a stored table
+// blob fails its checksum; the affected units re-run (re-profiling
+// deterministically) and the batch still converges to the same result.
+func TestManifestCorruptLUTIsReprofiled(t *testing.T) {
+	dir := t.TempDir()
+	man, _ := store.OpenManifest(dir)
+	first, err := RunContext(context.Background(), resumeJobs(), Options{Workers: 4, Manifest: man})
+	if err != nil {
+		t.Fatal(err)
+	}
+	man.Close()
+
+	// Flip one byte in one stored LUT.
+	blob := filepath.Join(dir, "luts", "lenet5-cpu-s3.lut")
+	raw, err := os.ReadFile(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x04
+	if err := os.WriteFile(blob, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	man2, _ := store.OpenManifest(dir)
+	defer man2.Close()
+	second, err := RunContext(context.Background(), resumeJobs(), Options{Workers: 4, Manifest: man2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 units (lenet5/CPU seeds 1,2) re-ran; the other 6 restored.
+	if second.Restored != 6 {
+		t.Errorf("restored %d units, want 6", second.Restored)
+	}
+	if second.ProfileMisses != 1 {
+		t.Errorf("re-profiled %d combinations, want 1", second.ProfileMisses)
+	}
+	assertSameOutcome(t, first, second)
+}
+
+// TestManifestInconsistentRecordIsRerun: a record whose stored time
+// disagrees with the table's evaluation of its assignment (a forged or
+// stale result) fails the digest check and re-runs.
+func TestManifestInconsistentRecordIsRerun(t *testing.T) {
+	dir := t.TempDir()
+	jobs := []Job{{Network: "lenet5", Mode: primitives.ModeCPU, Seeds: []int64{1}, Episodes: 100, Samples: 3}}
+	man, _ := store.OpenManifest(dir)
+	first, err := RunContext(context.Background(), jobs, Options{Manifest: man})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Forge the record: keep the assignment, poison the time.
+	j := jobs[0].withDefaults()
+	key := unitKey(j, 1)
+	raw, ok := man.Get(key)
+	if !ok {
+		t.Fatal("record missing")
+	}
+	var rec unitRecord
+	mustUnmarshal(t, raw, &rec)
+	rec.Seconds *= 0.5
+	if err := man.Put(key, rec); err != nil {
+		t.Fatal(err)
+	}
+	man.Close()
+
+	man2, _ := store.OpenManifest(dir)
+	defer man2.Close()
+	second, err := RunContext(context.Background(), jobs, Options{Manifest: man2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Restored != 0 {
+		t.Error("forged record restored")
+	}
+	assertSameOutcome(t, first, second)
+}
+
+// TestManifestCanceledRunResumes: cancel a batch immediately (nothing
+// runs), then resume to completion — the interrupted-then-resumed
+// outcome equals an uninterrupted one.
+func TestManifestCanceledRunResumes(t *testing.T) {
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	man, _ := store.OpenManifest(dir)
+	interrupted, err := RunContext(ctx, resumeJobs(), Options{Workers: 2, Manifest: man})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !interrupted.Canceled {
+		t.Fatal("batch not canceled")
+	}
+	man.Close()
+
+	man2, _ := store.OpenManifest(dir)
+	defer man2.Close()
+	resumed, err := RunContext(context.Background(), resumeJobs(), Options{Workers: 2, Manifest: man2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := RunContext(context.Background(), resumeJobs(), Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameOutcome(t, resumed, plain)
+}

@@ -31,6 +31,7 @@ import (
 	"repro/internal/pool"
 	"repro/internal/primitives"
 	"repro/internal/profile"
+	"repro/internal/store"
 )
 
 // Job is one network to optimize: the search runs once per seed and
@@ -50,6 +51,9 @@ type Job struct {
 	// Episodes and Seed fields are set per seed from the job.
 	Search core.Config
 }
+
+// unit is one (job index, seed index) work item of a batch.
+type unit struct{ job, seed int }
 
 // withDefaults fills unset job fields.
 func (j Job) withDefaults() Job {
@@ -96,6 +100,13 @@ type Options struct {
 	// seeded fault injector — the test harness for the robustness
 	// machinery. Ignored when Profile is non-nil.
 	Faults *profile.FaultConfig
+	// Manifest, when non-nil, makes the batch resumable: completed
+	// units are journaled (with a digest of the table they were
+	// computed from), profiled tables are persisted as checksummed
+	// blobs, and a re-invoked batch restores every verifiable unit
+	// instead of re-running it. See manifest.go for the verification
+	// rules.
+	Manifest *store.Manifest
 }
 
 // SeedResult is one seed's search outcome within a job.
@@ -166,6 +177,9 @@ type BatchResult struct {
 	// ProfileHits counts table requests served by the cache;
 	// ProfileMisses counts the distinct profiling runs executed.
 	ProfileHits, ProfileMisses int
+	// Restored counts units skipped because a manifest record verified
+	// (always 0 without Options.Manifest).
+	Restored int
 }
 
 // FailedJobs counts jobs with a non-nil Err.
@@ -235,7 +249,6 @@ func RunContext(ctx context.Context, jobs []Job, opts Options) (*BatchResult, er
 
 	// Flatten to (job, seed) units. Each unit writes only its own
 	// slots, so the pool needs no further synchronization.
-	type unit struct{ job, seed int }
 	var units []unit
 	for ji, j := range defaulted {
 		for si := range j.Seeds {
@@ -252,14 +265,49 @@ func RunContext(ctx context.Context, jobs []Job, opts Options) (*BatchResult, er
 		reports[ji] = make([]*profile.Report, len(j.Seeds))
 	}
 
+	// Manifest restore pass: skip every unit whose journal record and
+	// stored table verify, then run only what's left. Without a
+	// manifest, pending is all units and the path below is unchanged.
+	var ml *manifestLUTs
+	skip := make([]bool, len(units))
+	restored := 0
+	if opts.Manifest != nil {
+		ml = newManifestLUTs(opts.Manifest)
+		skip, restored = ml.restore(units, defaulted, nets, results, tables)
+	}
+	pending := make([]int, 0, len(units))
+	for u := range units {
+		if !skip[u] {
+			pending = append(pending, u)
+		}
+	}
+
 	cache := newTableCache()
 	start := time.Now()
-	outcome := pool.RunContext(ctx, len(units), opts.Workers, func(u int) {
+	outcome := pool.RunContext(ctx, len(pending), opts.Workers, func(k int) {
+		u := pending[k]
 		ji, si := units[u].job, units[u].seed
 		job := defaulted[ji]
 		net := nets[job.Network]
-		tab, rep, err := cache.get(cacheKey{network: job.Network, mode: job.Mode, samples: job.Samples},
-			func() (*lut.Table, *profile.Report, error) { return profileFn(ctx, net, job.Mode, job.Samples) })
+		key := cacheKey{network: job.Network, mode: job.Mode, samples: job.Samples}
+		tab, rep, err := cache.get(key, func() (*lut.Table, *profile.Report, error) {
+			// With a manifest, a stored table that verifies is reused
+			// (profiling is deterministic, so the result is identical);
+			// a fresh build is persisted before any unit records
+			// reference its digest.
+			if ml != nil {
+				if tab, _, lerr := ml.load(key, job, net); lerr == nil {
+					return tab, nil, nil
+				}
+			}
+			tab, rep, err := profileFn(ctx, net, job.Mode, job.Samples)
+			if err == nil && ml != nil {
+				if serr := ml.save(key, job, tab); serr != nil {
+					return nil, nil, fmt.Errorf("persisting LUT: %w", serr)
+				}
+			}
+			return tab, rep, err
+		})
 		if err != nil {
 			errs[u] = fmt.Errorf("runner: profiling %s/%s: %w", job.Network, job.Mode, err)
 			return
@@ -272,12 +320,19 @@ func RunContext(ctx context.Context, jobs []Job, opts Options) (*BatchResult, er
 		t0 := time.Now()
 		res := core.Search(tab, cfg)
 		results[ji][si] = SeedResult{Seed: job.Seeds[si], Result: res, Elapsed: time.Since(t0)}
+		if ml != nil {
+			// Journal the completed unit durably; a failed append is a
+			// broken durability promise and fails the unit loudly.
+			if merr := ml.record(job, job.Seeds[si], res, key); merr != nil {
+				errs[u] = fmt.Errorf("runner: journaling %s/%s: %w", job.Network, job.Mode, merr)
+			}
+		}
 	})
 	// A recovered search panic fails its unit like any other error —
 	// the message carries the captured stack for the report.
 	for _, pe := range outcome.Panics {
-		if errs[pe.Index] == nil {
-			errs[pe.Index] = fmt.Errorf("runner: %w\n%s", pe, pe.Stack)
+		if u := pending[pe.Index]; errs[u] == nil {
+			errs[u] = fmt.Errorf("runner: %w\n%s", pe, pe.Stack)
 		}
 	}
 
@@ -326,6 +381,7 @@ func RunContext(ctx context.Context, jobs []Job, opts Options) (*BatchResult, er
 	}
 	batch.Elapsed = time.Since(start)
 	batch.ProfileHits, batch.ProfileMisses = cache.stats()
+	batch.Restored = restored
 	return batch, nil
 }
 

@@ -1,0 +1,234 @@
+package store
+
+import (
+	"bufio"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// Manifest makes a batch run resumable: a directory holding an
+// append-only journal of completed work units plus enveloped blob
+// files (profiled look-up tables). A process killed at any instant
+// leaves the manifest loadable — the worst a crash can do is tear the
+// final journal line or a blob mid-write, and both are detected by
+// checksum and simply redone on the next invocation.
+//
+// Journal format: one record per line, `<json>#<crc32c-hex>\n`, where
+// the checksum covers the JSON bytes. Each record carries a string key
+// and an opaque JSON value; replay keeps the last value per key. A
+// line that is torn (SIGKILL between write and newline), truncated, or
+// bit-flipped fails its own checksum and is skipped — later records
+// are unaffected because appends never rewrite earlier bytes.
+type Manifest struct {
+	dir string
+
+	mu      sync.Mutex
+	journal *os.File
+	entries map[string]json.RawMessage
+	lines   int // valid records replayed or appended
+	skipped int // damaged lines detected at open
+}
+
+// journalName is the journal file inside a manifest directory.
+const journalName = "journal.jsonl"
+
+// OpenManifest opens (creating if needed) the manifest at dir and
+// replays its journal. A journal whose final line was torn by a crash
+// is repaired in place: the torn tail is newline-terminated so the
+// next append starts a fresh record, and the damaged line is counted
+// in Skipped.
+func OpenManifest(dir string) (*Manifest, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	path := filepath.Join(dir, journalName)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	m := &Manifest{dir: dir, journal: f, entries: map[string]json.RawMessage{}}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	tornTail := false
+	for sc.Scan() {
+		key, val, ok := parseJournalLine(sc.Text())
+		if !ok {
+			m.skipped++
+			continue
+		}
+		m.entries[key] = val
+		m.lines++
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: reading %s: %w", path, err)
+	}
+	// A crash between the record bytes and the newline leaves the file
+	// without a trailing '\n'; terminate it so the next append cannot
+	// concatenate onto the torn record.
+	if fi, err := f.Stat(); err == nil && fi.Size() > 0 {
+		buf := make([]byte, 1)
+		if _, err := f.ReadAt(buf, fi.Size()-1); err == nil && buf[0] != '\n' {
+			tornTail = true
+		}
+	}
+	if tornTail {
+		if _, err := f.Write([]byte("\n")); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// parseJournalLine splits and verifies one journal record.
+func parseJournalLine(line string) (key string, val json.RawMessage, ok bool) {
+	i := strings.LastIndexByte(line, '#')
+	if i < 0 || len(line)-i-1 != 8 {
+		return "", nil, false
+	}
+	sum, err := hex.DecodeString(line[i+1:])
+	if err != nil {
+		return "", nil, false
+	}
+	payload := line[:i]
+	want := uint32(sum[0])<<24 | uint32(sum[1])<<16 | uint32(sum[2])<<8 | uint32(sum[3])
+	if CRC([]byte(payload)) != want {
+		return "", nil, false
+	}
+	var rec struct {
+		Key   string          `json:"key"`
+		Value json.RawMessage `json:"value"`
+	}
+	if err := json.Unmarshal([]byte(payload), &rec); err != nil || rec.Key == "" {
+		return "", nil, false
+	}
+	return rec.Key, rec.Value, true
+}
+
+// Dir returns the manifest directory.
+func (m *Manifest) Dir() string { return m.dir }
+
+// Close releases the journal handle. Records already appended remain
+// durable; the manifest must not be used afterwards.
+func (m *Manifest) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.journal.Close()
+}
+
+// Get returns the last value recorded under key.
+func (m *Manifest) Get(key string) (json.RawMessage, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	v, ok := m.entries[key]
+	return v, ok
+}
+
+// Len returns the number of distinct keys recorded.
+func (m *Manifest) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.entries)
+}
+
+// Lines returns the number of valid journal records seen (replayed at
+// open plus appended since) — equal to Len when no key was ever
+// recorded twice.
+func (m *Manifest) Lines() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lines
+}
+
+// Skipped returns the number of damaged journal lines detected at
+// open — each is a crash artifact that cost nothing but the record it
+// carried.
+func (m *Manifest) Skipped() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.skipped
+}
+
+// Put durably appends a record: value is JSON-marshaled, checksummed,
+// written under the journal's append-only discipline and fsynced
+// before Put returns — once Put succeeds, a crash cannot lose the
+// record.
+func (m *Manifest) Put(key string, value any) error {
+	if key == "" {
+		return fmt.Errorf("store: empty manifest key")
+	}
+	raw, err := json.Marshal(value)
+	if err != nil {
+		return err
+	}
+	payload, err := json.Marshal(struct {
+		Key   string          `json:"key"`
+		Value json.RawMessage `json:"value"`
+	}{Key: key, Value: raw})
+	if err != nil {
+		return err
+	}
+	line := fmt.Sprintf("%s#%08x\n", payload, CRC(payload))
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, err := m.journal.WriteString(line); err != nil {
+		return err
+	}
+	if err := m.journal.Sync(); err != nil {
+		return err
+	}
+	m.entries[key] = raw
+	m.lines++
+	return nil
+}
+
+// blobPath resolves a blob name inside the manifest, rejecting names
+// that would escape the directory.
+func (m *Manifest) blobPath(name string) (string, error) {
+	if name == "" || filepath.IsAbs(name) {
+		return "", fmt.Errorf("store: invalid blob name %q", name)
+	}
+	clean := filepath.Clean(name)
+	if clean == ".." || strings.HasPrefix(clean, ".."+string(filepath.Separator)) {
+		return "", fmt.Errorf("store: invalid blob name %q", name)
+	}
+	return filepath.Join(m.dir, clean), nil
+}
+
+// WriteBlob atomically stores an enveloped payload under name inside
+// the manifest directory and returns its checksum — the digest a
+// journal record embeds to tie a result to the exact blob version it
+// was computed from.
+func (m *Manifest) WriteBlob(name string, payload []byte) (uint32, error) {
+	path, err := m.blobPath(name)
+	if err != nil {
+		return 0, err
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return 0, err
+	}
+	if err := Write(path, payload); err != nil {
+		return 0, err
+	}
+	return CRC(payload), nil
+}
+
+// ReadBlob loads a blob and re-verifies its envelope checksum,
+// returning the payload and its CRC. Damage wraps ErrCorrupt.
+func (m *Manifest) ReadBlob(name string) ([]byte, uint32, error) {
+	path, err := m.blobPath(name)
+	if err != nil {
+		return nil, 0, err
+	}
+	payload, err := Read(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	return payload, CRC(payload), nil
+}

@@ -1,0 +1,76 @@
+package store
+
+import (
+	"fmt"
+	"os"
+)
+
+// Generation says which snapshot generation a rotating load used.
+type Generation int
+
+const (
+	// GenCurrent is the newest snapshot.
+	GenCurrent Generation = iota
+	// GenPrevious is the rotated-out snapshot before the newest.
+	GenPrevious
+)
+
+// String renders the generation for reports.
+func (g Generation) String() string {
+	if g == GenPrevious {
+		return "previous"
+	}
+	return "current"
+}
+
+// PreviousPath returns the rotated sibling of a snapshot path.
+func PreviousPath(path string) string { return path + ".prev" }
+
+// SaveRotating atomically persists payload as the current snapshot at
+// path, first rotating any existing current snapshot to path+".prev".
+// Every intermediate state a crash can expose is recoverable: either
+// the old current still exists, or it has moved to .prev and the new
+// current is absent or complete — LoadRotating handles all three.
+func SaveRotating(path string, payload []byte) error {
+	if _, err := os.Stat(path); err == nil {
+		if err := os.Rename(path, PreviousPath(path)); err != nil {
+			return err
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	return Write(path, payload)
+}
+
+// LoadRotating loads the newest valid snapshot at path: the current
+// generation, or — when the current file is missing, fails the
+// envelope CRC, or is rejected by validate — the previous rotation.
+// validate may be nil; otherwise it vets the decoded payload (schema
+// checks) and its error counts as corruption for fallback purposes.
+//
+// warn is non-nil exactly when the previous generation was used, and
+// says why the current one was skipped. err is non-nil only when no
+// valid snapshot exists at all.
+func LoadRotating(path string, validate func([]byte) error) (payload []byte, gen Generation, warn, err error) {
+	tryLoad := func(p string) ([]byte, error) {
+		payload, err := Read(p)
+		if err != nil {
+			return nil, err
+		}
+		if validate != nil {
+			if verr := validate(payload); verr != nil {
+				return nil, fmt.Errorf("%s: %w", p, verr)
+			}
+		}
+		return payload, nil
+	}
+	payload, curErr := tryLoad(path)
+	if curErr == nil {
+		return payload, GenCurrent, nil, nil
+	}
+	payload, prevErr := tryLoad(PreviousPath(path))
+	if prevErr == nil {
+		return payload, GenPrevious, curErr, nil
+	}
+	return nil, GenCurrent, nil, fmt.Errorf("no valid snapshot: current: %v; previous: %v", curErr, prevErr)
+}

@@ -1,0 +1,160 @@
+// Package store is the crash-safe persistence layer: every byte the
+// pipeline puts on disk goes through an atomic temp-file + fsync +
+// rename write, and durable payloads (checkpoints, look-up tables,
+// journal records) are wrapped in a versioned, CRC-checksummed
+// envelope so a torn or bit-flipped file is detected at load time
+// instead of silently corrupting a search.
+//
+// The durability primitive is rename(2): POSIX guarantees a rename
+// within one directory atomically replaces the target, so a reader
+// observes either the complete old file or the complete new file,
+// never a prefix of the new one. fsync on the temp file before the
+// rename bounds the torn-write window to a crash of the kernel itself,
+// and fsync on the directory makes the rename durable. The CRC
+// envelope then catches everything rename cannot: bit rot, partial
+// sector writes after power loss, and manual truncation.
+//
+// On top of the envelope the package builds two higher-level
+// facilities: a last-good/previous rotation for periodic checkpoints
+// (rotate.go) and an append-only, per-record-checksummed journal plus
+// blob store for resumable batch runs (manifest.go).
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// ErrCorrupt marks a file that failed envelope validation: wrong
+// magic, impossible length, or a CRC mismatch. Callers distinguish it
+// from I/O errors to drive the corruption-fallback policy.
+var ErrCorrupt = errors.New("corrupt store file")
+
+// envelope layout (little endian):
+//
+//	offset size
+//	0      4    magic "QSD1"
+//	4      4    format version (currently 1)
+//	8      8    payload length
+//	16     4    CRC32-C (Castagnoli) of the payload
+//	20     ...  payload
+const (
+	magic          = "QSD1"
+	formatVersion  = 1
+	headerSize     = 20
+	maxPayloadSize = 1 << 33 // 8 GiB sanity bound against corrupt length fields
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// CRC returns the CRC32-C checksum of payload — the same checksum the
+// envelope embeds, exposed so callers can compare a blob's identity
+// across sessions without re-reading file contents into an envelope.
+func CRC(payload []byte) uint32 { return crc32.Checksum(payload, castagnoli) }
+
+// Encode wraps payload in the versioned, checksummed envelope.
+func Encode(payload []byte) []byte {
+	buf := make([]byte, headerSize+len(payload))
+	copy(buf, magic)
+	binary.LittleEndian.PutUint32(buf[4:], formatVersion)
+	binary.LittleEndian.PutUint64(buf[8:], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(buf[16:], CRC(payload))
+	copy(buf[headerSize:], payload)
+	return buf
+}
+
+// Decode validates the envelope and returns the payload. Structural
+// damage (short file, bad magic, length mismatch, CRC mismatch) wraps
+// ErrCorrupt; an unsupported format version is reported distinctly so
+// callers can tell "newer writer" from "damaged file".
+func Decode(data []byte) ([]byte, error) {
+	if len(data) < headerSize {
+		return nil, fmt.Errorf("%w: %d bytes, want at least %d-byte header", ErrCorrupt, len(data), headerSize)
+	}
+	if string(data[:4]) != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, data[:4])
+	}
+	if v := binary.LittleEndian.Uint32(data[4:]); v != formatVersion {
+		return nil, fmt.Errorf("store: unsupported format version %d (want %d)", v, formatVersion)
+	}
+	n := binary.LittleEndian.Uint64(data[8:])
+	if n > maxPayloadSize || n != uint64(len(data)-headerSize) {
+		return nil, fmt.Errorf("%w: payload length %d, file carries %d", ErrCorrupt, n, len(data)-headerSize)
+	}
+	payload := data[headerSize:]
+	if want, got := binary.LittleEndian.Uint32(data[16:]), CRC(payload); got != want {
+		return nil, fmt.Errorf("%w: CRC mismatch (stored %08x, computed %08x)", ErrCorrupt, want, got)
+	}
+	return payload, nil
+}
+
+// WriteFileAtomic writes data to path so that a reader (or a crash at
+// any instant) observes either the previous file or the complete new
+// one, never a partial write: the data lands in a same-directory temp
+// file, is fsynced, renamed over path, and the directory is fsynced.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Chmod(tmpName, perm); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-committed rename survives power
+// loss. Filesystems that cannot fsync directories report EINVAL/EISDIR;
+// those are ignored — the rename is still atomic, just not yet durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, os.ErrInvalid) {
+		return err
+	}
+	return nil
+}
+
+// Write atomically writes payload wrapped in the checksummed envelope.
+func Write(path string, payload []byte) error {
+	return WriteFileAtomic(path, Encode(payload), 0o644)
+}
+
+// Read loads an enveloped file and returns the verified payload. A
+// missing file returns the os.ReadFile error (os.IsNotExist-able);
+// damage wraps ErrCorrupt.
+func Read(path string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return payload, nil
+}

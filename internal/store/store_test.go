@@ -1,0 +1,176 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	for _, payload := range [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte("qsdnn"), 1000)} {
+		back, err := Decode(Encode(payload))
+		if err != nil {
+			t.Fatalf("decode(encode(%d bytes)): %v", len(payload), err)
+		}
+		if !bytes.Equal(back, payload) {
+			t.Fatalf("payload mangled: %d bytes in, %d out", len(payload), len(back))
+		}
+	}
+}
+
+func TestDecodeRejectsDamage(t *testing.T) {
+	good := Encode([]byte("hello durable world"))
+	cases := map[string][]byte{
+		"empty":      {},
+		"short":      good[:headerSize-1],
+		"bad magic":  append([]byte("NOPE"), good[4:]...),
+		"truncated":  good[:len(good)-3],
+		"overlong":   append(append([]byte{}, good...), 'x'),
+		"length lie": func() []byte { b := append([]byte{}, good...); b[8] ^= 0xFF; return b }(),
+	}
+	for name, data := range cases {
+		if _, err := Decode(data); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: err = %v, want ErrCorrupt", name, err)
+		}
+	}
+	// Every single-bit flip in the payload must be caught by the CRC.
+	for bit := 0; bit < 8; bit++ {
+		b := append([]byte{}, good...)
+		b[headerSize+5] ^= 1 << bit
+		if _, err := Decode(b); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("payload bit flip %d: err = %v, want ErrCorrupt", bit, err)
+		}
+	}
+	// An unsupported version is an error, but a distinguishable one.
+	b := append([]byte{}, good...)
+	b[4] = 99
+	if _, err := Decode(b); err == nil || errors.Is(err, ErrCorrupt) {
+		t.Errorf("future version: err = %v, want non-corrupt error", err)
+	}
+}
+
+func TestWriteReadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.qsd")
+	payload := []byte(`{"hello":"world"}`)
+	if err := Write(path, payload); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, payload) {
+		t.Fatalf("payload = %q", back)
+	}
+	// A flipped byte on disk is detected at load.
+	raw, _ := os.ReadFile(path)
+	raw[len(raw)-1] ^= 0x40
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("flipped byte: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestWriteFileAtomicLeavesNoTemp(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	for i := 0; i < 3; i++ {
+		if err := WriteFileAtomic(path, []byte("v"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || ents[0].Name() != "out.txt" {
+		names := []string{}
+		for _, e := range ents {
+			names = append(names, e.Name())
+		}
+		t.Fatalf("leftover files: %v", names)
+	}
+}
+
+func TestRotationFallsBackToPrevious(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.qsd")
+	if err := SaveRotating(path, []byte("gen-1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveRotating(path, []byte("gen-2")); err != nil {
+		t.Fatal(err)
+	}
+	payload, gen, warn, err := LoadRotating(path, nil)
+	if err != nil || warn != nil || gen != GenCurrent || string(payload) != "gen-2" {
+		t.Fatalf("healthy load: %q gen=%v warn=%v err=%v", payload, gen, warn, err)
+	}
+
+	// Corrupt the current generation: load falls back to previous and
+	// reports why.
+	raw, _ := os.ReadFile(path)
+	raw[headerSize] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	payload, gen, warn, err = LoadRotating(path, nil)
+	if err != nil {
+		t.Fatalf("fallback load: %v", err)
+	}
+	if gen != GenPrevious || string(payload) != "gen-1" {
+		t.Fatalf("fallback = %q gen=%v", payload, gen)
+	}
+	if warn == nil || !errors.Is(warn, ErrCorrupt) {
+		t.Fatalf("warn = %v, want ErrCorrupt", warn)
+	}
+
+	// Both generations bad: a real error.
+	os.Remove(PreviousPath(path))
+	if _, _, _, err := LoadRotating(path, nil); err == nil {
+		t.Fatal("no valid snapshot should error")
+	}
+}
+
+func TestRotationValidateRejection(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.qsd")
+	if err := SaveRotating(path, []byte("old-good")); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveRotating(path, []byte("new-bad")); err != nil {
+		t.Fatal(err)
+	}
+	// Schema validation failures count as corruption for fallback.
+	validate := func(p []byte) error {
+		if string(p) == "new-bad" {
+			return errors.New("schema says no")
+		}
+		return nil
+	}
+	payload, gen, warn, err := LoadRotating(path, validate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != GenPrevious || string(payload) != "old-good" || warn == nil {
+		t.Fatalf("payload=%q gen=%v warn=%v", payload, gen, warn)
+	}
+}
+
+// TestRotationCrashWindow simulates the crash between the
+// current→previous rotation and the new current write: only .prev
+// exists, and loading recovers it.
+func TestRotationCrashWindow(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.qsd")
+	if err := Write(PreviousPath(path), []byte("survivor")); err != nil {
+		t.Fatal(err)
+	}
+	payload, gen, _, err := LoadRotating(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != GenPrevious || string(payload) != "survivor" {
+		t.Fatalf("payload=%q gen=%v", payload, gen)
+	}
+}

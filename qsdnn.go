@@ -231,6 +231,20 @@ func OptimizeTable(net *Network, tab *Table, opts Options) (*Report, error) {
 	return newReport(net, tab, core.Search(tab, opts.Search)), nil
 }
 
+// ReportForResult assembles the standard Report around an externally
+// produced search result — the hook for searches run through the
+// durable/checkpointed path (core.SearchCheckpointed), which own their
+// search loop but want the same reporting as OptimizeTable.
+func ReportForResult(net *Network, tab *Table, res *Result) (*Report, error) {
+	if tab.Network != net.Name {
+		return nil, fmt.Errorf("qsdnn: table is for %q, network is %q", tab.Network, net.Name)
+	}
+	if len(res.Assignment) != tab.NumLayers() {
+		return nil, fmt.Errorf("qsdnn: result assigns %d layers, table has %d", len(res.Assignment), tab.NumLayers())
+	}
+	return newReport(net, tab, res), nil
+}
+
 // newReport assembles the public Report around a finished search
 // result — the shared back end of OptimizeTable and OptimizeBatch.
 func newReport(net *Network, tab *Table, res *Result) *Report {
