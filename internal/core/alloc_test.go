@@ -1,0 +1,47 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/primitives"
+	"repro/internal/qlearn"
+	"repro/internal/searchplan"
+)
+
+// A steady-state search episode must perform zero heap allocations:
+// every buffer — trajectory slab, assignment, replay slab, compiled
+// replay arrays — is allocated during engine construction or the
+// warm-up episodes, never in the loop. This is the core guarantee of
+// the compiled-plan engine; a regression here silently reintroduces
+// GC pressure multiplied by thousands of episodes per job.
+func TestSearchEpisodeZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	rng := rand.New(rand.NewSource(9))
+	tab := randomChainTable(rng, 8)
+	plan := searchplan.Compile(tab)
+	cfg := Config{Episodes: 1000, Seed: 1}.withDefaults()
+	srng := newSearchRNG(cfg.Seed)
+	q := qlearn.NewTable(plan.NumLayers(), primitives.Count())
+	replay := qlearn.NewReplay(cfg.Agent.ReplaySize)
+	e := newEpisodeEngine(plan, cfg, q, replay, srng)
+
+	// Warm up past every one-time allocation: the replay slab appears
+	// on the first Add, the compiled replay arrays on the first
+	// ReplayInto, and the buffer keeps growing (appending slot
+	// headers) until it reaches capacity.
+	for ep := 0; ep <= cfg.Agent.ReplaySize; ep++ {
+		e.runEpisode(1)
+	}
+
+	for name, eps := range map[string]float64{"explore": 1, "mixed": 0.5, "greedy": 0} {
+		allocs := testing.AllocsPerRun(50, func() {
+			e.runEpisode(eps)
+		})
+		if allocs != 0 {
+			t.Errorf("%s episode (eps=%v): %v allocs per episode, want 0", name, eps, allocs)
+		}
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"repro/internal/lut"
 	"repro/internal/primitives"
 	"repro/internal/qlearn"
+	"repro/internal/searchplan"
 )
 
 // Config controls a QS-DNN search run. Zero values are replaced by the
@@ -92,107 +93,72 @@ type Result struct {
 // newSearchRNG builds the deterministic RNG all searches use.
 func newSearchRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
 
-// Search runs QS-DNN (Algorithm 1) over a profiled look-up table.
+// Search runs QS-DNN (Algorithm 1) over a profiled look-up table. It
+// compiles the table into an evaluation plan first; callers that run
+// many searches over one table (the batch runner, ensembles) compile
+// once and use SearchPlanned directly.
 func Search(tab *lut.Table, cfg Config) *Result {
+	return SearchPlanned(searchplan.Compile(tab), cfg)
+}
+
+// SearchPlanned runs QS-DNN over a pre-compiled plan. The plan is
+// read-only here, so any number of searches may share one plan
+// concurrently.
+func SearchPlanned(p *searchplan.Plan, cfg Config) *Result {
 	cfg = cfg.withDefaults()
 	rng := newSearchRNG(cfg.Seed)
-	L := tab.NumLayers()
-	q := qlearn.NewTable(L, primitives.Count())
+	q := qlearn.NewTable(p.NumLayers(), primitives.Count())
 	replay := qlearn.NewReplay(cfg.Agent.ReplaySize)
+	e := newEpisodeEngine(p, cfg, q, replay, rng)
 
-	// Allowed actions per step, as plain ints for the Q-table.
-	allowed := make([][]int, L)
-	for i := 1; i < L; i++ {
-		ids := tab.Candidates(i)
-		acts := make([]int, len(ids))
-		for k, id := range ids {
-			acts[k] = int(id)
-		}
-		allowed[i] = acts
-	}
-
-	assignment := make([]primitives.ID, L)
-	assignment[0] = tab.Candidates(0)[0]
-	best := &Result{Time: math.Inf(1)}
 	curve := make([]EpisodePoint, 0, cfg.Episodes)
-
 	for ep := 0; ep < cfg.Episodes; ep++ {
 		eps := qlearn.EpsilonAt(cfg.Schedule, ep)
-
-		// Reset path; walk the network sequentially (Algorithm 1).
-		traj := make([]qlearn.Transition, 0, L-1)
-		for i := 1; i < L; i++ {
-			prev := int(assignment[i-1])
-			var action int
-			if rng.Float64() < eps {
-				action = allowed[i][rng.Intn(len(allowed[i]))]
-			} else {
-				action = q.Best(i-1, prev, allowed[i], rng)
-			}
-			assignment[i] = primitives.ID(action)
-
-			// Check for incompatibility and compute the layer's
-			// inference time: the shaped reward is the negated layer
-			// cost including every incoming penalty (and the
-			// host-return cost at the output layer).
-			var reward float64
-			if !cfg.DisableShaping {
-				reward = -tab.LayerCost(i, assignment[i], assignment)
-			}
-			var next []int
-			if i+1 < L {
-				next = allowed[i+1]
-			}
-			traj = append(traj, qlearn.Transition{
-				Step: i - 1, Prim: prev, Action: action,
-				Reward: reward, NextAllowed: next,
-			})
-		}
-		total := tab.TotalTime(assignment)
-		if cfg.DisableShaping {
-			// Single terminal reward carrying the whole signal.
-			traj[len(traj)-1].Reward = -total
-		}
-
-		// Update the action-value function and replay experience.
-		q.UpdateEpisode(traj, cfg.Agent)
-		if !cfg.DisableReplay {
-			replay.Add(traj)
-			replay.ReplayInto(q, cfg.Agent, cfg.ReplayUpdates, rng)
-		}
-
-		if total < best.Time {
-			best.Time = total
-			best.Assignment = append([]primitives.ID(nil), assignment...)
-		}
-		curve = append(curve, EpisodePoint{Episode: ep, Epsilon: eps, Time: total, Best: best.Time})
+		total := e.runEpisode(eps)
+		curve = append(curve, EpisodePoint{Episode: ep, Epsilon: eps, Time: total, Best: e.bestTime})
 	}
-	best.Episodes = cfg.Episodes
-	best.Curve = curve
-	return best
+	return &Result{
+		Assignment: e.bestCopy(),
+		Time:       e.bestTime,
+		Episodes:   cfg.Episodes,
+		Curve:      curve,
+	}
 }
 
 // RandomSearch evaluates the given number of uniformly random
 // configurations — the RS baseline of §VI-B.
 func RandomSearch(tab *lut.Table, episodes int, seed int64) *Result {
+	return RandomSearchPlanned(searchplan.Compile(tab), episodes, seed)
+}
+
+// RandomSearchPlanned is RandomSearch over a pre-compiled plan. A
+// uniform draw over candidates *is* a uniform draw over candidate
+// positions, so the whole loop runs on positions and converts the
+// winner to primitive IDs once at the end.
+func RandomSearchPlanned(p *searchplan.Plan, episodes int, seed int64) *Result {
 	rng := rand.New(rand.NewSource(seed))
-	L := tab.NumLayers()
-	assignment := make([]primitives.ID, L)
-	assignment[0] = tab.Candidates(0)[0]
+	L := p.NumLayers()
+	apos := make([]int32, L)
+	bestApos := make([]int32, L)
+	haveBest := false
 	best := &Result{Time: math.Inf(1), Episodes: episodes}
+	best.Curve = make([]EpisodePoint, 0, episodes)
 	for ep := 0; ep < episodes; ep++ {
 		for i := 1; i < L; i++ {
-			c := tab.Candidates(i)
-			assignment[i] = c[rng.Intn(len(c))]
+			apos[i] = int32(rng.Intn(p.NumCandidates(i)))
 		}
-		total := tab.TotalTime(assignment)
+		total := p.TotalTimePos(apos)
 		if total < best.Time {
 			best.Time = total
-			best.Assignment = append([]primitives.ID(nil), assignment...)
+			copy(bestApos, apos)
+			haveBest = true
 		}
 		best.Curve = append(best.Curve, EpisodePoint{
 			Episode: ep, Epsilon: 1, Time: total, Best: best.Time,
 		})
+	}
+	if haveBest {
+		best.Assignment = p.AssignmentIDs(bestApos, nil)
 	}
 	return best
 }
@@ -202,19 +168,24 @@ func RandomSearch(tab *lut.Table, episodes int, seed int64) *Result {
 // penalties — the locally-optimal "red path" of the paper's Fig. 1
 // that the RL agent learns to avoid.
 func Greedy(tab *lut.Table) *Result {
-	L := tab.NumLayers()
-	assignment := make([]primitives.ID, L)
-	assignment[0] = tab.Candidates(0)[0]
+	return GreedyPlanned(searchplan.Compile(tab))
+}
+
+// GreedyPlanned is Greedy over a pre-compiled plan.
+func GreedyPlanned(p *searchplan.Plan) *Result {
+	L := p.NumLayers()
+	apos := make([]int32, L)
 	for i := 1; i < L; i++ {
-		best := tab.Candidates(i)[0]
-		for _, p := range tab.Candidates(i)[1:] {
-			if tab.Time(i, p) < tab.Time(i, best) {
-				best = p
+		bestC := 0
+		bestT := p.TimePos(i, 0)
+		for c := 1; c < p.NumCandidates(i); c++ {
+			if t := p.TimePos(i, c); t < bestT {
+				bestC, bestT = c, t
 			}
 		}
-		assignment[i] = best
+		apos[i] = int32(bestC)
 	}
-	return &Result{Assignment: assignment, Time: tab.TotalTime(assignment), Episodes: 1}
+	return &Result{Assignment: p.AssignmentIDs(apos, nil), Time: p.TotalTimePos(apos), Episodes: 1}
 }
 
 // Optimal computes the exact minimum-time assignment for chain
@@ -223,52 +194,65 @@ func Greedy(tab *lut.Table) *Result {
 // producer is not the sequential predecessor), where the chain DP is
 // not exact.
 func Optimal(tab *lut.Table) (*Result, error) {
-	L := tab.NumLayers()
-	for _, e := range tab.Edges() {
+	return OptimalPlanned(searchplan.Compile(tab))
+}
+
+// OptimalPlanned is Optimal over a pre-compiled plan: the DP runs on
+// dense candidate-position vectors instead of maps, so cost ties now
+// break deterministically toward the earlier candidate (the map
+// version broke them by iteration order); the optimal cost itself is
+// unchanged.
+func OptimalPlanned(p *searchplan.Plan) (*Result, error) {
+	L := p.NumLayers()
+	edgeInto := make([]int, L)
+	for i := range edgeInto {
+		edgeInto[i] = -1
+	}
+	for k, e := range p.Edges() {
 		if e.From != e.To-1 {
 			return nil, fmt.Errorf("core: Optimal requires a chain network, found edge %d->%d", e.From, e.To)
 		}
+		if edgeInto[e.To] < 0 {
+			edgeInto[e.To] = k
+		}
 	}
-	type cell struct {
-		cost float64
-		prev int
-	}
-	prev := map[primitives.ID]cell{tab.Candidates(0)[0]: {cost: 0, prev: -1}}
-	// back[i][p] is the best predecessor primitive for layer i at p.
-	back := make([]map[primitives.ID]primitives.ID, L)
+	prevCost := []float64{0}
+	// back[i][c] is the best predecessor position for layer i at c.
+	back := make([][]int32, L)
 	for i := 1; i < L; i++ {
-		cur := make(map[primitives.ID]cell, len(tab.Candidates(i)))
-		back[i] = make(map[primitives.ID]primitives.ID)
-		for _, p := range tab.Candidates(i) {
+		nc := p.NumCandidates(i)
+		cur := make([]float64, nc)
+		back[i] = make([]int32, nc)
+		for c := 0; c < nc; c++ {
 			bestCost := math.Inf(1)
-			var bestPrev primitives.ID = -1
-			for q, pc := range prev {
-				c := pc.cost + tab.Time(i, p) + tab.Penalty(i-1, i, q, p)
-				if c < bestCost {
-					bestCost, bestPrev = c, q
+			bestPrev := int32(-1)
+			for q := range prevCost {
+				cost := prevCost[q] + p.TimePos(i, c) + p.PenaltyPos(edgeInto[i], q, c)
+				if cost < bestCost {
+					bestCost, bestPrev = cost, int32(q)
 				}
 			}
-			if i == tab.OutputLayer() {
-				bestCost += tab.OutputPenalty(p)
+			if i == p.OutputLayer() {
+				bestCost += p.OutputPenaltyPos(c)
 			}
-			cur[p] = cell{cost: bestCost}
-			back[i][p] = bestPrev
+			cur[c] = bestCost
+			back[i][c] = bestPrev
 		}
-		prev = cur
+		prevCost = cur
 	}
 	bestCost := math.Inf(1)
-	var bestLast primitives.ID = -1
-	for p, c := range prev {
-		if c.cost < bestCost {
-			bestCost, bestLast = c.cost, p
+	bestLast := int32(-1)
+	for c, v := range prevCost {
+		if v < bestCost {
+			bestCost, bestLast = v, int32(c)
 		}
 	}
-	assignment := make([]primitives.ID, L)
-	assignment[L-1] = bestLast
+	apos := make([]int32, L)
+	apos[L-1] = bestLast
 	for i := L - 1; i >= 1; i-- {
-		assignment[i-1] = back[i][assignment[i]]
+		apos[i-1] = back[i][apos[i]]
 	}
-	return &Result{Assignment: assignment, Time: tab.TotalTime(assignment), Episodes: 1}, nil
+	return &Result{Assignment: p.AssignmentIDs(apos, nil), Time: p.TotalTimePos(apos), Episodes: 1}, nil
 }
 
 // Exhaustive enumerates every configuration and returns the true
@@ -276,35 +260,47 @@ func Optimal(tab *lut.Table) (*Result, error) {
 // runtimes bounded; it exists to certify the other searches on small
 // networks.
 func Exhaustive(tab *lut.Table, maxConfigs float64) (*Result, error) {
-	L := tab.NumLayers()
+	return ExhaustivePlanned(searchplan.Compile(tab), maxConfigs)
+}
+
+// ExhaustivePlanned is Exhaustive over a pre-compiled plan. The walk
+// enumerates candidate positions in the same order the table walk
+// enumerated candidate IDs, so the found optimum is identical.
+func ExhaustivePlanned(p *searchplan.Plan, maxConfigs float64) (*Result, error) {
+	L := p.NumLayers()
 	space := 1.0
 	for i := 1; i < L; i++ {
-		space *= float64(len(tab.Candidates(i)))
+		space *= float64(p.NumCandidates(i))
 	}
 	if space > maxConfigs {
 		return nil, fmt.Errorf("core: design space %.3g exceeds cap %.3g", space, maxConfigs)
 	}
-	assignment := make([]primitives.ID, L)
-	assignment[0] = tab.Candidates(0)[0]
+	apos := make([]int32, L)
+	bestApos := make([]int32, L)
+	haveBest := false
 	best := &Result{Time: math.Inf(1)}
 	count := 0
 	var walk func(i int)
 	walk = func(i int) {
 		if i == L {
 			count++
-			if total := tab.TotalTime(assignment); total < best.Time {
+			if total := p.TotalTimePos(apos); total < best.Time {
 				best.Time = total
-				best.Assignment = append([]primitives.ID(nil), assignment...)
+				copy(bestApos, apos)
+				haveBest = true
 			}
 			return
 		}
-		for _, p := range tab.Candidates(i) {
-			assignment[i] = p
+		for c := 0; c < p.NumCandidates(i); c++ {
+			apos[i] = int32(c)
 			walk(i + 1)
 		}
 	}
 	walk(1)
 	best.Episodes = count
+	if haveBest {
+		best.Assignment = p.AssignmentIDs(bestApos, nil)
+	}
 	return best, nil
 }
 

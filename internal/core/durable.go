@@ -8,6 +8,7 @@ import (
 	"repro/internal/lut"
 	"repro/internal/primitives"
 	"repro/internal/qlearn"
+	"repro/internal/searchplan"
 )
 
 // Durable search: SearchResumable already splits a search into
@@ -167,6 +168,8 @@ func SearchCheckpointed(tab *lut.Table, cfg Config, opts DurableOptions) (*Resul
 		}
 		return s
 	}
+	// One compilation serves every chunk of the run.
+	plan := searchplan.Compile(tab)
 	var last *Snapshot
 	for ep := start; ep < total; {
 		chunk := every - ep%every // realign to cadence boundaries after a resume
@@ -175,7 +178,7 @@ func SearchCheckpointed(tab *lut.Table, cfg Config, opts DurableOptions) (*Resul
 		}
 		ccfg := cfg
 		ccfg.Episodes = chunk
-		res, ck := SearchResumable(tab, ccfg, from)
+		res, ck := SearchResumablePlanned(plan, ccfg, from)
 		from = ck
 		ep += chunk
 		if res.Time < best.Time {

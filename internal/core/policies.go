@@ -10,6 +10,7 @@ import (
 	"repro/internal/pool"
 	"repro/internal/primitives"
 	"repro/internal/qlearn"
+	"repro/internal/searchplan"
 )
 
 // Alternative exploration policies — the paper uses ε-greedy (following
@@ -176,19 +177,21 @@ type EnsembleStats struct {
 // SearchEnsemble runs n independent searches with consecutive seeds
 // concurrently (the search is CPU-bound and seeds are independent) and
 // aggregates them — the Fig. 5 protocol of averaging complete
-// experiments. The fan-out goes through the bounded shared worker pool
-// rather than one goroutine per seed, so large ensembles cannot
-// oversubscribe the host; aggregation walks seeds in order, keeping
-// the stats independent of completion order.
+// experiments. The table is compiled into an evaluation plan once and
+// shared read-only by every seed. The fan-out goes through the bounded
+// shared worker pool rather than one goroutine per seed, so large
+// ensembles cannot oversubscribe the host; aggregation walks seeds in
+// order, keeping the stats independent of completion order.
 func SearchEnsemble(tab *lut.Table, cfg Config, n int) (*EnsembleStats, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("core: ensemble size %d", n)
 	}
+	plan := searchplan.Compile(tab)
 	results := make([]*Result, n)
 	pool.Run(n, pool.DefaultWorkers(), func(i int) {
 		c := cfg
 		c.Seed = cfg.Seed + int64(i)
-		results[i] = Search(tab, c)
+		results[i] = SearchPlanned(plan, c)
 	})
 	stats := &EnsembleStats{Best: results[0]}
 	for _, r := range results {

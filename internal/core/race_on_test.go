@@ -1,0 +1,7 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector is active; allocation
+// assertions are skipped under -race, whose instrumentation allocates.
+const raceEnabled = true

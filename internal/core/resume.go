@@ -1,11 +1,10 @@
 package core
 
 import (
-	"math"
-
 	"repro/internal/lut"
 	"repro/internal/primitives"
 	"repro/internal/qlearn"
+	"repro/internal/searchplan"
 )
 
 // SearchResumable runs the QS-DNN search starting from an optional
@@ -16,9 +15,20 @@ import (
 // resumed run is deterministic given the checkpoint and config,
 // though not bit-identical to an unsplit run.
 func SearchResumable(tab *lut.Table, cfg Config, from *qlearn.Checkpoint) (*Result, *qlearn.Checkpoint) {
+	return SearchResumablePlanned(searchplan.Compile(tab), cfg, from)
+}
+
+// SearchResumablePlanned is SearchResumable over a pre-compiled plan;
+// the durable checkpointing loop compiles once and reuses the plan
+// across every chunk of a run.
+func SearchResumablePlanned(p *searchplan.Plan, cfg Config, from *qlearn.Checkpoint) (*Result, *qlearn.Checkpoint) {
 	cfg = cfg.withDefaults()
+	// The resumable protocol always learns from the shaped per-layer
+	// reward; a checkpoint carries no record of the ablation variants,
+	// so the flag is ignored here (as it always was).
+	cfg.DisableShaping = false
 	startEp := 0
-	L := tab.NumLayers()
+	L := p.NumLayers()
 	var q *qlearn.Table
 	var replay *qlearn.Replay
 	if from != nil {
@@ -33,55 +43,20 @@ func SearchResumable(tab *lut.Table, cfg Config, from *qlearn.Checkpoint) (*Resu
 		replay = qlearn.NewReplay(cfg.Agent.ReplaySize)
 	}
 	rng := newSearchRNG(cfg.Seed + int64(startEp))
+	e := newEpisodeEngine(p, cfg, q, replay, rng)
 
-	allowed := make([][]int, L)
-	for i := 1; i < L; i++ {
-		ids := tab.Candidates(i)
-		acts := make([]int, len(ids))
-		for k, id := range ids {
-			acts[k] = int(id)
-		}
-		allowed[i] = acts
-	}
-
-	assignment := make([]primitives.ID, L)
-	assignment[0] = tab.Candidates(0)[0]
-	best := &Result{Time: math.Inf(1)}
-
+	curve := make([]EpisodePoint, 0, cfg.Episodes)
 	endEp := startEp + cfg.Episodes
 	for ep := startEp; ep < endEp; ep++ {
 		eps := qlearn.EpsilonAt(cfg.Schedule, ep)
-		traj := make([]qlearn.Transition, 0, L-1)
-		for i := 1; i < L; i++ {
-			prev := int(assignment[i-1])
-			var action int
-			if rng.Float64() < eps {
-				action = allowed[i][rng.Intn(len(allowed[i]))]
-			} else {
-				action = q.Best(i-1, prev, allowed[i], rng)
-			}
-			assignment[i] = primitives.ID(action)
-			var next []int
-			if i+1 < L {
-				next = allowed[i+1]
-			}
-			traj = append(traj, qlearn.Transition{
-				Step: i - 1, Prim: prev, Action: action,
-				Reward: -tab.LayerCost(i, assignment[i], assignment), NextAllowed: next,
-			})
-		}
-		total := tab.TotalTime(assignment)
-		q.UpdateEpisode(traj, cfg.Agent)
-		if !cfg.DisableReplay {
-			replay.Add(traj)
-			replay.ReplayInto(q, cfg.Agent, cfg.ReplayUpdates, rng)
-		}
-		if total < best.Time {
-			best.Time = total
-			best.Assignment = append([]primitives.ID(nil), assignment...)
-		}
-		best.Curve = append(best.Curve, EpisodePoint{Episode: ep, Epsilon: eps, Time: total, Best: best.Time})
+		total := e.runEpisode(eps)
+		curve = append(curve, EpisodePoint{Episode: ep, Epsilon: eps, Time: total, Best: e.bestTime})
 	}
-	best.Episodes = cfg.Episodes
+	best := &Result{
+		Assignment: e.bestCopy(),
+		Time:       e.bestTime,
+		Episodes:   cfg.Episodes,
+		Curve:      curve,
+	}
 	return best, qlearn.Snapshot(q, replay, endEp)
 }

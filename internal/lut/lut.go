@@ -206,6 +206,14 @@ func (t *Table) penaltyByEdge(e int, fp, tp primitives.ID) float64 {
 	return t.penalties[e][int(fp)*t.numPrims+int(tp)]
 }
 
+// PenaltyByEdge returns the compatibility cost of edge index e (in
+// Edges() order) under the primitive pair (fp, tp). It is the bulk
+// accessor the search-plan compiler walks; unlike Penalty it never
+// scans the edge list.
+func (t *Table) PenaltyByEdge(e int, fp, tp primitives.ID) float64 {
+	return t.penaltyByEdge(e, fp, tp)
+}
+
 // SetOutputPenalty records the host-return cost for the output layer
 // under primitive p. It panics if sec is NaN, infinite or negative —
 // the same invariant Load enforces.

@@ -30,12 +30,19 @@ type Checkpoint struct {
 	Episode int
 }
 
-// Marshal serializes the checkpoint.
+// Marshal serializes the checkpoint. A shaped table (see Table.Shape)
+// is serialized in the canonical action layout, so the bytes are
+// independent of any in-memory permutation.
 func (c *Checkpoint) Marshal() ([]byte, error) {
+	qv := c.Table.q
+	if c.Table.perm != nil {
+		qv = make([]float64, len(c.Table.q))
+		c.Table.canonicalQ(qv)
+	}
 	out := checkpointJSON{
 		Steps:   c.Table.steps,
 		Prims:   c.Table.prims,
-		Q:       c.Table.q,
+		Q:       qv,
 		Episode: c.Episode,
 	}
 	if c.Replay != nil {
@@ -109,7 +116,7 @@ func maxIntQ(a, b int) int {
 // copies, so further learning does not mutate the snapshot).
 func Snapshot(t *Table, r *Replay, episode int) *Checkpoint {
 	ct := NewTable(t.steps, t.prims)
-	copy(ct.q, t.q)
+	t.canonicalQ(ct.q)
 	var cr *Replay
 	if r != nil {
 		cr = NewReplay(r.cap)

@@ -1,0 +1,307 @@
+package qlearn
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomVocab draws a duplicate-free action subset per step; terminal
+// steps (empty vocabularies) stay nil.
+func randomVocab(rng *rand.Rand, steps, prims int) [][]int {
+	allowed := make([][]int, steps)
+	for s := 0; s+1 < steps; s++ {
+		perm := rng.Perm(prims)
+		w := 1 + rng.Intn(prims)
+		allowed[s] = perm[:w]
+	}
+	return allowed
+}
+
+func fillRandom(t *Table, rng *rand.Rand) {
+	for i := range t.q {
+		t.q[i] = -rng.Float64() * 10
+	}
+}
+
+// Shaping is a pure layout change: every accessor must read the same
+// values before, during and after, and Unshape must restore the exact
+// backing array.
+func TestShapeUnshapeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const steps, prims = 6, 9
+	tab := NewTable(steps, prims)
+	fillRandom(tab, rng)
+	orig := append([]float64(nil), tab.q...)
+
+	allowed := randomVocab(rng, steps, prims)
+	if err := tab.Shape(allowed); err != nil {
+		t.Fatalf("Shape: %v", err)
+	}
+	for s := 0; s < steps; s++ {
+		for p := 0; p < prims; p++ {
+			for a := 0; a < prims; a++ {
+				want := orig[(s*prims+p)*prims+a]
+				if got := tab.Get(s, p, a); got != want {
+					t.Fatalf("shaped Get(%d,%d,%d) = %v, want %v", s, p, a, got, want)
+				}
+			}
+		}
+	}
+	// Re-shaping with a different vocabulary preserves values too.
+	if err := tab.Shape(randomVocab(rng, steps, prims)); err != nil {
+		t.Fatalf("re-Shape: %v", err)
+	}
+	tab.Unshape()
+	for i := range orig {
+		if math.Float64bits(tab.q[i]) != math.Float64bits(orig[i]) {
+			t.Fatalf("Unshape: q[%d] = %v, want %v", i, tab.q[i], orig[i])
+		}
+	}
+}
+
+func TestShapeRejectsBadVocab(t *testing.T) {
+	tab := NewTable(3, 4)
+	if err := tab.Shape(make([][]int, 2)); err == nil {
+		t.Fatal("Shape accepted wrong step count")
+	}
+	if err := tab.Shape([][]int{{0, 0}, nil, nil}); err == nil {
+		t.Fatal("Shape accepted duplicate action")
+	}
+	if err := tab.Shape([][]int{{4}, nil, nil}); err == nil {
+		t.Fatal("Shape accepted out-of-range action")
+	}
+	if err := tab.Shape([][]int{{-1}, nil, nil}); err == nil {
+		t.Fatal("Shape accepted negative action")
+	}
+	if tab.perm != nil {
+		t.Fatal("failed Shape left the table shaped")
+	}
+}
+
+// randomEpisode draws a trajectory over the vocabulary structure used
+// by the search engine: the prim at step k+1 is the action taken at
+// step k, and NextAllowed aliases the shared vocabulary slices.
+func randomEpisode(rng *rand.Rand, allowed [][]int, epLen int) []Transition {
+	traj := make([]Transition, epLen)
+	prev := 0
+	for k := 0; k < epLen; k++ {
+		acts := allowed[k]
+		action := acts[rng.Intn(len(acts))]
+		var next []int
+		if k+1 < epLen {
+			next = allowed[k+1]
+		}
+		traj[k] = Transition{Step: k, Prim: prev, Action: action,
+			Reward: -rng.Float64(), NextAllowed: next}
+		prev = action
+	}
+	return traj
+}
+
+// A shaped table must behave bit-identically to an unshaped twin under
+// the full agent workload: Best (including tie-break draws), MaxQ,
+// Update, UpdateEpisode and compiled replay.
+func TestShapedBitIdenticalToUnshaped(t *testing.T) {
+	const steps, prims, episodes = 7, 11, 200
+	seedRng := rand.New(rand.NewSource(21))
+	allowed := randomVocab(seedRng, steps, prims)
+	epLen := steps - 1
+
+	plain := NewTable(steps, prims)
+	shaped := NewTable(steps, prims)
+	if err := shaped.Shape(allowed); err != nil {
+		t.Fatalf("Shape: %v", err)
+	}
+	cfg := PaperConfig()
+	rp := NewReplay(16)
+	rs := NewReplay(16)
+	rngP := rand.New(rand.NewSource(77))
+	rngS := rand.New(rand.NewSource(77))
+	trajRng := rand.New(rand.NewSource(99))
+
+	for ep := 0; ep < episodes; ep++ {
+		traj := randomEpisode(trajRng, allowed, epLen)
+		for k := 0; k < epLen; k++ {
+			s, p := traj[k].Step, traj[k].Prim
+			bp := plain.Best(s, p, allowed[k], rngP)
+			bs := shaped.Best(s, p, allowed[k], rngS)
+			if bp != bs {
+				t.Fatalf("ep %d step %d: Best %d != %d", ep, k, bs, bp)
+			}
+			mp := plain.MaxQ(s, p, allowed[k])
+			ms := shaped.MaxQ(s, p, allowed[k])
+			if math.Float64bits(mp) != math.Float64bits(ms) {
+				t.Fatalf("ep %d step %d: MaxQ %x != %x", ep, k,
+					math.Float64bits(ms), math.Float64bits(mp))
+			}
+			if w := len(allowed[k]); w > 1 {
+				// A sub-vocabulary misses the identity fast path and
+				// must translate through the permutation instead.
+				sub := allowed[k][:w-1]
+				bp := plain.Best(s, p, sub, rngP)
+				bs := shaped.Best(s, p, sub, rngS)
+				if bp != bs {
+					t.Fatalf("ep %d step %d: sub-vocab Best %d != %d", ep, k, bs, bp)
+				}
+				mp := plain.MaxQ(s, p, sub)
+				ms := shaped.MaxQ(s, p, sub)
+				if math.Float64bits(mp) != math.Float64bits(ms) {
+					t.Fatalf("ep %d step %d: sub-vocab MaxQ differs", ep, k)
+				}
+			}
+		}
+		if ep%3 == 0 {
+			// Exercise the single-transition path too.
+			plain.Update(traj[0], cfg)
+			shaped.Update(traj[0], cfg)
+		}
+		plain.UpdateEpisode(traj, cfg)
+		shaped.UpdateEpisode(traj, cfg)
+		rp.Add(traj)
+		rs.Add(traj)
+		rp.ReplayInto(plain, cfg, 8, rngP)
+		rs.ReplayInto(shaped, cfg, 8, rngS)
+	}
+
+	canon := make([]float64, len(shaped.q))
+	shaped.canonicalQ(canon)
+	for i := range plain.q {
+		if math.Float64bits(plain.q[i]) != math.Float64bits(canon[i]) {
+			t.Fatalf("q[%d]: shaped %x != plain %x", i,
+				math.Float64bits(canon[i]), math.Float64bits(plain.q[i]))
+		}
+	}
+}
+
+// Checkpoints serialize the canonical layout: a shaped table and its
+// unshaped twin must marshal to the same bytes.
+func TestShapedCheckpointCanonicalBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	const steps, prims = 5, 6
+	plain := NewTable(steps, prims)
+	fillRandom(plain, rng)
+	shaped := NewTable(steps, prims)
+	copy(shaped.q, plain.q)
+	if err := shaped.Shape(randomVocab(rng, steps, prims)); err != nil {
+		t.Fatalf("Shape: %v", err)
+	}
+
+	bp, err := (&Checkpoint{Table: plain, Episode: 3}).Marshal()
+	if err != nil {
+		t.Fatalf("Marshal plain: %v", err)
+	}
+	bs, err := (&Checkpoint{Table: shaped, Episode: 3}).Marshal()
+	if err != nil {
+		t.Fatalf("Marshal shaped: %v", err)
+	}
+	if !bytes.Equal(bp, bs) {
+		t.Fatal("shaped checkpoint bytes differ from unshaped")
+	}
+
+	// Snapshot must capture canonical values as well.
+	sp := Snapshot(plain, nil, 3)
+	ss := Snapshot(shaped, nil, 3)
+	for i := range sp.Table.q {
+		if math.Float64bits(sp.Table.q[i]) != math.Float64bits(ss.Table.q[i]) {
+			t.Fatalf("snapshot q[%d] differs", i)
+		}
+	}
+}
+
+// The compiled replay must keep producing UpdateEpisode's exact values
+// after the ring wraps and slots are overwritten in place.
+func TestReplayCompiledRingWrapEquivalence(t *testing.T) {
+	const steps, prims, capacity, epLen = 6, 8, 4, 5
+	seedRng := rand.New(rand.NewSource(31))
+	allowed := randomVocab(seedRng, steps, prims)
+
+	compiled := NewTable(steps, prims)
+	if err := compiled.Shape(allowed); err != nil {
+		t.Fatalf("Shape: %v", err)
+	}
+	naive := NewTable(steps, prims)
+	rc := NewReplay(capacity)
+	var naiveBuf [][]Transition
+	next := 0
+	cfg := PaperConfig()
+	rngC := rand.New(rand.NewSource(8))
+	rngN := rand.New(rand.NewSource(8))
+	trajRng := rand.New(rand.NewSource(44))
+
+	for ep := 0; ep < 5*capacity; ep++ {
+		traj := randomEpisode(trajRng, allowed, epLen)
+		rc.Add(traj)
+		cp := append([]Transition(nil), traj...)
+		if len(naiveBuf) < capacity {
+			naiveBuf = append(naiveBuf, cp)
+		} else {
+			naiveBuf[next] = cp
+			next = (next + 1) % capacity
+		}
+		rc.ReplayInto(compiled, cfg, 6, rngC)
+		for s := 0; s < 6; s++ {
+			naive.UpdateEpisode(naiveBuf[rngN.Intn(len(naiveBuf))], cfg)
+		}
+	}
+
+	canon := make([]float64, len(compiled.q))
+	compiled.canonicalQ(canon)
+	for i := range naive.q {
+		if math.Float64bits(naive.q[i]) != math.Float64bits(canon[i]) {
+			t.Fatalf("q[%d]: compiled %x != naive %x", i,
+				math.Float64bits(canon[i]), math.Float64bits(naive.q[i]))
+		}
+	}
+}
+
+// Mixed trajectory lengths force slots off the slab; replay must fall
+// back to the generic path for those slots and stay correct.
+func TestReplayMixedLengthFallback(t *testing.T) {
+	const steps, prims = 6, 8
+	seedRng := rand.New(rand.NewSource(61))
+	allowed := randomVocab(seedRng, steps, prims)
+
+	tab := NewTable(steps, prims)
+	if err := tab.Shape(allowed); err != nil {
+		t.Fatalf("Shape: %v", err)
+	}
+	naive := NewTable(steps, prims)
+	const capacity = 8
+	r := NewReplay(capacity)
+	var naiveBuf [][]Transition
+	next := 0
+	cfg := PaperConfig()
+	rngC := rand.New(rand.NewSource(2))
+	rngN := rand.New(rand.NewSource(2))
+	trajRng := rand.New(rand.NewSource(3))
+
+	for ep := 0; ep < 3*capacity; ep++ {
+		epLen := 5
+		if ep%3 == 1 {
+			epLen = 3 // off-slab length
+		}
+		traj := randomEpisode(trajRng, allowed, epLen)
+		r.Add(traj)
+		cp := append([]Transition(nil), traj...)
+		if len(naiveBuf) < capacity {
+			naiveBuf = append(naiveBuf, cp)
+		} else {
+			naiveBuf[next] = cp
+			next = (next + 1) % capacity
+		}
+		r.ReplayInto(tab, cfg, 5, rngC)
+		for s := 0; s < 5; s++ {
+			naive.UpdateEpisode(naiveBuf[rngN.Intn(len(naiveBuf))], cfg)
+		}
+	}
+
+	canon := make([]float64, len(tab.q))
+	tab.canonicalQ(canon)
+	for i := range naive.q {
+		if math.Float64bits(naive.q[i]) != math.Float64bits(canon[i]) {
+			t.Fatalf("q[%d]: mixed-length replay diverged", i)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/lut"
 	"repro/internal/primitives"
 	"repro/internal/profile"
+	"repro/internal/searchplan"
 )
 
 // cacheKey identifies one profiling run. Two jobs that agree on all
@@ -19,11 +20,15 @@ type cacheKey struct {
 }
 
 // cacheEntry is one in-flight or completed profiling run. ready is
-// closed when tab/rep/err are final; waiters block on it instead of
-// holding the cache lock across the (expensive) build.
+// closed when tab/plan/rep/err are final; waiters block on it instead
+// of holding the cache lock across the (expensive) build. The entry
+// carries the table's compiled search plan too, so a batch compiles
+// each distinct table exactly once no matter how many (job, seed)
+// units search it.
 type cacheEntry struct {
 	ready chan struct{}
 	tab   *lut.Table
+	plan  *searchplan.Plan
 	rep   *profile.Report
 	err   error
 }
@@ -48,13 +53,13 @@ func newTableCache() *tableCache {
 // the failed entry is then evicted, so the key's next get retries the
 // build instead of replaying a cached failure forever — a transient
 // board outage must not poison the batch.
-func (c *tableCache) get(key cacheKey, build func() (*lut.Table, *profile.Report, error)) (*lut.Table, *profile.Report, error) {
+func (c *tableCache) get(key cacheKey, build func() (*lut.Table, *profile.Report, error)) (*lut.Table, *searchplan.Plan, *profile.Report, error) {
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
 		c.hits++
 		c.mu.Unlock()
 		<-e.ready
-		return e.tab, e.rep, e.err
+		return e.tab, e.plan, e.rep, e.err
 	}
 	e := &cacheEntry{ready: make(chan struct{})}
 	c.entries[key] = e
@@ -70,9 +75,13 @@ func (c *tableCache) get(key cacheKey, build func() (*lut.Table, *profile.Report
 			delete(c.entries, key)
 		}
 		c.mu.Unlock()
+	} else if e.tab != nil {
+		// Compile before publishing, so every waiter shares the one
+		// plan.
+		e.plan = searchplan.Compile(e.tab)
 	}
 	close(e.ready)
-	return e.tab, e.rep, e.err
+	return e.tab, e.plan, e.rep, e.err
 }
 
 // stats returns the lookup counters: hits is the number of requests

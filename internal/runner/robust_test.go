@@ -39,13 +39,13 @@ func TestCacheEvictsFailedBuilds(t *testing.T) {
 	cache := newTableCache()
 	key := cacheKey{network: "lenet5", mode: primitives.ModeCPU, samples: 2}
 	boom := errors.New("board unreachable")
-	if _, _, err := cache.get(key, func() (*lut.Table, *profile.Report, error) {
+	if _, _, _, err := cache.get(key, func() (*lut.Table, *profile.Report, error) {
 		return nil, nil, boom
 	}); !errors.Is(err, boom) {
 		t.Fatalf("first get: err = %v, want the build error", err)
 	}
 	var built atomic.Int64
-	tab, _, err := cache.get(key, func() (*lut.Table, *profile.Report, error) {
+	tab, _, _, err := cache.get(key, func() (*lut.Table, *profile.Report, error) {
 		built.Add(1)
 		return &lut.Table{}, nil, nil
 	})
@@ -56,7 +56,7 @@ func TestCacheEvictsFailedBuilds(t *testing.T) {
 		t.Errorf("retry ran the build %d times, want 1 (error entry not evicted?)", built.Load())
 	}
 	// The recovered entry is cached like any success.
-	if _, _, err := cache.get(key, func() (*lut.Table, *profile.Report, error) {
+	if _, _, _, err := cache.get(key, func() (*lut.Table, *profile.Report, error) {
 		t.Error("third get rebuilt a cached success")
 		return nil, nil, nil
 	}); err != nil {

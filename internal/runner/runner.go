@@ -290,7 +290,7 @@ func RunContext(ctx context.Context, jobs []Job, opts Options) (*BatchResult, er
 		job := defaulted[ji]
 		net := nets[job.Network]
 		key := cacheKey{network: job.Network, mode: job.Mode, samples: job.Samples}
-		tab, rep, err := cache.get(key, func() (*lut.Table, *profile.Report, error) {
+		tab, plan, rep, err := cache.get(key, func() (*lut.Table, *profile.Report, error) {
 			// With a manifest, a stored table that verifies is reused
 			// (profiling is deterministic, so the result is identical);
 			// a fresh build is persisted before any unit records
@@ -318,7 +318,7 @@ func RunContext(ctx context.Context, jobs []Job, opts Options) (*BatchResult, er
 		cfg.Episodes = job.Episodes
 		cfg.Seed = job.Seeds[si]
 		t0 := time.Now()
-		res := core.Search(tab, cfg)
+		res := core.SearchPlanned(plan, cfg)
 		results[ji][si] = SeedResult{Seed: job.Seeds[si], Result: res, Elapsed: time.Since(t0)}
 		if ml != nil {
 			// Journal the completed unit durably; a failed append is a

@@ -1,0 +1,62 @@
+#!/usr/bin/env sh
+# Runs the search hot-path benchmarks and emits BENCH_search.json —
+# the machine-readable perf record the CI bench-smoke job uploads and
+# EXPERIMENTS.md quotes. The raw `go test -bench` text is preserved
+# next to it for benchstat.
+#
+# Environment overrides:
+#   BENCHTIME  per-benchmark budget (default 2s; CI smoke uses 1x)
+#   COUNT      repetitions per benchmark (default 1)
+#   OUT        output JSON path (default BENCH_search.json)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-2s}"
+COUNT="${COUNT:-1}"
+OUT="${OUT:-BENCH_search.json}"
+RAW="${RAW:-bench/latest.txt}"
+
+mkdir -p "$(dirname "$RAW")"
+
+go test -run '^$' \
+    -bench 'BenchmarkSearchEpisodes|BenchmarkReplayInto|BenchmarkPlanTotalTime' \
+    -benchtime "$BENCHTIME" -count "$COUNT" . | tee "$RAW"
+
+# Reduce the benchmark text to one JSON object per benchmark. Averages
+# over COUNT repetitions; carries every reported metric through.
+awk -v out="$OUT" '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    n[name]++
+    for (i = 3; i + 1 <= NF; i += 2) {
+        key = $(i + 1)
+        gsub(/\//, "_per_", key)
+        sum[name "\034" key] += $i
+        seen[name "\034" key] = 1
+        if (!(key in keyorder_seen)) { keyorder[++nk] = key; keyorder_seen[key] = 1 }
+        metrics[name] = metrics[name] == "" ? key : metrics[name] "\035" key
+    }
+    if (!(name in order_seen)) { order[++no] = name; order_seen[name] = 1 }
+}
+END {
+    printf "{\n  \"benchmarks\": [\n" > out
+    for (b = 1; b <= no; b++) {
+        name = order[b]
+        printf "    {\"name\": \"%s\", \"count\": %d", name, n[name] >> out
+        split(metrics[name], mk, "\035")
+        delete done
+        for (m = 1; m in mk; m++) {
+            key = mk[m]
+            if (key in done) continue
+            done[key] = 1
+            printf ", \"%s\": %.6g", key, sum[name "\034" key] / n[name] >> out
+        }
+        printf "}%s\n", (b < no ? "," : "") >> out
+    }
+    printf "  ]\n}\n" >> out
+}
+' "$RAW"
+
+echo "wrote $OUT"
