@@ -160,6 +160,36 @@ func BenchmarkProfilePhase(b *testing.B) {
 	}
 }
 
+// BenchmarkProfilePhaseEngine times the profiling phase on the real
+// inference engine (host-CPU kernel executions, the `-engine` CLI
+// path) rather than the platform simulator — the phase the packed
+// parallel kernel layer accelerates. kernel-workers 1 isolates the
+// packing win; NumCPU adds the multicore scaling on real hardware.
+func BenchmarkProfilePhaseEngine(b *testing.B) {
+	net := models.MustBuild("lenet5")
+	counts := []int{1}
+	if n := runtime.NumCPU(); n > 1 {
+		counts = append(counts, n)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("kernel-workers=%d", workers), func(b *testing.B) {
+			eng := engine.New(net, 7, 0.35, engine.Parallelism(workers))
+			input := tensor.New(net.InputShape, tensor.NCHW)
+			input.FillRandom(rand.New(rand.NewSource(2)), 1)
+			src, err := engine.NewSource(eng, input)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := profile.Run(net, src, profile.Options{Mode: primitives.ModeCPU, Samples: 3}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkAblationShaping compares reward shaping (per-layer negated
 // times, the paper's choice) against a single terminal reward.
 func BenchmarkAblationShaping(b *testing.B) {
@@ -269,8 +299,11 @@ func BenchmarkConvKernels(b *testing.B) {
 		{"direct", func() { kernels.ConvDirect(in, w, bias, p) }},
 		{"im2col-naive", func() { kernels.ConvIm2col(in, w, bias, p, gemm.Naive) }},
 		{"im2col-blocked", func() { kernels.ConvIm2col(in, w, bias, p, gemm.Blocked) }},
+		{"im2col-packed", func() { kernels.ConvIm2col(in, w, bias, p, gemm.Packed) }},
 		{"im2row-blocked", func() { kernels.ConvIm2row(in, w, bias, p, gemm.Blocked) }},
+		{"im2row-packed", func() { kernels.ConvIm2row(in, w, bias, p, gemm.Packed) }},
 		{"kn2row-blocked", func() { kernels.ConvKn2row(in, w, bias, p, gemm.Blocked) }},
+		{"kn2row-packed", func() { kernels.ConvKn2row(in, w, bias, p, gemm.Packed) }},
 		{"winograd", func() { kernels.ConvWinograd(in, w, bias, p) }},
 	}
 	for _, v := range variants {
@@ -521,7 +554,7 @@ func BenchmarkOptimizeBatch(b *testing.B) {
 		{Network: "squeezenet", Mode: ModeGPGPU},
 	}
 	for _, workers := range []int{1, 8} {
-		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			var batch *BatchReport
 			for i := 0; i < b.N; i++ {
 				var err error

@@ -13,9 +13,11 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 	"syscall"
@@ -23,6 +25,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/lut"
 	"repro/internal/models"
 	"repro/internal/plan"
@@ -31,6 +34,7 @@ import (
 	"repro/internal/profile"
 	"repro/internal/sched"
 	"repro/internal/store"
+	"repro/internal/tensor"
 
 	qsdnn "repro"
 )
@@ -59,6 +63,8 @@ func main() {
 	checkpointDir := fs.String("checkpoint", "", "search: durable checkpoint directory (periodic snapshots with last-good rotation)")
 	resume := fs.Bool("resume", false, "search: continue from the newest valid snapshot in -checkpoint")
 	checkpointEvery := fs.Int("checkpoint-every", core.DefaultSnapshotEvery, "search: snapshot cadence in episodes")
+	realEngine := fs.Bool("engine", false, "profile on the real host-CPU engine instead of the platform simulator (requires -mode cpu)")
+	kernelWorkers := fs.Int("kernel-workers", 0, "engine kernel worker count for -engine profiling (0 = one per CPU)")
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
 	}
@@ -74,7 +80,8 @@ func main() {
 
 	ft := faultFlags{robust: *robust, retries: *retries, sampleTimeout: *sampleTimeout, faultSeed: *faultSeed}
 	df := durableFlags{manifest: *manifestDir, checkpoint: *checkpointDir, resume: *resume, every: *checkpointEvery}
-	if err := runCtx(ctx, cmd, *netName, *modeStr, *episodes, *samples, *seed, *lutFile, *platName, *parallel, *seeds, ft, df); err != nil {
+	ef := engineFlags{real: *realEngine, workers: *kernelWorkers, seed: *seed}
+	if err := runCtx(ctx, cmd, *netName, *modeStr, *episodes, *samples, *seed, *lutFile, *platName, *parallel, *seeds, ft, df, ef); err != nil {
 		fmt.Fprintln(os.Stderr, "qsdnn:", err)
 		os.Exit(1)
 	}
@@ -116,6 +123,10 @@ func validateFlags(fs *flag.FlagSet) error {
 			if get().(int) <= 0 {
 				err = fmt.Errorf("-checkpoint-every must be positive (got %s)", f.Value)
 			}
+		case "kernel-workers":
+			if get().(int) < 0 {
+				err = fmt.Errorf("-kernel-workers must be >= 0 (got %s)", f.Value)
+			}
 		}
 	})
 	return err
@@ -127,6 +138,21 @@ type durableFlags struct {
 	checkpoint string
 	resume     bool
 	every      int
+}
+
+// engineFlags bundles the real-engine profiling CLI flags.
+type engineFlags struct {
+	real    bool
+	workers int
+	seed    int64
+}
+
+// kernelWorkers resolves the worker count (0 means one per CPU).
+func (f engineFlags) kernelWorkers() int {
+	if f.workers > 0 {
+		return f.workers
+	}
+	return runtime.NumCPU()
 }
 
 // faultFlags bundles the fault-tolerance CLI flags.
@@ -185,6 +211,10 @@ commands:
 
 flags: -net NAME -mode cpu|gpgpu -platform NAME -episodes N -samples N -seed N -lut FILE
        -parallel N -seeds K (bench-all)
+       -engine -kernel-workers N                profile on the real host-CPU engine
+                                                (-mode cpu) with N kernel goroutines
+                                                (0 = one per CPU); kernel outputs are
+                                                bit-identical at any worker count
        -robust -retries N -sample-timeout DUR   fault-tolerant profiling
        -fault-seed N                            seeded fault injection (testing)
        -manifest DIR                            bench-all: durable run journal; a
@@ -210,7 +240,7 @@ func parseMode(s string) (primitives.Mode, error) {
 // run is the legacy entry point: background context, no fault or
 // durability flags.
 func run(cmd, netName, modeStr string, episodes, samples int, seed int64, lutFile, platName string, parallel, seeds int) error {
-	return runCtx(context.Background(), cmd, netName, modeStr, episodes, samples, seed, lutFile, platName, parallel, seeds, faultFlags{}, durableFlags{})
+	return runCtx(context.Background(), cmd, netName, modeStr, episodes, samples, seed, lutFile, platName, parallel, seeds, faultFlags{}, durableFlags{}, engineFlags{})
 }
 
 // searchDurable runs (or resumes) a search with periodic durable
@@ -259,11 +289,29 @@ func searchDurable(tab *lut.Table, cfg core.Config, df durableFlags) (*core.Resu
 
 // profileTable runs the inference phase for one network under the
 // fault flags, printing the degradation report when anything fired.
-func profileTable(ctx context.Context, ft faultFlags, net *qsdnn.Network, board *platform.Platform, mode primitives.Mode, samples int) (*lut.Table, error) {
-	sim := profile.NewSimSource(net, board)
-	var src profile.FallibleSource = profile.AsFallible(sim)
+// With ef.real it measures on the actual host-CPU engine (kernels run
+// with -kernel-workers goroutines) instead of the platform simulator.
+func profileTable(ctx context.Context, ft faultFlags, ef engineFlags, net *qsdnn.Network, board *platform.Platform, mode primitives.Mode, samples int) (*lut.Table, error) {
+	var base profile.Source
+	var src profile.FallibleSource
+	if ef.real {
+		if mode != primitives.ModeCPU {
+			return nil, fmt.Errorf("-engine measures on the host CPU, which cannot run GPU primitives; use -mode cpu")
+		}
+		eng := engine.New(net, ef.seed, 0, engine.Parallelism(ef.kernelWorkers()))
+		in := tensor.New(net.InputShape, tensor.NCHW)
+		in.FillRandom(rand.New(rand.NewSource(ef.seed)), 1)
+		es, err := engine.NewSource(eng, in)
+		if err != nil {
+			return nil, err
+		}
+		base, src = es, es
+	} else {
+		sim := profile.NewSimSource(net, board)
+		base, src = sim, profile.AsFallible(sim)
+	}
 	if f := ft.faults(); f != nil {
-		src = profile.NewFaultSource(sim, *f)
+		src = profile.NewFaultSource(base, *f)
 	}
 	tab, rep, err := profile.RunFallible(ctx, net, src, profile.Options{
 		Mode: mode, Samples: samples, Robust: ft.policy(),
@@ -277,7 +325,7 @@ func profileTable(ctx context.Context, ft faultFlags, net *qsdnn.Network, board 
 	return tab, nil
 }
 
-func runCtx(ctx context.Context, cmd, netName, modeStr string, episodes, samples int, seed int64, lutFile, platName string, parallel, seeds int, ft faultFlags, df durableFlags) error {
+func runCtx(ctx context.Context, cmd, netName, modeStr string, episodes, samples int, seed int64, lutFile, platName string, parallel, seeds int, ft faultFlags, df durableFlags, ef engineFlags) error {
 	board, ok := platform.Preset(platName)
 	if !ok {
 		return fmt.Errorf("unknown platform %q", platName)
@@ -359,7 +407,7 @@ func runCtx(ctx context.Context, cmd, netName, modeStr string, episodes, samples
 		if err != nil {
 			return err
 		}
-		tab, err := profileTable(ctx, ft, net, board, mode, samples)
+		tab, err := profileTable(ctx, ft, ef, net, board, mode, samples)
 		if err != nil {
 			return err
 		}
@@ -378,7 +426,7 @@ func runCtx(ctx context.Context, cmd, netName, modeStr string, episodes, samples
 		if err != nil {
 			return err
 		}
-		tab, err := profileTable(ctx, ft, net, board, mode, samples)
+		tab, err := profileTable(ctx, ft, ef, net, board, mode, samples)
 		if err != nil {
 			return err
 		}
@@ -411,7 +459,7 @@ func runCtx(ctx context.Context, cmd, netName, modeStr string, episodes, samples
 		if err != nil {
 			return err
 		}
-		tab, err := profileTable(ctx, ft, net, board, mode, samples)
+		tab, err := profileTable(ctx, ft, ef, net, board, mode, samples)
 		if err != nil {
 			return err
 		}
@@ -449,7 +497,7 @@ func runCtx(ctx context.Context, cmd, netName, modeStr string, episodes, samples
 		if err != nil {
 			return err
 		}
-		tab, err := profileTable(ctx, ft, net, board, mode, samples)
+		tab, err := profileTable(ctx, ft, ef, net, board, mode, samples)
 		if err != nil {
 			return err
 		}
@@ -523,7 +571,7 @@ func runCtx(ctx context.Context, cmd, netName, modeStr string, episodes, samples
 		if err != nil {
 			return err
 		}
-		tab, err := profileTable(ctx, ft, net, board, mode, samples)
+		tab, err := profileTable(ctx, ft, ef, net, board, mode, samples)
 		if err != nil {
 			return err
 		}
@@ -561,7 +609,7 @@ func runCtx(ctx context.Context, cmd, netName, modeStr string, episodes, samples
 				return err
 			}
 		} else {
-			tab, err = profileTable(ctx, ft, net, board, mode, samples)
+			tab, err = profileTable(ctx, ft, ef, net, board, mode, samples)
 			if err != nil {
 				return err
 			}

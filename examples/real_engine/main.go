@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"runtime"
 
 	qsdnn "repro"
 	"repro/internal/engine"
@@ -36,8 +37,9 @@ func main() {
 	net := b.MustBuild()
 
 	// Engine with pruned weights (35% kept — the Sparse library's
-	// assumption) and a random input image.
-	eng := engine.New(net, 7, 0.35)
+	// assumption), kernels parallelized across the host cores (outputs
+	// stay bit-identical at any worker count), and a random input image.
+	eng := engine.New(net, 7, 0.35, engine.Parallelism(runtime.NumCPU()))
 	input := tensor.New(net.InputShape, tensor.NCHW)
 	input.FillRandom(rand.New(rand.NewSource(1)), 1)
 

@@ -42,23 +42,48 @@ type Engine struct {
 	// on which function they compute.
 	Density float64
 
-	params []layerParams
+	params  []layerParams
+	workers int
+}
+
+// Option configures an Engine at construction time.
+type Option func(*Engine)
+
+// Parallelism sets the number of goroutines the library-backed kernels
+// may use (the packed GEMM, the Par conv kernels and the lowerings).
+// The Vanilla reference primitive always runs sequentially. Kernel
+// outputs are bit-identical at every worker count — parallelism changes
+// who computes each exclusive output block, never any reduction order —
+// so this is purely a throughput knob. Values < 1 are ignored; the
+// default is 1 (sequential).
+func Parallelism(n int) Option {
+	return func(e *Engine) {
+		if n >= 1 {
+			e.workers = n
+		}
+	}
 }
 
 // New builds an engine for the network with weights drawn from the
 // seed. density in (0, 1] controls weight sparsity (the paper's Sparse
 // library assumes pruned models); 0 selects 0.35.
-func New(net *nn.Network, seed int64, density float64) *Engine {
+func New(net *nn.Network, seed int64, density float64, opts ...Option) *Engine {
 	if density <= 0 || density > 1 {
 		density = 0.35
 	}
-	e := &Engine{Net: net, Density: density, params: make([]layerParams, net.Len())}
+	e := &Engine{Net: net, Density: density, params: make([]layerParams, net.Len()), workers: 1}
+	for _, o := range opts {
+		o(e)
+	}
 	rng := rand.New(rand.NewSource(seed))
 	for i, l := range net.Layers {
 		e.params[i] = e.makeParams(l, rng)
 	}
 	return e
 }
+
+// Workers reports the kernel worker count the engine was built with.
+func (e *Engine) Workers() int { return e.workers }
 
 // makeParams draws the layer's weights. Magnitudes scale with
 // 1/sqrt(fan-in) to keep activations bounded through deep stacks.
@@ -195,10 +220,13 @@ func (e *Engine) exec(i int, l *nn.Layer, p *primitives.Primitive, in []*tensor.
 	case nn.OpConv:
 		return e.execConv(l, p, x, par)
 	case nn.OpDepthwiseConv:
-		if p.Layout == tensor.NHWC {
-			return kernels.DepthwiseNHWC(x, par.w, par.bias, l.Conv), nil
+		if p.Lib == primitives.Vanilla {
+			return kernels.DepthwiseDirect(x, par.w, par.bias, l.Conv), nil
 		}
-		return kernels.DepthwiseDirect(x, par.w, par.bias, l.Conv), nil
+		if p.Layout == tensor.NHWC {
+			return kernels.DepthwiseNHWCPar(x, par.w, par.bias, l.Conv, e.workers), nil
+		}
+		return kernels.DepthwiseDirectPar(x, par.w, par.bias, l.Conv, e.workers), nil
 	case nn.OpFullyConnected:
 		if p.Lib == primitives.Sparse {
 			return kernels.FCSparse(x, par.csr, par.bias), nil
@@ -234,7 +262,13 @@ func (e *Engine) exec(i int, l *nn.Layer, p *primitives.Primitive, in []*tensor.
 // that cost is the primitive's own business and lands in its layer
 // time.
 func (e *Engine) execConv(l *nn.Layer, p *primitives.Primitive, x *tensor.Tensor, par layerParams) (*tensor.Tensor, error) {
-	mul := gemm.Blocked
+	// Tuned libraries get the packed parallel GEMM (the tuned-BLAS
+	// stand-in); ATLAS and Vanilla keep the naive one — their role in
+	// the paper is the slow reference BLAS.
+	w := e.workers
+	mul := kernels.Gemm(func(m, n, k int, a, b, c []float32) {
+		gemm.Parallel(m, n, k, a, b, c, w)
+	})
 	if p.Lib == primitives.ATLAS || p.Lib == primitives.Vanilla {
 		mul = gemm.Naive
 	}
@@ -247,7 +281,7 @@ func (e *Engine) execConv(l *nn.Layer, p *primitives.Primitive, x *tensor.Tensor
 			// path (the zeros contribute nothing either way).
 			return kernels.ConvGroupedDirect(x, par.w, par.bias, l.Conv), nil
 		default:
-			return kernels.ConvGroupedIm2col(x, par.w, par.bias, l.Conv, mul), nil
+			return kernels.ConvGroupedIm2colPar(x, par.w, par.bias, l.Conv, mul, w), nil
 		}
 	}
 	switch {
@@ -257,20 +291,20 @@ func (e *Engine) execConv(l *nn.Layer, p *primitives.Primitive, x *tensor.Tensor
 		return kernels.ConvSparse(x, par.csr, par.bias, l.Conv), nil
 	case p.Algo == primitives.WinogradAlgo:
 		nchw := x.ToLayout(tensor.NCHW)
-		out := kernels.ConvWinograd(nchw, par.w, par.bias, l.Conv)
+		out := kernels.ConvWinogradPar(nchw, par.w, par.bias, l.Conv, w)
 		return out.ToLayout(p.Layout), nil
 	case p.Algo == primitives.FFTAlgo:
 		nchw := x.ToLayout(tensor.NCHW)
-		out := kernels.ConvFFT(nchw, par.w, par.bias, l.Conv)
+		out := kernels.ConvFFTPar(nchw, par.w, par.bias, l.Conv, w)
 		return out.ToLayout(p.Layout), nil
 	case p.Layout == tensor.NHWC: // nnpack-gemm / armcl-gemm
-		return kernels.ConvDirectNHWC(x, par.w, par.bias, l.Conv), nil
+		return kernels.ConvDirectNHWCPar(x, par.w, par.bias, l.Conv, w), nil
 	case p.Lower == primitives.Im2col:
-		return kernels.ConvIm2col(x, par.w, par.bias, l.Conv, mul), nil
+		return kernels.ConvIm2colPar(x, par.w, par.bias, l.Conv, mul, w), nil
 	case p.Lower == primitives.Im2row:
-		return kernels.ConvIm2row(x, par.w, par.bias, l.Conv, mul), nil
+		return kernels.ConvIm2rowPar(x, par.w, par.bias, l.Conv, mul, w), nil
 	case p.Lower == primitives.Kn2row:
-		return kernels.ConvKn2row(x, par.w, par.bias, l.Conv, mul), nil
+		return kernels.ConvKn2rowPar(x, par.w, par.bias, l.Conv, mul, w), nil
 	}
 	return nil, fmt.Errorf("engine: no conv kernel for %s", p.Name)
 }

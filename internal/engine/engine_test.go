@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"math"
 	"math/rand"
 	"strings"
 	"testing"
@@ -253,6 +254,50 @@ func TestGroupedConvAssignmentInvariance(t *testing.T) {
 		}
 		if d := tensor.MaxAbsDiff(ref.Output, got.Output); d > 1e-3 {
 			t.Errorf("%v: grouped conv output differs by %g", primitives.ByID(prim).Name, d)
+		}
+	}
+}
+
+// TestParallelismBitIdenticalOutputs pins the engine-level contract:
+// for any primitive assignment, an engine built with Parallelism(n)
+// produces output bit-identical to the sequential engine — parallel
+// kernels repartition exclusive output blocks, never reduction orders.
+func TestParallelismBitIdenticalOutputs(t *testing.T) {
+	net := testNet(t)
+	in := testInput(net, 5)
+	seq := New(net, 3, 0.5)
+	rng := rand.New(rand.NewSource(10))
+	assignments := [][]primitives.ID{seq.VanillaAssignment()}
+	for trial := 0; trial < 6; trial++ {
+		a := make([]primitives.ID, net.Len())
+		a[0] = primitives.PVanilla.Idx
+		for i := 1; i < net.Len(); i++ {
+			cands := primitives.Candidates(net.Layers[i], primitives.ModeCPU)
+			a[i] = cands[rng.Intn(len(cands))].Idx
+		}
+		assignments = append(assignments, a)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		par := New(net, 3, 0.5, Parallelism(workers))
+		if par.Workers() != workers {
+			t.Fatalf("Workers() = %d, want %d", par.Workers(), workers)
+		}
+		for ai, a := range assignments {
+			want, err := seq.Run(a, in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := par.Run(a, in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wd, gd := want.Output.Data(), got.Output.Data()
+			for i := range wd {
+				if math.Float32bits(wd[i]) != math.Float32bits(gd[i]) {
+					t.Fatalf("assignment %d workers=%d: output differs at %d: %v vs %v",
+						ai, workers, i, wd[i], gd[i])
+				}
+			}
 		}
 	}
 }

@@ -43,9 +43,12 @@ func Naive(m, n, k int, a, b, c []float32) {
 const blockSize = 64
 
 // Blocked computes C = A*B + C with square cache tiling. Results are
-// bit-identical to Naive (same accumulation order within a dot product
-// is not guaranteed, but float32 summation differences stay within the
-// tolerance the kernel tests use).
+// NOT bit-identical to Naive: tiling splits each dot product into
+// per-block partial sums, so float32 rounding differs, but stays within
+// the tolerance the kernel tests use. The contract the kernel layer
+// enforces is the one Packed/Parallel state: for a given backend, the
+// output is bit-identical at every worker count, and all backends agree
+// with Naive within float32 tolerance.
 func Blocked(m, n, k int, a, b, c []float32) {
 	checkDims("A", a, m*k)
 	checkDims("B", b, k*n)

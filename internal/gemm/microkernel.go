@@ -1,0 +1,69 @@
+package gemm
+
+// The register micro-kernel computes one mr x nr output tile from a
+// packed A strip (p-major, mr values per step) and a packed B panel
+// (p-major, nr values per step): t[ii*nr+jj] accumulates
+// sum_p ap[p*mr+ii] * bp[p*nr+jj] with each element reduced in strictly
+// ascending p order, one multiply and one separate add per step.
+//
+// Two implementations exist: a hand-written SSE version for amd64
+// (microkernel_amd64.s) and the portable Go version below. Packed
+// MULPS/ADDPS perform the same IEEE-754 single-precision operations
+// per lane as Go's scalar float32 multiply and add, and both versions
+// execute the identical per-element operation sequence, so their
+// outputs are bit-identical — TestMicroKernelMatchesGo pins this on
+// amd64.
+
+// microTileGo is the portable micro-kernel, and the reference the asm
+// version is tested against. ap must hold k*mr elements, bp k*nr, laid
+// out as packStripA / packB produce them.
+func microTileGo(k int, ap, bp []float32, t *[mr * nr]float32) {
+	var c00, c01, c02, c03, c04, c05, c06, c07 float32
+	var c10, c11, c12, c13, c14, c15, c16, c17 float32
+	var c20, c21, c22, c23, c24, c25, c26, c27 float32
+	var c30, c31, c32, c33, c34, c35, c36, c37 float32
+	for p := 0; p < k; p++ {
+		a := ap[p*mr : p*mr+mr : p*mr+mr]
+		b := bp[p*nr : p*nr+nr : p*nr+nr]
+		a0, a1, a2, a3 := a[0], a[1], a[2], a[3]
+		b0, b1, b2, b3, b4, b5, b6, b7 := b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c02 += a0 * b2
+		c03 += a0 * b3
+		c04 += a0 * b4
+		c05 += a0 * b5
+		c06 += a0 * b6
+		c07 += a0 * b7
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c12 += a1 * b2
+		c13 += a1 * b3
+		c14 += a1 * b4
+		c15 += a1 * b5
+		c16 += a1 * b6
+		c17 += a1 * b7
+		c20 += a2 * b0
+		c21 += a2 * b1
+		c22 += a2 * b2
+		c23 += a2 * b3
+		c24 += a2 * b4
+		c25 += a2 * b5
+		c26 += a2 * b6
+		c27 += a2 * b7
+		c30 += a3 * b0
+		c31 += a3 * b1
+		c32 += a3 * b2
+		c33 += a3 * b3
+		c34 += a3 * b4
+		c35 += a3 * b5
+		c36 += a3 * b6
+		c37 += a3 * b7
+	}
+	*t = [mr * nr]float32{
+		c00, c01, c02, c03, c04, c05, c06, c07,
+		c10, c11, c12, c13, c14, c15, c16, c17,
+		c20, c21, c22, c23, c24, c25, c26, c27,
+		c30, c31, c32, c33, c34, c35, c36, c37,
+	}
+}

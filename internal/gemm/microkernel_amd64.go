@@ -1,0 +1,21 @@
+//go:build amd64
+
+package gemm
+
+// microKernelSSE is implemented in microkernel_amd64.s. It computes the
+// mr x nr tile sum_p ap[p*mr+ii]*bp[p*nr+jj] into t with SSE packed
+// single ops, bit-identical to microTileGo (see microkernel.go).
+//
+//go:noescape
+func microKernelSSE(k int, ap, bp, t *float32)
+
+// microTile dispatches to the SSE micro-kernel on amd64.
+func microTile(k int, ap, bp []float32, t *[mr * nr]float32) {
+	if k <= 0 {
+		*t = [mr * nr]float32{}
+		return
+	}
+	_ = ap[k*mr-1]
+	_ = bp[k*nr-1]
+	microKernelSSE(k, &ap[0], &bp[0], &t[0])
+}

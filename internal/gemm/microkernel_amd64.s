@@ -1,0 +1,83 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func microKernelSSE(k int, ap, bp, t *float32)
+//
+// SSE 4x8 micro-kernel. Eight XMM accumulators hold the 4x8 tile
+// (X0/X1 = row 0 cols 0-3/4-7, ..., X6/X7 = row 3). Per k step: load
+// the nr=8 B values once, broadcast each of the mr=4 A values, and do
+// one MULPS + one ADDPS per half-row. Each output element sees exactly
+// one IEEE-754 single multiply and one add per step, in ascending p
+// order — the same operation sequence as microTileGo, so the results
+// are bit-identical (MULPS/ADDPS are lane-wise IEEE single ops).
+// SSE is baseline on amd64, so no feature detection is needed.
+TEXT ·microKernelSSE(SB), NOSPLIT, $0-32
+	MOVQ k+0(FP), CX
+	MOVQ ap+8(FP), SI
+	MOVQ bp+16(FP), DI
+	MOVQ t+24(FP), DX
+
+	XORPS X0, X0
+	XORPS X1, X1
+	XORPS X2, X2
+	XORPS X3, X3
+	XORPS X4, X4
+	XORPS X5, X5
+	XORPS X6, X6
+	XORPS X7, X7
+
+	TESTQ CX, CX
+	JZ    store
+
+loop:
+	MOVUPS (DI), X8      // b[0:4]
+	MOVUPS 16(DI), X9    // b[4:8]
+
+	MOVSS  (SI), X10     // broadcast a0
+	SHUFPS $0x00, X10, X10
+	MOVAPS X10, X11
+	MULPS  X8, X10
+	ADDPS  X10, X0
+	MULPS  X9, X11
+	ADDPS  X11, X1
+
+	MOVSS  4(SI), X10    // broadcast a1
+	SHUFPS $0x00, X10, X10
+	MOVAPS X10, X11
+	MULPS  X8, X10
+	ADDPS  X10, X2
+	MULPS  X9, X11
+	ADDPS  X11, X3
+
+	MOVSS  8(SI), X10    // broadcast a2
+	SHUFPS $0x00, X10, X10
+	MOVAPS X10, X11
+	MULPS  X8, X10
+	ADDPS  X10, X4
+	MULPS  X9, X11
+	ADDPS  X11, X5
+
+	MOVSS  12(SI), X10   // broadcast a3
+	SHUFPS $0x00, X10, X10
+	MOVAPS X10, X11
+	MULPS  X8, X10
+	ADDPS  X10, X6
+	MULPS  X9, X11
+	ADDPS  X11, X7
+
+	ADDQ $16, SI
+	ADDQ $32, DI
+	DECQ CX
+	JNZ  loop
+
+store:
+	MOVUPS X0, (DX)
+	MOVUPS X1, 16(DX)
+	MOVUPS X2, 32(DX)
+	MOVUPS X3, 48(DX)
+	MOVUPS X4, 64(DX)
+	MOVUPS X5, 80(DX)
+	MOVUPS X6, 96(DX)
+	MOVUPS X7, 112(DX)
+	RET

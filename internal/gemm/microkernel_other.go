@@ -1,0 +1,12 @@
+//go:build !amd64
+
+package gemm
+
+// microTile uses the portable micro-kernel on non-amd64 targets.
+func microTile(k int, ap, bp []float32, t *[mr * nr]float32) {
+	if k <= 0 {
+		*t = [mr * nr]float32{}
+		return
+	}
+	microTileGo(k, ap, bp, t)
+}

@@ -1,0 +1,148 @@
+package gemm
+
+import "repro/internal/pool"
+
+// Packed / Parallel — the tuned-BLAS stand-in. The classic three-level
+// GEMM structure (Goto & van de Geijn): B is packed once into nr-wide
+// column panels, each mr-row strip of A is packed into a contiguous
+// column-major panel, and an mr x nr register-tiled micro-kernel walks
+// the two packed panels with unit stride, keeping the full output tile
+// in registers across the whole k reduction (no loads or stores of C
+// inside the loop). Packing plus register tiling is where the speedup
+// over Blocked comes from; Parallel only changes who computes which
+// strip.
+//
+// Correctness contract: every output element C[i,j] is accumulated in
+// strictly ascending p order into a single register, then added to
+// C[i,j] once. Each mr-row strip is computed by the same strip function
+// with the same packed inputs regardless of the worker count, and strip
+// ownership is exclusive, so Parallel's output is bit-identical to
+// Packed's at any worker count. (Like Blocked vs Naive, Packed differs
+// from Naive only by float32 rounding of the deferred C addition.)
+
+const (
+	// mr x nr is the register micro-tile: mr rows of A by nr columns
+	// of B. 4x8 fills the eight 4-wide XMM accumulators of the SSE
+	// micro-kernel exactly (microkernel_amd64.s) and is the fastest of
+	// the shapes measured (see EXPERIMENTS.md).
+	mr = 4
+	nr = 8
+)
+
+// packB packs row-major B (k x n) into ceil(n/nr) panels of nr columns.
+// Panel j0/nr holds k rows of nr consecutive values
+// b[p][j0..j0+nr), zero-padded past column n, so the micro-kernel reads
+// it with unit stride. dst must have k*roundUp(n, nr) elements.
+func packB(k, n int, b, dst []float32) {
+	np := (n + nr - 1) / nr
+	for pj := 0; pj < np; pj++ {
+		j0 := pj * nr
+		panel := dst[pj*k*nr : (pj+1)*k*nr]
+		if j0+nr <= n {
+			for p := 0; p < k; p++ {
+				copy(panel[p*nr:p*nr+nr], b[p*n+j0:p*n+j0+nr])
+			}
+			continue
+		}
+		w := n - j0 // ragged right edge
+		for p := 0; p < k; p++ {
+			copy(panel[p*nr:p*nr+w], b[p*n+j0:p*n+j0+w])
+			for jj := w; jj < nr; jj++ {
+				panel[p*nr+jj] = 0
+			}
+		}
+	}
+}
+
+// packStripA packs rows [i0, i0+mr) of row-major A (m x k) into a
+// column-major strip: dst[p*mr+ii] = A[i0+ii][p], zero-padded past row
+// m. dst must have k*mr elements.
+func packStripA(m, k, i0 int, a, dst []float32) {
+	rows := min(mr, m-i0)
+	for ii := 0; ii < rows; ii++ {
+		arow := a[(i0+ii)*k : (i0+ii)*k+k]
+		for p, v := range arow {
+			dst[p*mr+ii] = v
+		}
+	}
+	for ii := rows; ii < mr; ii++ {
+		for p := 0; p < k; p++ {
+			dst[p*mr+ii] = 0
+		}
+	}
+}
+
+// strip computes C rows [i0, min(i0+mr, m)) from the packed B panels,
+// packing its own A strip into apk (k*mr elements). This is the one
+// unit of work Parallel partitions; every worker count runs exactly
+// this code on exactly these inputs, which is what makes the output
+// worker-count-invariant.
+func strip(m, n, k, i0 int, a, bpk, c, apk []float32) {
+	packStripA(m, k, i0, a, apk)
+	rows := min(mr, m-i0)
+	np := (n + nr - 1) / nr
+	var t [mr * nr]float32
+	for pj := 0; pj < np; pj++ {
+		microTile(k, apk, bpk[pj*k*nr:(pj+1)*k*nr], &t)
+		j0 := pj * nr
+		cols := min(nr, n-j0)
+		for ii := 0; ii < rows; ii++ {
+			crow := c[(i0+ii)*n+j0 : (i0+ii)*n+j0+cols]
+			trow := t[ii*nr : ii*nr+cols]
+			for jj := range crow {
+				crow[jj] += trow[jj]
+			}
+		}
+	}
+}
+
+// Packed computes C = A*B + C for row-major A (m x k), B (k x n),
+// C (m x n) with the packed, register-tiled algorithm. It is the
+// sequential path of Parallel: Parallel(..., w) is bit-identical to
+// Packed for every w.
+func Packed(m, n, k int, a, b, c []float32) {
+	Parallel(m, n, k, a, b, c, 1)
+}
+
+// Parallel computes C = A*B + C, partitioning the mr-row strips of C
+// across at most workers goroutines from a bounded pool. B is packed
+// once and shared read-only; each worker owns an exclusive set of
+// strips and its own A-strip buffer, so there is no write sharing and
+// the result is bit-identical to the sequential Packed at any worker
+// count. workers <= 1 (or a degenerate shape) runs inline with no
+// goroutines.
+func Parallel(m, n, k int, a, b, c []float32, workers int) {
+	checkDims("A", a, m*k)
+	checkDims("B", b, k*n)
+	checkDims("C", c, m*n)
+	if m == 0 || n == 0 {
+		return
+	}
+	if k == 0 {
+		return // C += A*B adds nothing when the reduction is empty
+	}
+	bpk := make([]float32, k*((n+nr-1)/nr)*nr)
+	packB(k, n, b, bpk)
+	strips := (m + mr - 1) / mr
+	if workers > strips {
+		workers = strips
+	}
+	if workers <= 1 {
+		apk := make([]float32, k*mr)
+		for s := 0; s < strips; s++ {
+			strip(m, n, k, s*mr, a, bpk, c, apk)
+		}
+		return
+	}
+	// One pool job per worker, each claiming a contiguous chunk of
+	// strips: chunk boundaries depend only on (strips, workers), never
+	// on scheduling, and each job reuses one A-strip buffer.
+	pool.Run(workers, workers, func(w int) {
+		lo := w * strips / workers
+		hi := (w + 1) * strips / workers
+		apk := make([]float32, k*mr)
+		for s := lo; s < hi; s++ {
+			strip(m, n, k, s*mr, a, bpk, c, apk)
+		}
+	})
+}

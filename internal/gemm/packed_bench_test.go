@@ -1,0 +1,36 @@
+package gemm
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// benchGemm measures one GEMM backend at the given cube size.
+func benchGemm(b *testing.B, size int, f func(m, n, k int, a, bb, c []float32)) {
+	rng := rand.New(rand.NewSource(1))
+	a := randomSlice(rng, size*size)
+	bb := randomSlice(rng, size*size)
+	c := make([]float32, size*size)
+	b.SetBytes(int64(2 * size * size * size * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f(size, size, size, a, bb, c)
+	}
+}
+
+// BenchmarkGEMMBackends compares the GEMM backends at the 512-cube the
+// ISSUE targets and at a conv-lowering-like 128 cube. Sub-benchmark
+// names use "/" (not "-<size>") so the bench.sh JSON reducer, which
+// strips the trailing -GOMAXPROCS suffix, never confuses a size for a
+// CPU count.
+func BenchmarkGEMMBackends(b *testing.B) {
+	for _, size := range []int{128, 512} {
+		b.Run(fmt.Sprintf("naive/%d", size), func(b *testing.B) { benchGemm(b, size, Naive) })
+		b.Run(fmt.Sprintf("blocked/%d", size), func(b *testing.B) { benchGemm(b, size, Blocked) })
+		b.Run(fmt.Sprintf("packed/%d", size), func(b *testing.B) { benchGemm(b, size, Packed) })
+		b.Run(fmt.Sprintf("parallel8/%d", size), func(b *testing.B) {
+			benchGemm(b, size, func(m, n, k int, a, bb, c []float32) { Parallel(m, n, k, a, bb, c, 8) })
+		})
+	}
+}

@@ -1,0 +1,234 @@
+package gemm
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// bitEqual reports whether two slices carry identical IEEE-754 bit
+// patterns (so +0 != -0 and NaN payloads must match exactly).
+func bitEqual(a, b []float32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float32bits(a[i]) != math.Float32bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// edgeShapes are dimensions chosen to stress the tile/panel boundaries:
+// below one tile, exactly one tile, odd sizes straddling mr=4 / nr=8,
+// and empty reductions.
+var edgeShapes = [][3]int{
+	{1, 1, 1},
+	{1, 1, 0}, // k=0: C must be left untouched
+	{4, 8, 16},
+	{3, 7, 5},
+	{5, 9, 3},
+	{4, 8, 1},
+	{17, 23, 31},
+	{64, 64, 64},
+	{65, 130, 70},
+	{200, 17, 129},
+	{1, 100, 100},
+	{100, 1, 100},
+	{100, 100, 1},
+}
+
+func TestPackedMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, dims := range edgeShapes {
+		m, n, k := dims[0], dims[1], dims[2]
+		a := randomSlice(rng, m*k)
+		b := randomSlice(rng, k*n)
+		c1 := randomSlice(rng, m*n) // non-zero C: both paths must accumulate
+		c2 := append([]float32(nil), c1...)
+		Naive(m, n, k, a, b, c1)
+		Packed(m, n, k, a, b, c2)
+		if d := maxDiff(c1, c2); d > 1e-4 {
+			t.Errorf("%dx%dx%d: packed differs from naive by %g", m, n, k, d)
+		}
+	}
+}
+
+// TestParallelBitIdenticalAcrossWorkers pins the tentpole contract:
+// every worker count produces byte-for-byte the same output as the
+// sequential packed path.
+func TestParallelBitIdenticalAcrossWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, dims := range edgeShapes {
+		m, n, k := dims[0], dims[1], dims[2]
+		a := randomSlice(rng, m*k)
+		b := randomSlice(rng, k*n)
+		c0 := randomSlice(rng, m*n)
+		want := append([]float32(nil), c0...)
+		Packed(m, n, k, a, b, want)
+		for _, w := range []int{1, 2, 3, 4, 7, 8, 16, 100} {
+			got := append([]float32(nil), c0...)
+			Parallel(m, n, k, a, b, got, w)
+			if !bitEqual(want, got) {
+				t.Errorf("%dx%dx%d workers=%d: output not bit-identical to sequential", m, n, k, w)
+			}
+		}
+	}
+}
+
+func TestParallelKZeroLeavesCUntouched(t *testing.T) {
+	c := []float32{1, 2, 3, 4}
+	want := append([]float32(nil), c...)
+	Parallel(2, 2, 0, nil, nil, c, 4)
+	if !bitEqual(c, want) {
+		t.Errorf("k=0 modified C: got %v, want %v", c, want)
+	}
+}
+
+// TestMicroKernelMatchesGo pins the asm micro-kernel (on amd64) against
+// the portable Go reference, bit for bit, including k=0 and values that
+// expose accumulation-order differences.
+func TestMicroKernelMatchesGo(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, k := range []int{0, 1, 2, 3, 7, 64, 513} {
+		ap := randomSlice(rng, max(1, k*mr))
+		bp := randomSlice(rng, max(1, k*nr))
+		var got, want [mr * nr]float32
+		microTile(k, ap, bp, &got)
+		microTileGo(k, ap, bp, &want)
+		if !bitEqual(got[:], want[:]) {
+			t.Errorf("k=%d: microTile not bit-identical to microTileGo:\n got %v\nwant %v", k, got, want)
+		}
+	}
+}
+
+// TestParallelMatchesNaiveProperty is the quick-check analogue of
+// TestBlockedMatchesNaiveProperty for the packed kernels, also
+// asserting worker-count bit-invariance on every drawn shape.
+func TestParallelMatchesNaiveProperty(t *testing.T) {
+	f := func(mm, nn, kk uint8, workers uint8, seed int64) bool {
+		m, n, k := int(mm%33)+1, int(nn%33)+1, int(kk%33) // k may be 0
+		w := int(workers%9) + 1
+		rng := rand.New(rand.NewSource(seed))
+		a := randomSlice(rng, m*k)
+		b := randomSlice(rng, k*n)
+		c0 := randomSlice(rng, m*n)
+		cn := append([]float32(nil), c0...)
+		cs := append([]float32(nil), c0...)
+		cw := append([]float32(nil), c0...)
+		Naive(m, n, k, a, b, cn)
+		Packed(m, n, k, a, b, cs)
+		Parallel(m, n, k, a, b, cw, w)
+		return maxDiff(cn, cs) <= 1e-4 && bitEqual(cs, cw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// FuzzGEMMParallelMatchesNaive fuzzes shapes and worker counts,
+// asserting Packed stays within float32 tolerance of Naive and that
+// every worker count is bit-identical to the sequential path.
+func FuzzGEMMParallelMatchesNaive(f *testing.F) {
+	f.Add(uint8(4), uint8(8), uint8(16), uint8(3), int64(1))
+	f.Add(uint8(1), uint8(1), uint8(0), uint8(8), int64(2))
+	f.Add(uint8(33), uint8(9), uint8(5), uint8(1), int64(3))
+	f.Fuzz(func(t *testing.T, mm, nn, kk, workers uint8, seed int64) {
+		m, n, k := int(mm%40)+1, int(nn%40)+1, int(kk%40)
+		w := int(workers%16) + 1
+		rng := rand.New(rand.NewSource(seed))
+		a := randomSlice(rng, m*k)
+		b := randomSlice(rng, k*n)
+		c0 := randomSlice(rng, m*n)
+		cn := append([]float32(nil), c0...)
+		cs := append([]float32(nil), c0...)
+		Naive(m, n, k, a, b, cn)
+		Packed(m, n, k, a, b, cs)
+		if d := maxDiff(cn, cs); d > 1e-4 {
+			t.Fatalf("%dx%dx%d: packed differs from naive by %g", m, n, k, d)
+		}
+		cw := append([]float32(nil), c0...)
+		Parallel(m, n, k, a, b, cw, w)
+		if !bitEqual(cs, cw) {
+			t.Fatalf("%dx%dx%d workers=%d: not bit-identical to sequential", m, n, k, w)
+		}
+	})
+}
+
+func TestPackedDimCheckPanics(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		call func()
+	}{
+		{"short A", func() { Packed(2, 2, 2, make([]float32, 3), make([]float32, 4), make([]float32, 4)) }},
+		{"short B", func() { Packed(2, 2, 2, make([]float32, 4), make([]float32, 3), make([]float32, 4)) }},
+		{"short C", func() { Parallel(2, 2, 2, make([]float32, 4), make([]float32, 4), make([]float32, 3), 2) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic on short slice")
+				}
+			}()
+			tc.call()
+		})
+	}
+}
+
+// TestPackBLayout pins the panel layout the micro-kernel assumes.
+func TestPackBLayout(t *testing.T) {
+	k, n := 2, 10 // nr=8 panel plus a ragged 2-wide edge
+	b := make([]float32, k*n)
+	for i := range b {
+		b[i] = float32(i + 1)
+	}
+	dst := make([]float32, k*2*nr)
+	packB(k, n, b, dst)
+	for p := 0; p < k; p++ {
+		for j := 0; j < n; j++ {
+			pj, jj := j/nr, j%nr
+			got := dst[pj*k*nr+p*nr+jj]
+			if got != b[p*n+j] {
+				t.Errorf("panel[%d] p=%d jj=%d = %v, want %v", pj, p, jj, got, b[p*n+j])
+			}
+		}
+		for jj := n % nr; jj < nr; jj++ {
+			if got := dst[(n/nr)*k*nr+p*nr+jj]; got != 0 {
+				t.Errorf("ragged pad p=%d jj=%d = %v, want 0", p, jj, got)
+			}
+		}
+	}
+}
+
+func TestPackStripALayout(t *testing.T) {
+	m, k := 6, 3 // second strip is ragged: rows 4,5 then zero pad
+	a := make([]float32, m*k)
+	for i := range a {
+		a[i] = float32(i + 1)
+	}
+	dst := make([]float32, k*mr)
+	packStripA(m, k, 4, a, dst)
+	for p := 0; p < k; p++ {
+		for ii := 0; ii < mr; ii++ {
+			want := float32(0)
+			if 4+ii < m {
+				want = a[(4+ii)*k+p]
+			}
+			if got := dst[p*mr+ii]; got != want {
+				t.Errorf("dst[p=%d ii=%d] = %v, want %v", p, ii, got, want)
+			}
+		}
+	}
+}
+
+func ExampleParallel() {
+	a := []float32{1, 2, 3, 4}
+	b := []float32{5, 6, 7, 8}
+	c := make([]float32, 4)
+	Parallel(2, 2, 2, a, b, c, 4)
+	fmt.Println(c)
+	// Output: [19 22 43 50]
+}

@@ -37,6 +37,14 @@ func checkConvArgs(in tensor.Shape, w, bias []float32, p nn.ConvParams) {
 // OIHW weights, the dependency-free "Vanilla" implementation and the
 // numerical reference for every other conv kernel.
 func ConvDirect(in *tensor.Tensor, w, bias []float32, p nn.ConvParams) *tensor.Tensor {
+	return ConvDirectPar(in, w, bias, p, 1)
+}
+
+// ConvDirectPar is ConvDirect with the (sample, output-channel) planes
+// partitioned across at most workers goroutines. Each plane is computed
+// by exactly one iteration with the sequential code, so the output is
+// bit-identical to ConvDirect at any worker count.
+func ConvDirectPar(in *tensor.Tensor, w, bias []float32, p nn.ConvParams, workers int) *tensor.Tensor {
 	if in.Layout() != tensor.NCHW {
 		panic("kernels: ConvDirect requires NCHW input")
 	}
@@ -45,54 +53,13 @@ func ConvDirect(in *tensor.Tensor, w, bias []float32, p nn.ConvParams) *tensor.T
 	out := tensor.New(convOutShape(s, p.OutChannels, p), tensor.NCHW)
 	os := out.Shape()
 	kArea := p.KernelH * p.KernelW
-	for n := 0; n < s.N; n++ {
-		for oc := 0; oc < os.C; oc++ {
-			wBase := oc * s.C * kArea
-			for oh := 0; oh < os.H; oh++ {
-				for ow := 0; ow < os.W; ow++ {
-					sum := bias[oc]
-					for c := 0; c < s.C; c++ {
-						for r := 0; r < p.KernelH; r++ {
-							ih := oh*p.StrideH + r - p.PadH
-							if ih < 0 || ih >= s.H {
-								continue
-							}
-							for q := 0; q < p.KernelW; q++ {
-								iw := ow*p.StrideW + q - p.PadW
-								if iw < 0 || iw >= s.W {
-									continue
-								}
-								sum += w[wBase+c*kArea+r*p.KernelW+q] * in.At(n, c, ih, iw)
-							}
-						}
-					}
-					out.Set(n, oc, oh, ow, sum)
-				}
-			}
-		}
-	}
-	return out
-}
-
-// ConvDirectNHWC is ConvDirect for NHWC input, producing NHWC output.
-// It exists so the primitive registry has a genuinely NHWC-native
-// convolution (the NNPACK-style family), making layout conversions a
-// real cost rather than bookkeeping.
-func ConvDirectNHWC(in *tensor.Tensor, w, bias []float32, p nn.ConvParams) *tensor.Tensor {
-	if in.Layout() != tensor.NHWC {
-		panic("kernels: ConvDirectNHWC requires NHWC input")
-	}
-	s := in.Shape()
-	checkConvArgs(s, w, bias, p)
-	out := tensor.New(convOutShape(s, p.OutChannels, p), tensor.NHWC)
-	os := out.Shape()
-	kArea := p.KernelH * p.KernelW
-	for n := 0; n < s.N; n++ {
+	parFor(s.N*os.C, workers, func(j int) {
+		n, oc := j/os.C, j%os.C
+		wBase := oc * s.C * kArea
 		for oh := 0; oh < os.H; oh++ {
 			for ow := 0; ow < os.W; ow++ {
-				for oc := 0; oc < os.C; oc++ {
-					sum := bias[oc]
-					wBase := oc * s.C * kArea
+				sum := bias[oc]
+				for c := 0; c < s.C; c++ {
 					for r := 0; r < p.KernelH; r++ {
 						ih := oh*p.StrideH + r - p.PadH
 						if ih < 0 || ih >= s.H {
@@ -103,22 +70,76 @@ func ConvDirectNHWC(in *tensor.Tensor, w, bias []float32, p nn.ConvParams) *tens
 							if iw < 0 || iw >= s.W {
 								continue
 							}
-							for c := 0; c < s.C; c++ {
-								sum += w[wBase+c*kArea+r*p.KernelW+q] * in.At(n, c, ih, iw)
-							}
+							sum += w[wBase+c*kArea+r*p.KernelW+q] * in.At(n, c, ih, iw)
 						}
 					}
-					out.Set(n, oc, oh, ow, sum)
 				}
+				out.Set(n, oc, oh, ow, sum)
 			}
 		}
+	})
+	return out
+}
+
+// ConvDirectNHWC is ConvDirect for NHWC input, producing NHWC output.
+// It exists so the primitive registry has a genuinely NHWC-native
+// convolution (the NNPACK-style family), making layout conversions a
+// real cost rather than bookkeeping.
+func ConvDirectNHWC(in *tensor.Tensor, w, bias []float32, p nn.ConvParams) *tensor.Tensor {
+	return ConvDirectNHWCPar(in, w, bias, p, 1)
+}
+
+// ConvDirectNHWCPar is ConvDirectNHWC with the (sample, output-row)
+// slabs partitioned across workers goroutines; output rows are
+// contiguous exclusive slabs in NHWC, so results are bit-identical at
+// any worker count.
+func ConvDirectNHWCPar(in *tensor.Tensor, w, bias []float32, p nn.ConvParams, workers int) *tensor.Tensor {
+	if in.Layout() != tensor.NHWC {
+		panic("kernels: ConvDirectNHWC requires NHWC input")
 	}
+	s := in.Shape()
+	checkConvArgs(s, w, bias, p)
+	out := tensor.New(convOutShape(s, p.OutChannels, p), tensor.NHWC)
+	os := out.Shape()
+	kArea := p.KernelH * p.KernelW
+	parFor(s.N*os.H, workers, func(j int) {
+		n, oh := j/os.H, j%os.H
+		for ow := 0; ow < os.W; ow++ {
+			for oc := 0; oc < os.C; oc++ {
+				sum := bias[oc]
+				wBase := oc * s.C * kArea
+				for r := 0; r < p.KernelH; r++ {
+					ih := oh*p.StrideH + r - p.PadH
+					if ih < 0 || ih >= s.H {
+						continue
+					}
+					for q := 0; q < p.KernelW; q++ {
+						iw := ow*p.StrideW + q - p.PadW
+						if iw < 0 || iw >= s.W {
+							continue
+						}
+						for c := 0; c < s.C; c++ {
+							sum += w[wBase+c*kArea+r*p.KernelW+q] * in.At(n, c, ih, iw)
+						}
+					}
+				}
+				out.Set(n, oc, oh, ow, sum)
+			}
+		}
+	})
 	return out
 }
 
 // DepthwiseDirect computes a depth-wise convolution (one KxK filter per
 // channel) over an NCHW input. Weights are C*KH*KW, bias is C.
 func DepthwiseDirect(in *tensor.Tensor, w, bias []float32, p nn.ConvParams) *tensor.Tensor {
+	return DepthwiseDirectPar(in, w, bias, p, 1)
+}
+
+// DepthwiseDirectPar is DepthwiseDirect with the (sample, channel)
+// planes partitioned across workers goroutines; planes are exclusive,
+// so results are bit-identical at any worker count.
+func DepthwiseDirectPar(in *tensor.Tensor, w, bias []float32, p nn.ConvParams, workers int) *tensor.Tensor {
 	if in.Layout() != tensor.NCHW {
 		panic("kernels: DepthwiseDirect requires NCHW input")
 	}
@@ -132,36 +153,42 @@ func DepthwiseDirect(in *tensor.Tensor, w, bias []float32, p nn.ConvParams) *ten
 	}
 	out := tensor.New(convOutShape(s, s.C, p), tensor.NCHW)
 	os := out.Shape()
-	for n := 0; n < s.N; n++ {
-		for c := 0; c < s.C; c++ {
-			wBase := c * kArea
-			for oh := 0; oh < os.H; oh++ {
-				for ow := 0; ow < os.W; ow++ {
-					sum := bias[c]
-					for r := 0; r < p.KernelH; r++ {
-						ih := oh*p.StrideH + r - p.PadH
-						if ih < 0 || ih >= s.H {
+	parFor(s.N*s.C, workers, func(j int) {
+		n, c := j/s.C, j%s.C
+		wBase := c * kArea
+		for oh := 0; oh < os.H; oh++ {
+			for ow := 0; ow < os.W; ow++ {
+				sum := bias[c]
+				for r := 0; r < p.KernelH; r++ {
+					ih := oh*p.StrideH + r - p.PadH
+					if ih < 0 || ih >= s.H {
+						continue
+					}
+					for q := 0; q < p.KernelW; q++ {
+						iw := ow*p.StrideW + q - p.PadW
+						if iw < 0 || iw >= s.W {
 							continue
 						}
-						for q := 0; q < p.KernelW; q++ {
-							iw := ow*p.StrideW + q - p.PadW
-							if iw < 0 || iw >= s.W {
-								continue
-							}
-							sum += w[wBase+r*p.KernelW+q] * in.At(n, c, ih, iw)
-						}
+						sum += w[wBase+r*p.KernelW+q] * in.At(n, c, ih, iw)
 					}
-					out.Set(n, c, oh, ow, sum)
 				}
+				out.Set(n, c, oh, ow, sum)
 			}
 		}
-	}
+	})
 	return out
 }
 
 // DepthwiseNHWC is DepthwiseDirect for NHWC input/output (the
 // ArmCL-style specialized depth-wise code path).
 func DepthwiseNHWC(in *tensor.Tensor, w, bias []float32, p nn.ConvParams) *tensor.Tensor {
+	return DepthwiseNHWCPar(in, w, bias, p, 1)
+}
+
+// DepthwiseNHWCPar is DepthwiseNHWC with the (sample, output-row)
+// slabs partitioned across workers goroutines; results are
+// bit-identical at any worker count.
+func DepthwiseNHWCPar(in *tensor.Tensor, w, bias []float32, p nn.ConvParams, workers int) *tensor.Tensor {
 	if in.Layout() != tensor.NHWC {
 		panic("kernels: DepthwiseNHWC requires NHWC input")
 	}
@@ -172,29 +199,28 @@ func DepthwiseNHWC(in *tensor.Tensor, w, bias []float32, p nn.ConvParams) *tenso
 	}
 	out := tensor.New(convOutShape(s, s.C, p), tensor.NHWC)
 	os := out.Shape()
-	for n := 0; n < s.N; n++ {
-		for oh := 0; oh < os.H; oh++ {
-			for ow := 0; ow < os.W; ow++ {
-				for c := 0; c < s.C; c++ {
-					sum := bias[c]
-					wBase := c * kArea
-					for r := 0; r < p.KernelH; r++ {
-						ih := oh*p.StrideH + r - p.PadH
-						if ih < 0 || ih >= s.H {
+	parFor(s.N*os.H, workers, func(j int) {
+		n, oh := j/os.H, j%os.H
+		for ow := 0; ow < os.W; ow++ {
+			for c := 0; c < s.C; c++ {
+				sum := bias[c]
+				wBase := c * kArea
+				for r := 0; r < p.KernelH; r++ {
+					ih := oh*p.StrideH + r - p.PadH
+					if ih < 0 || ih >= s.H {
+						continue
+					}
+					for q := 0; q < p.KernelW; q++ {
+						iw := ow*p.StrideW + q - p.PadW
+						if iw < 0 || iw >= s.W {
 							continue
 						}
-						for q := 0; q < p.KernelW; q++ {
-							iw := ow*p.StrideW + q - p.PadW
-							if iw < 0 || iw >= s.W {
-								continue
-							}
-							sum += w[wBase+r*p.KernelW+q] * in.At(n, c, ih, iw)
-						}
+						sum += w[wBase+r*p.KernelW+q] * in.At(n, c, ih, iw)
 					}
-					out.Set(n, c, oh, ow, sum)
 				}
+				out.Set(n, c, oh, ow, sum)
 			}
 		}
-	}
+	})
 	return out
 }

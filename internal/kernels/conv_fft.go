@@ -92,6 +92,16 @@ func nextPow2(v int) int {
 // stride > 1 (the frequency-domain product computes a full correlation
 // at stride 1; the registry never selects it otherwise).
 func ConvFFT(in *tensor.Tensor, w, bias []float32, p nn.ConvParams) *tensor.Tensor {
+	return ConvFFTPar(in, w, bias, p, 1)
+}
+
+// ConvFFTPar is ConvFFT with the per-channel input transforms and the
+// per-output-channel frequency-domain accumulations partitioned across
+// workers goroutines. Input spectra are computed into exclusive slots
+// and shared read-only; each worker owns a contiguous output-channel
+// chunk (boundaries depend only on the shape and worker count) with its
+// own scratch grids, so results are bit-identical at any worker count.
+func ConvFFTPar(in *tensor.Tensor, w, bias []float32, p nn.ConvParams, workers int) *tensor.Tensor {
 	if in.Layout() != tensor.NCHW {
 		panic("kernels: ConvFFT requires NCHW input")
 	}
@@ -112,7 +122,7 @@ func ConvFFT(in *tensor.Tensor, w, bias []float32, p nn.ConvParams) *tensor.Tens
 	for b := 0; b < s.N; b++ {
 		inRe := make([][]float64, s.C)
 		inIm := make([][]float64, s.C)
-		for c := 0; c < s.C; c++ {
+		parFor(s.C, workers, func(c int) {
 			re := make([]float64, grid)
 			im := make([]float64, grid)
 			for h := 0; h < s.H; h++ {
@@ -122,44 +132,46 @@ func ConvFFT(in *tensor.Tensor, w, bias []float32, p nn.ConvParams) *tensor.Tens
 			}
 			fft2D(re, im, n, false)
 			inRe[c], inIm[c] = re, im
-		}
+		})
 
-		kRe := make([]float64, grid)
-		kIm := make([]float64, grid)
-		accRe := make([]float64, grid)
-		accIm := make([]float64, grid)
-		for oc := 0; oc < p.OutChannels; oc++ {
-			for i := range accRe {
-				accRe[i], accIm[i] = 0, 0
-			}
-			for c := 0; c < s.C; c++ {
-				// Flipped kernel makes the circular convolution a
-				// correlation.
-				for i := range kRe {
-					kRe[i], kIm[i] = 0, 0
+		parChunks(p.OutChannels, workers, func(lo, hi int) {
+			kRe := make([]float64, grid)
+			kIm := make([]float64, grid)
+			accRe := make([]float64, grid)
+			accIm := make([]float64, grid)
+			for oc := lo; oc < hi; oc++ {
+				for i := range accRe {
+					accRe[i], accIm[i] = 0, 0
 				}
-				for r := 0; r < p.KernelH; r++ {
-					for q := 0; q < p.KernelW; q++ {
-						v := float64(w[((oc*s.C+c)*p.KernelH+r)*p.KernelW+q])
-						rr := (n - r) % n
-						qq := (n - q) % n
-						kRe[rr*n+qq] = v
+				for c := 0; c < s.C; c++ {
+					// Flipped kernel makes the circular convolution a
+					// correlation.
+					for i := range kRe {
+						kRe[i], kIm[i] = 0, 0
+					}
+					for r := 0; r < p.KernelH; r++ {
+						for q := 0; q < p.KernelW; q++ {
+							v := float64(w[((oc*s.C+c)*p.KernelH+r)*p.KernelW+q])
+							rr := (n - r) % n
+							qq := (n - q) % n
+							kRe[rr*n+qq] = v
+						}
+					}
+					fft2D(kRe, kIm, n, false)
+					ir, ii := inRe[c], inIm[c]
+					for i := 0; i < grid; i++ {
+						accRe[i] += ir[i]*kRe[i] - ii[i]*kIm[i]
+						accIm[i] += ir[i]*kIm[i] + ii[i]*kRe[i]
 					}
 				}
-				fft2D(kRe, kIm, n, false)
-				ir, ii := inRe[c], inIm[c]
-				for i := 0; i < grid; i++ {
-					accRe[i] += ir[i]*kRe[i] - ii[i]*kIm[i]
-					accIm[i] += ir[i]*kIm[i] + ii[i]*kRe[i]
+				fft2D(accRe, accIm, n, true)
+				for oh := 0; oh < os.H; oh++ {
+					for ow := 0; ow < os.W; ow++ {
+						out.Set(b, oc, oh, ow, float32(accRe[oh*n+ow])+bias[oc])
+					}
 				}
 			}
-			fft2D(accRe, accIm, n, true)
-			for oh := 0; oh < os.H; oh++ {
-				for ow := 0; ow < os.W; ow++ {
-					out.Set(b, oc, oh, ow, float32(accRe[oh*n+ow])+bias[oc])
-				}
-			}
-		}
+		})
 	}
 	return out
 }

@@ -31,6 +31,14 @@ func checkGroupedArgs(in tensor.Shape, w, bias []float32, p nn.ConvParams) error
 // ConvGroupedDirect computes a grouped convolution with the direct
 // algorithm over an NCHW input.
 func ConvGroupedDirect(in *tensor.Tensor, w, bias []float32, p nn.ConvParams) *tensor.Tensor {
+	return ConvGroupedDirectPar(in, w, bias, p, 1)
+}
+
+// ConvGroupedDirectPar is ConvGroupedDirect with the (sample,
+// output-channel) planes partitioned across workers goroutines (each
+// output channel reads only its own group's input block); results are
+// bit-identical at any worker count.
+func ConvGroupedDirectPar(in *tensor.Tensor, w, bias []float32, p nn.ConvParams, workers int) *tensor.Tensor {
 	if in.Layout() != tensor.NCHW {
 		panic("kernels: ConvGroupedDirect requires NCHW input")
 	}
@@ -40,42 +48,39 @@ func ConvGroupedDirect(in *tensor.Tensor, w, bias []float32, p nn.ConvParams) *t
 	}
 	g := p.GroupCount()
 	if g == 1 {
-		return ConvDirect(in, w, bias, p)
+		return ConvDirectPar(in, w, bias, p, workers)
 	}
 	inPerG, outPerG := s.C/g, p.OutChannels/g
 	kArea := p.KernelH * p.KernelW
 	out := tensor.New(convOutShape(s, p.OutChannels, p), tensor.NCHW)
 	os := out.Shape()
-	for n := 0; n < s.N; n++ {
-		for grp := 0; grp < g; grp++ {
-			for ocLocal := 0; ocLocal < outPerG; ocLocal++ {
-				oc := grp*outPerG + ocLocal
-				wBase := oc * inPerG * kArea
-				for oh := 0; oh < os.H; oh++ {
-					for ow := 0; ow < os.W; ow++ {
-						sum := bias[oc]
-						for cLocal := 0; cLocal < inPerG; cLocal++ {
-							c := grp*inPerG + cLocal
-							for r := 0; r < p.KernelH; r++ {
-								ih := oh*p.StrideH + r - p.PadH
-								if ih < 0 || ih >= s.H {
-									continue
-								}
-								for q := 0; q < p.KernelW; q++ {
-									iw := ow*p.StrideW + q - p.PadW
-									if iw < 0 || iw >= s.W {
-										continue
-									}
-									sum += w[wBase+cLocal*kArea+r*p.KernelW+q] * in.At(n, c, ih, iw)
-								}
-							}
+	parFor(s.N*p.OutChannels, workers, func(j int) {
+		n, oc := j/p.OutChannels, j%p.OutChannels
+		grp := oc / outPerG
+		wBase := oc * inPerG * kArea
+		for oh := 0; oh < os.H; oh++ {
+			for ow := 0; ow < os.W; ow++ {
+				sum := bias[oc]
+				for cLocal := 0; cLocal < inPerG; cLocal++ {
+					c := grp*inPerG + cLocal
+					for r := 0; r < p.KernelH; r++ {
+						ih := oh*p.StrideH + r - p.PadH
+						if ih < 0 || ih >= s.H {
+							continue
 						}
-						out.Set(n, oc, oh, ow, sum)
+						for q := 0; q < p.KernelW; q++ {
+							iw := ow*p.StrideW + q - p.PadW
+							if iw < 0 || iw >= s.W {
+								continue
+							}
+							sum += w[wBase+cLocal*kArea+r*p.KernelW+q] * in.At(n, c, ih, iw)
+						}
 					}
 				}
+				out.Set(n, oc, oh, ow, sum)
 			}
 		}
-	}
+	})
 	return out
 }
 
@@ -99,6 +104,14 @@ func sliceChannels(in *tensor.Tensor, from, to int) *tensor.Tensor {
 // ConvGroupedIm2col computes a grouped convolution as one im2col GEMM
 // per group (how BLAS libraries implement grouping).
 func ConvGroupedIm2col(in *tensor.Tensor, w, bias []float32, p nn.ConvParams, mul Gemm) *tensor.Tensor {
+	return ConvGroupedIm2colPar(in, w, bias, p, mul, 1)
+}
+
+// ConvGroupedIm2colPar is ConvGroupedIm2col with the groups partitioned
+// across workers goroutines. Each group slices its own input channels,
+// runs its own sequential im2col GEMM, and writes an exclusive output
+// channel block, so results are bit-identical at any worker count.
+func ConvGroupedIm2colPar(in *tensor.Tensor, w, bias []float32, p nn.ConvParams, mul Gemm, workers int) *tensor.Tensor {
 	if in.Layout() != tensor.NCHW {
 		panic("kernels: ConvGroupedIm2col requires NCHW input")
 	}
@@ -108,7 +121,7 @@ func ConvGroupedIm2col(in *tensor.Tensor, w, bias []float32, p nn.ConvParams, mu
 	}
 	g := p.GroupCount()
 	if g == 1 {
-		return ConvIm2col(in, w, bias, p, mul)
+		return ConvIm2colPar(in, w, bias, p, mul, workers)
 	}
 	inPerG, outPerG := s.C/g, p.OutChannels/g
 	out := tensor.New(convOutShape(s, p.OutChannels, p), tensor.NCHW)
@@ -118,7 +131,7 @@ func ConvGroupedIm2col(in *tensor.Tensor, w, bias []float32, p nn.ConvParams, mu
 	sub := p
 	sub.OutChannels = outPerG
 	sub.Groups = 1
-	for grp := 0; grp < g; grp++ {
+	parFor(g, workers, func(grp int) {
 		gin := sliceChannels(in, grp*inPerG, (grp+1)*inPerG)
 		gw := w[grp*outPerG*inPerG*kArea : (grp+1)*outPerG*inPerG*kArea]
 		gb := bias[grp*outPerG : (grp+1)*outPerG]
@@ -128,7 +141,7 @@ func ConvGroupedIm2col(in *tensor.Tensor, w, bias []float32, p nn.ConvParams, mu
 			dst := out.Data()[n*os.C*spatial+grp*outPerG*spatial:]
 			copy(dst[:outPerG*spatial], src[:outPerG*spatial])
 		}
-	}
+	})
 	return out
 }
 

@@ -11,30 +11,39 @@ import (
 // (channel, kernel-offset) pair. Out-of-bounds (padding) entries are
 // zero. This is the classic Caffe/BLAS lowering.
 func Im2col(in *tensor.Tensor, n int, p nn.ConvParams, oh, ow int) []float32 {
+	return Im2colPar(in, n, p, oh, ow, 1)
+}
+
+// Im2colPar is Im2col with the columns partitioned into blocks across
+// workers goroutines: column y*ow+x belongs to output row y, and each
+// worker fills every matrix row for its own block of output rows. Every
+// entry is a pure assignment into an exclusive column range, so the
+// matrix is bit-identical at any worker count.
+func Im2colPar(in *tensor.Tensor, n int, p nn.ConvParams, oh, ow, workers int) []float32 {
 	s := in.Shape()
 	rows := s.C * p.KernelH * p.KernelW
 	cols := oh * ow
 	m := make([]float32, rows*cols)
-	row := 0
-	for c := 0; c < s.C; c++ {
-		for r := 0; r < p.KernelH; r++ {
-			for q := 0; q < p.KernelW; q++ {
-				base := row * cols
-				col := 0
-				for y := 0; y < oh; y++ {
-					ih := y*p.StrideH + r - p.PadH
-					for x := 0; x < ow; x++ {
-						iw := x*p.StrideW + q - p.PadW
-						if ih >= 0 && ih < s.H && iw >= 0 && iw < s.W {
-							m[base+col] = in.At(n, c, ih, iw)
+	parFor(oh, workers, func(y int) {
+		row := 0
+		for c := 0; c < s.C; c++ {
+			for r := 0; r < p.KernelH; r++ {
+				ih := y*p.StrideH + r - p.PadH
+				for q := 0; q < p.KernelW; q++ {
+					if ih >= 0 && ih < s.H {
+						base := row*cols + y*ow
+						for x := 0; x < ow; x++ {
+							iw := x*p.StrideW + q - p.PadW
+							if iw >= 0 && iw < s.W {
+								m[base+x] = in.At(n, c, ih, iw)
+							}
 						}
-						col++
 					}
+					row++
 				}
-				row++
 			}
 		}
-	}
+	})
 	return m
 }
 
@@ -42,11 +51,18 @@ func Im2col(in *tensor.Tensor, n int, p nn.ConvParams, oh, ow int) []float32 {
 // matrix — the transpose orientation of Im2col, matching BLAS
 // libraries that prefer the patches as rows.
 func Im2row(in *tensor.Tensor, n int, p nn.ConvParams, oh, ow int) []float32 {
+	return Im2rowPar(in, n, p, oh, ow, 1)
+}
+
+// Im2rowPar is Im2row with the patch rows partitioned by output row
+// across workers goroutines; each patch is an exclusive slice, so the
+// matrix is bit-identical at any worker count.
+func Im2rowPar(in *tensor.Tensor, n int, p nn.ConvParams, oh, ow, workers int) []float32 {
 	s := in.Shape()
 	cols := s.C * p.KernelH * p.KernelW
 	m := make([]float32, oh*ow*cols)
-	patch := 0
-	for y := 0; y < oh; y++ {
+	parFor(oh, workers, func(y int) {
+		patch := y * ow
 		for x := 0; x < ow; x++ {
 			base := patch * cols
 			i := 0
@@ -64,18 +80,25 @@ func Im2row(in *tensor.Tensor, n int, p nn.ConvParams, oh, ow int) []float32 {
 			}
 			patch++
 		}
-	}
+	})
 	return m
 }
 
-// Gemm is the matrix-multiply signature the lowering kernels accept,
-// so the same code path serves both the naive (ATLAS-like) and blocked
-// (OpenBLAS-like) backends.
+// Gemm is the matrix-multiply signature the lowering kernels accept, so
+// the same code path serves the naive (ATLAS-like), blocked, and
+// packed/parallel (tuned-BLAS-like) backends.
 type Gemm func(m, n, k int, a, b, c []float32)
 
 // ConvIm2col computes a dense convolution as W (OC x CKK) times the
 // im2col matrix (CKK x OHOW), using the supplied GEMM.
 func ConvIm2col(in *tensor.Tensor, w, bias []float32, p nn.ConvParams, mul Gemm) *tensor.Tensor {
+	return ConvIm2colPar(in, w, bias, p, mul, 1)
+}
+
+// ConvIm2colPar is ConvIm2col with the im2col lowering parallelized
+// across column blocks (Im2colPar); the GEMM parallelism is whatever
+// mul provides. Results are bit-identical at any worker count.
+func ConvIm2colPar(in *tensor.Tensor, w, bias []float32, p nn.ConvParams, mul Gemm, workers int) *tensor.Tensor {
 	if in.Layout() != tensor.NCHW {
 		panic("kernels: ConvIm2col requires NCHW input")
 	}
@@ -86,7 +109,7 @@ func ConvIm2col(in *tensor.Tensor, w, bias []float32, p nn.ConvParams, mul Gemm)
 	ckk := s.C * p.KernelH * p.KernelW
 	spatial := os.H * os.W
 	for n := 0; n < s.N; n++ {
-		cols := Im2col(in, n, p, os.H, os.W)
+		cols := Im2colPar(in, n, p, os.H, os.W, workers)
 		res := make([]float32, p.OutChannels*spatial)
 		for oc := 0; oc < p.OutChannels; oc++ {
 			b := bias[oc]
@@ -105,6 +128,13 @@ func ConvIm2col(in *tensor.Tensor, w, bias []float32, p nn.ConvParams, mul Gemm)
 // (OHOW x CKK) times W-transposed (CKK x OC), then transposes the
 // result back into NCHW.
 func ConvIm2row(in *tensor.Tensor, w, bias []float32, p nn.ConvParams, mul Gemm) *tensor.Tensor {
+	return ConvIm2rowPar(in, w, bias, p, mul, 1)
+}
+
+// ConvIm2rowPar is ConvIm2row with the im2row lowering parallelized
+// across patch-row blocks (Im2rowPar); results are bit-identical at any
+// worker count.
+func ConvIm2rowPar(in *tensor.Tensor, w, bias []float32, p nn.ConvParams, mul Gemm, workers int) *tensor.Tensor {
 	if in.Layout() != tensor.NCHW {
 		panic("kernels: ConvIm2row requires NCHW input")
 	}
@@ -117,7 +147,7 @@ func ConvIm2row(in *tensor.Tensor, w, bias []float32, p nn.ConvParams, mul Gemm)
 	wt := make([]float32, len(w))
 	gemm.Transpose(p.OutChannels, ckk, w, wt)
 	for n := 0; n < s.N; n++ {
-		rows := Im2row(in, n, p, os.H, os.W)
+		rows := Im2rowPar(in, n, p, os.H, os.W, workers)
 		res := make([]float32, spatial*p.OutChannels) // (OHOW x OC)
 		for i := 0; i < spatial; i++ {
 			copy(res[i*p.OutChannels:(i+1)*p.OutChannels], bias)
@@ -141,6 +171,14 @@ func ConvIm2row(in *tensor.Tensor, w, bias []float32, p nn.ConvParams, mul Gemm)
 // scratch buffer, which generalizes the textbook stride-1 kn2row to
 // arbitrary stride and padding.
 func ConvKn2row(in *tensor.Tensor, w, bias []float32, p nn.ConvParams, mul Gemm) *tensor.Tensor {
+	return ConvKn2rowPar(in, w, bias, p, mul, 1)
+}
+
+// ConvKn2rowPar is ConvKn2row with the shifted-view gather parallelized
+// across input channels (each channel writes an exclusive plane of the
+// scratch buffer); the GEMM parallelism is whatever mul provides.
+// Results are bit-identical at any worker count.
+func ConvKn2rowPar(in *tensor.Tensor, w, bias []float32, p nn.ConvParams, mul Gemm, workers int) *tensor.Tensor {
 	if in.Layout() != tensor.NCHW {
 		panic("kernels: ConvKn2row requires NCHW input")
 	}
@@ -177,7 +215,7 @@ func ConvKn2row(in *tensor.Tensor, w, bias []float32, p nn.ConvParams, mul Gemm)
 		for r := 0; r < p.KernelH; r++ {
 			for q := 0; q < p.KernelW; q++ {
 				// Gather the shifted input view for offset (r,q).
-				for c := 0; c < s.C; c++ {
+				parFor(s.C, workers, func(c int) {
 					base := c * spatial
 					i := 0
 					for y := 0; y < os.H; y++ {
@@ -192,7 +230,7 @@ func ConvKn2row(in *tensor.Tensor, w, bias []float32, p nn.ConvParams, mul Gemm)
 							i++
 						}
 					}
-				}
+				})
 				off := r*p.KernelW + q
 				mul(p.OutChannels, spatial, s.C, sub[off*p.OutChannels*s.C:(off+1)*p.OutChannels*s.C], shift, res)
 			}

@@ -12,6 +12,15 @@ import (
 // VGG-style networks. Panics if the geometry is not 3x3 stride 1 —
 // the primitive registry never selects it otherwise.
 func ConvWinograd(in *tensor.Tensor, w, bias []float32, p nn.ConvParams) *tensor.Tensor {
+	return ConvWinogradPar(in, w, bias, p, 1)
+}
+
+// ConvWinogradPar is ConvWinograd with the (sample, output-channel)
+// tile batches partitioned across workers goroutines. The filter
+// transform is computed once and shared read-only; each (n, oc) plane
+// of tiles is owned by one iteration with its own scratch, so results
+// are bit-identical at any worker count.
+func ConvWinogradPar(in *tensor.Tensor, w, bias []float32, p nn.ConvParams, workers int) *tensor.Tensor {
 	if in.Layout() != tensor.NCHW {
 		panic("kernels: ConvWinograd requires NCHW input")
 	}
@@ -52,9 +61,10 @@ func ConvWinograd(in *tensor.Tensor, w, bias []float32, p nn.ConvParams) *tensor
 
 	tilesH := (os.H + 1) / 2
 	tilesW := (os.W + 1) / 2
-	var d, v, m [16]float32
-	for n := 0; n < s.N; n++ {
-		for oc := 0; oc < p.OutChannels; oc++ {
+	parFor(s.N*p.OutChannels, workers, func(j int) {
+		n, oc := j/p.OutChannels, j%p.OutChannels
+		var d, v, m [16]float32
+		{
 			for ty := 0; ty < tilesH; ty++ {
 				for tx := 0; tx < tilesW; tx++ {
 					for i := range m {
@@ -123,6 +133,6 @@ func ConvWinograd(in *tensor.Tensor, w, bias []float32, p nn.ConvParams) *tensor
 				}
 			}
 		}
-	}
+	})
 	return out
 }

@@ -1,0 +1,178 @@
+package kernels
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gemm"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// tensorsBitEqual reports whether two tensors carry identical IEEE-754
+// bits in the same layout.
+func tensorsBitEqual(a, b *tensor.Tensor) bool {
+	if a.Layout() != b.Layout() || a.Shape() != b.Shape() {
+		return false
+	}
+	da, db := a.Data(), b.Data()
+	for i := range da {
+		if math.Float32bits(da[i]) != math.Float32bits(db[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+var parWorkerCounts = []int{2, 3, 4, 8, 64}
+
+// TestParKernelsBitIdenticalAcrossWorkers pins the tentpole contract
+// for every parallel conv kernel: any worker count produces output
+// byte-for-byte identical to the sequential (workers=1) path, on every
+// geometry in the shared table.
+func TestParKernelsBitIdenticalAcrossWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	par := gemm.Packed
+	kernelsUnderTest := []struct {
+		name string
+		run  func(in *tensor.Tensor, w, b []float32, p nn.ConvParams, workers int) *tensor.Tensor
+	}{
+		{"direct", ConvDirectPar},
+		{"winograd3x3", func(in *tensor.Tensor, w, b []float32, p nn.ConvParams, workers int) *tensor.Tensor {
+			if p.KernelH != 3 || p.KernelW != 3 || p.StrideH != 1 || p.StrideW != 1 {
+				return nil
+			}
+			return ConvWinogradPar(in, w, b, p, workers)
+		}},
+		{"fft", func(in *tensor.Tensor, w, b []float32, p nn.ConvParams, workers int) *tensor.Tensor {
+			if p.StrideH != 1 || p.StrideW != 1 {
+				return nil
+			}
+			return ConvFFTPar(in, w, b, p, workers)
+		}},
+		{"im2col", func(in *tensor.Tensor, w, b []float32, p nn.ConvParams, workers int) *tensor.Tensor {
+			return ConvIm2colPar(in, w, b, p, par, workers)
+		}},
+		{"im2row", func(in *tensor.Tensor, w, b []float32, p nn.ConvParams, workers int) *tensor.Tensor {
+			return ConvIm2rowPar(in, w, b, p, par, workers)
+		}},
+		{"kn2row", func(in *tensor.Tensor, w, b []float32, p nn.ConvParams, workers int) *tensor.Tensor {
+			return ConvKn2rowPar(in, w, b, p, par, workers)
+		}},
+		{"nhwc", func(in *tensor.Tensor, w, b []float32, p nn.ConvParams, workers int) *tensor.Tensor {
+			return ConvDirectNHWCPar(in.ToLayout(tensor.NHWC), w, b, p, workers)
+		}},
+	}
+	for _, g := range convGeometries {
+		x, w, b := randConv(rng, g.in, g.p)
+		for _, k := range kernelsUnderTest {
+			seq := k.run(x, w, b, g.p, 1)
+			if seq == nil {
+				continue // kernel does not support this geometry
+			}
+			for _, workers := range parWorkerCounts {
+				got := k.run(x, w, b, g.p, workers)
+				if !tensorsBitEqual(seq, got) {
+					t.Errorf("%s/%s workers=%d: output not bit-identical to sequential", g.name, k.name, workers)
+				}
+			}
+		}
+	}
+}
+
+// TestParKernelsMatchSequentialExports checks the workers=1 wrappers
+// really are the same code path: exported sequential kernels and their
+// Par(…, 1) forms agree bit-for-bit.
+func TestParKernelsMatchSequentialExports(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	g := convGeometries[0]
+	x, w, b := randConv(rng, g.in, g.p)
+	if !tensorsBitEqual(ConvDirect(x, w, b, g.p), ConvDirectPar(x, w, b, g.p, 1)) {
+		t.Error("ConvDirect != ConvDirectPar(1)")
+	}
+	if !tensorsBitEqual(ConvWinograd(x, w, b, g.p), ConvWinogradPar(x, w, b, g.p, 1)) {
+		t.Error("ConvWinograd != ConvWinogradPar(1)")
+	}
+	if !tensorsBitEqual(ConvFFT(x, w, b, g.p), ConvFFTPar(x, w, b, g.p, 1)) {
+		t.Error("ConvFFT != ConvFFTPar(1)")
+	}
+}
+
+// TestDepthwiseParBitIdentical covers the depth-wise kernels, which
+// need channel-count == in.C weights rather than the dense layout.
+func TestDepthwiseParBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	in := tensor.Shape{N: 2, C: 5, H: 9, W: 7}
+	p := nn.ConvParams{OutChannels: 5, KernelH: 3, KernelW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	x := tensor.New(in, tensor.NCHW)
+	x.FillRandom(rng, 1)
+	w := make([]float32, in.C*p.KernelH*p.KernelW)
+	for i := range w {
+		w[i] = rng.Float32()*2 - 1
+	}
+	b := make([]float32, in.C)
+	for i := range b {
+		b[i] = rng.Float32()
+	}
+	seq := DepthwiseDirectPar(x, w, b, p, 1)
+	xh := x.ToLayout(tensor.NHWC)
+	seqH := DepthwiseNHWCPar(xh, w, b, p, 1)
+	for _, workers := range parWorkerCounts {
+		if !tensorsBitEqual(seq, DepthwiseDirectPar(x, w, b, p, workers)) {
+			t.Errorf("DepthwiseDirectPar workers=%d: not bit-identical", workers)
+		}
+		if !tensorsBitEqual(seqH, DepthwiseNHWCPar(xh, w, b, p, workers)) {
+			t.Errorf("DepthwiseNHWCPar workers=%d: not bit-identical", workers)
+		}
+	}
+}
+
+// TestGroupedParBitIdentical covers the grouped kernels (AlexNet-style
+// two-group layers).
+func TestGroupedParBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	in := tensor.Shape{N: 1, C: 6, H: 8, W: 8}
+	p := nn.ConvParams{OutChannels: 4, KernelH: 3, KernelW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1, Groups: 2}
+	x := tensor.New(in, tensor.NCHW)
+	x.FillRandom(rng, 1)
+	w := make([]float32, p.OutChannels*(in.C/2)*9)
+	for i := range w {
+		w[i] = rng.Float32()*2 - 1
+	}
+	b := make([]float32, p.OutChannels)
+	for i := range b {
+		b[i] = rng.Float32()
+	}
+	seqD := ConvGroupedDirectPar(x, w, b, p, 1)
+	seqI := ConvGroupedIm2colPar(x, w, b, p, gemm.Packed, 1)
+	for _, workers := range parWorkerCounts {
+		if !tensorsBitEqual(seqD, ConvGroupedDirectPar(x, w, b, p, workers)) {
+			t.Errorf("ConvGroupedDirectPar workers=%d: not bit-identical", workers)
+		}
+		if !tensorsBitEqual(seqI, ConvGroupedIm2colPar(x, w, b, p, gemm.Packed, workers)) {
+			t.Errorf("ConvGroupedIm2colPar workers=%d: not bit-identical", workers)
+		}
+	}
+}
+
+// TestConvPackedGemmMatchesDirect extends the kernels-match-direct
+// property to the packed GEMM backend feeding the lowering kernels.
+func TestConvPackedGemmMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	for _, g := range convGeometries {
+		x, w, b := randConv(rng, g.in, g.p)
+		ref := ConvDirect(x, w, b, g.p)
+		for _, workers := range []int{1, 4} {
+			got := ConvIm2colPar(x, w, b, g.p, func(m, n, k int, a, bb, c []float32) {
+				gemm.Parallel(m, n, k, a, bb, c, workers)
+			}, workers)
+			rd, gd := ref.Data(), got.Data()
+			for i := range rd {
+				if d := math.Abs(float64(rd[i] - gd[i])); d > convTol {
+					t.Fatalf("%s workers=%d: im2col+packed differs from direct by %g at %d", g.name, workers, d, i)
+				}
+			}
+		}
+	}
+}

@@ -2,6 +2,7 @@ package runner
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/lut"
 	"repro/internal/primitives"
@@ -36,15 +37,33 @@ type cacheEntry struct {
 // tableCache is a keyed single-flight cache: the first request for a
 // key builds the table, every concurrent or later request for the same
 // key waits for (or immediately gets) that one result.
+//
+// In sequential mode (newSequentialTableCache) there is exactly one
+// caller, so the single-flight machinery is pure overhead: get skips
+// the mutex and the ready-channel parking entirely and runs as a plain
+// map lookup + build. The semantics are identical — each key builds at
+// most once, failed builds are not cached — but a one-worker batch
+// pays no synchronization cost (the workers=1 regression guard,
+// TestSequentialCacheNeverParks, pins this).
 type tableCache struct {
+	seq     bool
 	mu      sync.Mutex
 	entries map[cacheKey]*cacheEntry
 	hits    int
 	misses  int
+	// parked counts get calls that actually blocked on another
+	// caller's in-flight build — always zero in sequential mode.
+	parked atomic.Int64
 }
 
 func newTableCache() *tableCache {
 	return &tableCache{entries: map[cacheKey]*cacheEntry{}}
+}
+
+// newSequentialTableCache returns a cache for a one-worker batch: same
+// contract, no locking, no parking.
+func newSequentialTableCache() *tableCache {
+	return &tableCache{seq: true, entries: map[cacheKey]*cacheEntry{}}
 }
 
 // get returns the table for key, building it with build on the first
@@ -54,11 +73,20 @@ func newTableCache() *tableCache {
 // build instead of replaying a cached failure forever — a transient
 // board outage must not poison the batch.
 func (c *tableCache) get(key cacheKey, build func() (*lut.Table, *profile.Report, error)) (*lut.Table, *searchplan.Plan, *profile.Report, error) {
+	if c.seq {
+		return c.getSeq(key, build)
+	}
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
 		c.hits++
 		c.mu.Unlock()
-		<-e.ready
+		select {
+		case <-e.ready:
+			// Build already final; no parking.
+		default:
+			c.parked.Add(1)
+			<-e.ready
+		}
 		return e.tab, e.plan, e.rep, e.err
 	}
 	e := &cacheEntry{ready: make(chan struct{})}
@@ -84,6 +112,36 @@ func (c *tableCache) get(key cacheKey, build func() (*lut.Table, *profile.Report
 	return e.tab, e.plan, e.rep, e.err
 }
 
+// getSeq is the sequential-mode get: exactly one goroutine uses the
+// cache, so a plain map is the whole implementation. Entries are
+// stored with their ready channel already closed so the shared stats
+// and any accidental concurrent read still behave.
+func (c *tableCache) getSeq(key cacheKey, build func() (*lut.Table, *profile.Report, error)) (*lut.Table, *searchplan.Plan, *profile.Report, error) {
+	if e, ok := c.entries[key]; ok {
+		c.hits++
+		return e.tab, e.plan, e.rep, e.err
+	}
+	c.misses++
+	e := &cacheEntry{ready: closedChan()}
+	e.tab, e.rep, e.err = build()
+	if e.err != nil {
+		// Mirror the concurrent path: failures are not cached, so the
+		// next request for this key retries the build.
+		return e.tab, nil, e.rep, e.err
+	}
+	if e.tab != nil {
+		e.plan = searchplan.Compile(e.tab)
+	}
+	c.entries[key] = e
+	return e.tab, e.plan, e.rep, e.err
+}
+
+func closedChan() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}
+
 // stats returns the lookup counters: hits is the number of requests
 // served from (or coalesced into) an existing entry, misses the number
 // of distinct builds executed.
@@ -92,3 +150,8 @@ func (c *tableCache) stats() (hits, misses int) {
 	defer c.mu.Unlock()
 	return c.hits, c.misses
 }
+
+// parkedWaiters reports how many get calls blocked behind another
+// caller's in-flight build — the quantity the workers=1 bypass
+// eliminates.
+func (c *tableCache) parkedWaiters() int { return int(c.parked.Load()) }

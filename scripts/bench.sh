@@ -1,13 +1,16 @@
 #!/usr/bin/env sh
-# Runs the search hot-path benchmarks and emits BENCH_search.json —
-# the machine-readable perf record the CI bench-smoke job uploads and
-# EXPERIMENTS.md quotes. The raw `go test -bench` text is preserved
-# next to it for benchstat.
+# Runs the hot-path benchmarks and emits the machine-readable perf
+# records the CI bench-smoke job uploads and EXPERIMENTS.md quotes:
+#   BENCH_search.json   search-phase benchmarks (root package)
+#   BENCH_kernels.json  GEMM/conv kernel + engine benchmarks
+# The raw `go test -bench` text is preserved next to them for
+# benchstat (bench/latest.txt, bench/latest_kernels.txt).
 #
 # Environment overrides:
 #   BENCHTIME  per-benchmark budget (default 2s; CI smoke uses 1x)
 #   COUNT      repetitions per benchmark (default 1)
-#   OUT        output JSON path (default BENCH_search.json)
+#   OUT        search JSON path (default BENCH_search.json)
+#   KOUT       kernel JSON path (default BENCH_kernels.json)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -15,17 +18,17 @@ cd "$(dirname "$0")/.."
 BENCHTIME="${BENCHTIME:-2s}"
 COUNT="${COUNT:-1}"
 OUT="${OUT:-BENCH_search.json}"
+KOUT="${KOUT:-BENCH_kernels.json}"
 RAW="${RAW:-bench/latest.txt}"
+KRAW="${KRAW:-bench/latest_kernels.txt}"
 
 mkdir -p "$(dirname "$RAW")"
 
-go test -run '^$' \
-    -bench 'BenchmarkSearchEpisodes|BenchmarkReplayInto|BenchmarkPlanTotalTime' \
-    -benchtime "$BENCHTIME" -count "$COUNT" . | tee "$RAW"
-
-# Reduce the benchmark text to one JSON object per benchmark. Averages
-# over COUNT repetitions; carries every reported metric through.
-awk -v out="$OUT" '
+# emit_json RAWFILE OUTFILE: reduce benchmark text to one JSON object
+# per benchmark. Averages over COUNT repetitions; carries every
+# reported metric through.
+emit_json() {
+    awk -v out="$2" '
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)
@@ -57,6 +60,21 @@ END {
     }
     printf "  ]\n}\n" >> out
 }
-' "$RAW"
+' "$1"
+    echo "wrote $2"
+}
 
-echo "wrote $OUT"
+# Search-phase benchmarks (root package).
+go test -run '^$' \
+    -bench 'BenchmarkSearchEpisodes|BenchmarkReplayInto|BenchmarkPlanTotalTime' \
+    -benchtime "$BENCHTIME" -count "$COUNT" . | tee "$RAW"
+emit_json "$RAW" "$OUT"
+
+# Kernel-layer benchmarks: packed/parallel GEMM backends, the conv
+# kernels they feed, real end-to-end engine inference, and the batch
+# orchestrator's sequential-bypass guard.
+go test -run '^$' \
+    -bench 'BenchmarkGEMMBackends|BenchmarkGemm$|BenchmarkConvKernels|BenchmarkConvFFTKernel|BenchmarkEngineInference|BenchmarkProfilePhase|BenchmarkOptimizeBatch|BenchmarkRunBatch' \
+    -benchtime "$BENCHTIME" -count "$COUNT" \
+    . ./internal/gemm/ ./internal/runner/ | tee "$KRAW"
+emit_json "$KRAW" "$KOUT"
