@@ -46,7 +46,7 @@ func TestCrashResumeHelper(t *testing.T) {
 	out, err := capture(t, func() error {
 		return runCtx(context.Background(), "bench-all", chaosNets, "both",
 			chaosEpisodes, fastSamples, 1, "", "tx2-like", 2, chaosSeeds,
-			faultFlags{}, durableFlags{manifest: dir}, engineFlags{})
+			faultFlags{}, durableFlags{manifest: dir}, engineFlags{}, serveFlags{})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -120,7 +120,7 @@ func TestCrashResumeBenchAll(t *testing.T) {
 	refOut, err := capture(t, func() error {
 		return runCtx(context.Background(), "bench-all", chaosNets, "both",
 			chaosEpisodes, fastSamples, 1, "", "tx2-like", 2, chaosSeeds,
-			faultFlags{}, durableFlags{}, engineFlags{})
+			faultFlags{}, durableFlags{}, engineFlags{}, serveFlags{})
 	})
 	if err != nil {
 		t.Fatal(err)

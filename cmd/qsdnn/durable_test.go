@@ -79,14 +79,14 @@ func TestSearchCheckpointMatchesPlain(t *testing.T) {
 	df := durableFlags{checkpoint: dir, every: 50}
 	durable, err := capture(t, func() error {
 		return runCtx(context.Background(), "search", "lenet5", "cpu",
-			fastEpisodes, fastSamples, 1, "", "tx2-like", 1, 1, faultFlags{}, df, engineFlags{})
+			fastEpisodes, fastSamples, 1, "", "tx2-like", 1, 1, faultFlags{}, df, engineFlags{}, serveFlags{})
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	plain, err := capture(t, func() error {
 		return runCtx(context.Background(), "search", "lenet5", "cpu",
-			fastEpisodes, fastSamples, 1, "", "tx2-like", 1, 1, faultFlags{}, durableFlags{}, engineFlags{})
+			fastEpisodes, fastSamples, 1, "", "tx2-like", 1, 1, faultFlags{}, durableFlags{}, engineFlags{}, serveFlags{})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -110,7 +110,7 @@ func TestSearchResumeFromSnapshot(t *testing.T) {
 	ref, err := capture(t, func() error {
 		return runCtx(context.Background(), "search", "lenet5", "cpu",
 			fastEpisodes, fastSamples, 1, "", "tx2-like", 1, 1, faultFlags{},
-			durableFlags{checkpoint: dir, every: 60}, engineFlags{})
+			durableFlags{checkpoint: dir, every: 60}, engineFlags{}, serveFlags{})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -135,7 +135,7 @@ func TestSearchResumeFromSnapshot(t *testing.T) {
 	resumed, err := capture(t, func() error {
 		return runCtx(context.Background(), "search", "lenet5", "cpu",
 			fastEpisodes, fastSamples, 1, "", "tx2-like", 1, 1, faultFlags{},
-			durableFlags{checkpoint: dir, resume: true, every: 60}, engineFlags{})
+			durableFlags{checkpoint: dir, resume: true, every: 60}, engineFlags{}, serveFlags{})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -154,7 +154,7 @@ func TestSearchResumeCorruptFallsBack(t *testing.T) {
 	ref, err := capture(t, func() error {
 		return runCtx(context.Background(), "search", "lenet5", "cpu",
 			fastEpisodes, fastSamples, 1, "", "tx2-like", 1, 1, faultFlags{},
-			durableFlags{checkpoint: dir, every: 60}, engineFlags{})
+			durableFlags{checkpoint: dir, every: 60}, engineFlags{}, serveFlags{})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -171,7 +171,7 @@ func TestSearchResumeCorruptFallsBack(t *testing.T) {
 	resumed, err := capture(t, func() error {
 		return runCtx(context.Background(), "search", "lenet5", "cpu",
 			fastEpisodes, fastSamples, 1, "", "tx2-like", 1, 1, faultFlags{},
-			durableFlags{checkpoint: dir, resume: true, every: 60}, engineFlags{})
+			durableFlags{checkpoint: dir, resume: true, every: 60}, engineFlags{}, serveFlags{})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -187,7 +187,7 @@ func TestSearchResumeNoSnapshotErrors(t *testing.T) {
 	_, err := capture(t, func() error {
 		return runCtx(context.Background(), "search", "lenet5", "cpu",
 			fastEpisodes, fastSamples, 1, "", "tx2-like", 1, 1, faultFlags{},
-			durableFlags{checkpoint: t.TempDir(), resume: true, every: 60}, engineFlags{})
+			durableFlags{checkpoint: t.TempDir(), resume: true, every: 60}, engineFlags{}, serveFlags{})
 	})
 	if err == nil || !strings.Contains(err.Error(), "resume") {
 		t.Errorf("want resume error, got %v", err)
@@ -203,7 +203,7 @@ func TestBenchAllManifestResume(t *testing.T) {
 	bench := func() string {
 		out, err := capture(t, func() error {
 			return runCtx(context.Background(), "bench-all", "lenet5", "both",
-				fastEpisodes, fastSamples, 1, "", "tx2-like", 2, 2, faultFlags{}, df, engineFlags{})
+				fastEpisodes, fastSamples, 1, "", "tx2-like", 2, 2, faultFlags{}, df, engineFlags{}, serveFlags{})
 		})
 		if err != nil {
 			t.Fatal(err)

@@ -23,6 +23,9 @@ import (
 	"syscall"
 	"time"
 
+	"net"
+	"net/http"
+
 	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -33,6 +36,7 @@ import (
 	"repro/internal/primitives"
 	"repro/internal/profile"
 	"repro/internal/sched"
+	"repro/internal/serve"
 	"repro/internal/store"
 	"repro/internal/tensor"
 
@@ -65,6 +69,11 @@ func main() {
 	checkpointEvery := fs.Int("checkpoint-every", core.DefaultSnapshotEvery, "search: snapshot cadence in episodes")
 	realEngine := fs.Bool("engine", false, "profile on the real host-CPU engine instead of the platform simulator (requires -mode cpu)")
 	kernelWorkers := fs.Int("kernel-workers", 0, "engine kernel worker count for -engine profiling (0 = one per CPU)")
+	addr := fs.String("addr", "127.0.0.1:8080", "serve: listen address")
+	maxInflight := fs.Int("max-inflight", 0, "serve: concurrent searches (0 = one per CPU)")
+	queueDepth := fs.Int("queue-depth", 64, "serve: bounded admission queue depth (full queue replies 429)")
+	planStore := fs.String("plan-store", "", "serve: durable plan/checkpoint directory (empty = in-memory only, no crash resume)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "serve: graceful-drain budget on SIGINT/SIGTERM before in-flight searches checkpoint and stop")
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
 	}
@@ -81,7 +90,8 @@ func main() {
 	ft := faultFlags{robust: *robust, retries: *retries, sampleTimeout: *sampleTimeout, faultSeed: *faultSeed}
 	df := durableFlags{manifest: *manifestDir, checkpoint: *checkpointDir, resume: *resume, every: *checkpointEvery}
 	ef := engineFlags{real: *realEngine, workers: *kernelWorkers, seed: *seed}
-	if err := runCtx(ctx, cmd, *netName, *modeStr, *episodes, *samples, *seed, *lutFile, *platName, *parallel, *seeds, ft, df, ef); err != nil {
+	sf := serveFlags{addr: *addr, maxInflight: *maxInflight, queueDepth: *queueDepth, planStore: *planStore, drainTimeout: *drainTimeout}
+	if err := runCtx(ctx, cmd, *netName, *modeStr, *episodes, *samples, *seed, *lutFile, *platName, *parallel, *seeds, ft, df, ef, sf); err != nil {
 		fmt.Fprintln(os.Stderr, "qsdnn:", err)
 		os.Exit(1)
 	}
@@ -127,6 +137,18 @@ func validateFlags(fs *flag.FlagSet) error {
 			if get().(int) < 0 {
 				err = fmt.Errorf("-kernel-workers must be >= 0 (got %s)", f.Value)
 			}
+		case "max-inflight":
+			if get().(int) < 0 {
+				err = fmt.Errorf("-max-inflight must be >= 0 (got %s)", f.Value)
+			}
+		case "queue-depth":
+			if get().(int) <= 0 {
+				err = fmt.Errorf("-queue-depth must be positive (got %s)", f.Value)
+			}
+		case "drain-timeout":
+			if get().(time.Duration) < 0 {
+				err = fmt.Errorf("-drain-timeout must be >= 0 (got %s)", f.Value)
+			}
 		}
 	})
 	return err
@@ -138,6 +160,15 @@ type durableFlags struct {
 	checkpoint string
 	resume     bool
 	every      int
+}
+
+// serveFlags bundles the daemon CLI flags.
+type serveFlags struct {
+	addr         string
+	maxInflight  int
+	queueDepth   int
+	planStore    string
+	drainTimeout time.Duration
 }
 
 // engineFlags bundles the real-engine profiling CLI flags.
@@ -208,6 +239,10 @@ commands:
              and platform-sensitivity sweeps
   export     write a network's architecture as JSON (-lut FILE.json) and
              annotated Graphviz DOT (FILE.dot) after searching it
+  serve      run the optimization daemon: POST /v1/optimize accepts
+             {network, platform, mode, objective, episodes, samples,
+             seed} and returns the optimized plan; GET /v1/jobs/{id}
+             polls, GET /v1/jobs/{id}/events streams progress (SSE)
 
 flags: -net NAME -mode cpu|gpgpu -platform NAME -episodes N -samples N -seed N -lut FILE
        -parallel N -seeds K (bench-all)
@@ -224,7 +259,14 @@ flags: -net NAME -mode cpu|gpgpu -platform NAME -episodes N -samples N -seed N -
                                                 search: periodic durable snapshots
                                                 with last-good rotation; -resume
                                                 continues a killed search
-SIGINT/SIGTERM interrupt cleanly: a running bench-all flushes its partial results.`)
+       -addr HOST:PORT -max-inflight N -queue-depth N
+       -plan-store DIR -drain-timeout DUR
+                                                serve: listen address, concurrency
+                                                and queue bounds, durable plan +
+                                                checkpoint store, graceful-drain
+                                                budget before a checkpointed stop
+SIGINT/SIGTERM interrupt cleanly: a running bench-all flushes its partial results;
+a running serve drains, checkpoints what cannot finish, and resumes on restart.`)
 }
 
 func parseMode(s string) (primitives.Mode, error) {
@@ -240,7 +282,54 @@ func parseMode(s string) (primitives.Mode, error) {
 // run is the legacy entry point: background context, no fault or
 // durability flags.
 func run(cmd, netName, modeStr string, episodes, samples int, seed int64, lutFile, platName string, parallel, seeds int) error {
-	return runCtx(context.Background(), cmd, netName, modeStr, episodes, samples, seed, lutFile, platName, parallel, seeds, faultFlags{}, durableFlags{}, engineFlags{})
+	return runCtx(context.Background(), cmd, netName, modeStr, episodes, samples, seed, lutFile, platName, parallel, seeds, faultFlags{}, durableFlags{}, engineFlags{}, serveFlags{})
+}
+
+// serveCmd runs the optimization-as-a-service daemon: an HTTP JSON API
+// that admits (network, platform, objective, budget) requests onto a
+// bounded queue, coalesces identical concurrent work, streams search
+// progress, and persists plans and checkpoints durably. SIGINT/SIGTERM
+// drain gracefully: admission stops, in-flight searches finish (or,
+// past -drain-timeout, checkpoint and stop so a restart on the same
+// -plan-store resumes them to byte-identical results).
+func serveCmd(ctx context.Context, sf serveFlags, ft faultFlags, df durableFlags) error {
+	ln, err := net.Listen("tcp", sf.addr)
+	if err != nil {
+		return err
+	}
+	srv, err := serve.New(serve.Config{
+		MaxInflight:   sf.maxInflight,
+		QueueDepth:    sf.queueDepth,
+		PlanStore:     sf.planStore,
+		SnapshotEvery: df.every,
+		Robust:        ft.policy(),
+	})
+	if err != nil {
+		ln.Close()
+		return err
+	}
+	if st := srv.Status(); st.Resumed > 0 || st.SkippedRec > 0 {
+		fmt.Fprintf(os.Stderr, "qsdnn serve: resuming %d interrupted job(s), %d unreadable record(s) skipped\n",
+			st.Resumed, st.SkippedRec)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	// The listen line goes to stdout so scripted callers (and the
+	// chaos tests) can parse the bound address under -addr :0.
+	fmt.Printf("qsdnn serve listening on http://%s\n", ln.Addr())
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		srv.Drain(0)
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintf(os.Stderr, "qsdnn serve: draining (budget %s)\n", sf.drainTimeout)
+	srv.Drain(sf.drainTimeout)
+	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	hs.Shutdown(sctx)
+	return nil
 }
 
 // searchDurable runs (or resumes) a search with periodic durable
@@ -325,12 +414,14 @@ func profileTable(ctx context.Context, ft faultFlags, ef engineFlags, net *qsdnn
 	return tab, nil
 }
 
-func runCtx(ctx context.Context, cmd, netName, modeStr string, episodes, samples int, seed int64, lutFile, platName string, parallel, seeds int, ft faultFlags, df durableFlags, ef engineFlags) error {
+func runCtx(ctx context.Context, cmd, netName, modeStr string, episodes, samples int, seed int64, lutFile, platName string, parallel, seeds int, ft faultFlags, df durableFlags, ef engineFlags, sf serveFlags) error {
 	board, ok := platform.Preset(platName)
 	if !ok {
 		return fmt.Errorf("unknown platform %q", platName)
 	}
 	switch cmd {
+	case "serve":
+		return serveCmd(ctx, sf, ft, df)
 	case "bench-all":
 		var modes []primitives.Mode
 		if modeStr == "both" {

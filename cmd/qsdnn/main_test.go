@@ -250,7 +250,7 @@ func TestBenchAllWithFaultInjection(t *testing.T) {
 	bench := func() string {
 		out, err := capture(t, func() error {
 			return runCtx(context.Background(), "bench-all", "lenet5", "both",
-				fastEpisodes, fastSamples, 1, "", "tx2-like", 4, 2, ft, durableFlags{}, engineFlags{})
+				fastEpisodes, fastSamples, 1, "", "tx2-like", 4, 2, ft, durableFlags{}, engineFlags{}, serveFlags{})
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -276,7 +276,7 @@ func TestSearchWithRobustProfiling(t *testing.T) {
 	ft := faultFlags{robust: true, faultSeed: 7, sampleTimeout: 250 * time.Millisecond}
 	out, err := capture(t, func() error {
 		return runCtx(context.Background(), "search", "lenet5", "cpu",
-			fastEpisodes, fastSamples, 1, "", "tx2-like", 1, 1, ft, durableFlags{}, engineFlags{})
+			fastEpisodes, fastSamples, 1, "", "tx2-like", 1, 1, ft, durableFlags{}, engineFlags{}, serveFlags{})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -297,7 +297,7 @@ func TestBenchAllInterrupted(t *testing.T) {
 	cancel()
 	out, err := capture(t, func() error {
 		return runCtx(ctx, "bench-all", "lenet5", "cpu",
-			fastEpisodes, fastSamples, 1, "", "tx2-like", 1, 1, faultFlags{}, durableFlags{}, engineFlags{})
+			fastEpisodes, fastSamples, 1, "", "tx2-like", 1, 1, faultFlags{}, durableFlags{}, engineFlags{}, serveFlags{})
 	})
 	if err == nil || !strings.Contains(err.Error(), "interrupted") {
 		t.Fatalf("err = %v, want interrupted", err)

@@ -1,0 +1,308 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// The serve chaos workload: one big-budget request whose search spans
+// hundreds of checkpoint cadences. The tests place the SIGKILL by
+// polling progress past two cadences, so mid-search placement is
+// guaranteed regardless of machine speed; the budget only has to be
+// large enough that plenty of search remains after the kill, yet
+// small enough that the resumed remainder finishes inside the poll
+// window even under the race detector's ~10x slowdown.
+const (
+	serveChaosEvery = 50
+	serveChaosBody  = `{"network":"lenet5","mode":"cpu","episodes":20000,"samples":3,"seed":5}`
+)
+
+// TestServeCrashHelper is the child half of the serve chaos tests:
+// re-executed by the parents, it runs the real daemon command (ephemeral
+// port, durable store from the environment) until a signal stops it.
+func TestServeCrashHelper(t *testing.T) {
+	if os.Getenv("QSDNN_SERVE_HELPER") != "1" {
+		t.Skip("run only as a re-exec child of the serve chaos tests")
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	sf := serveFlags{
+		addr:         "127.0.0.1:0",
+		maxInflight:  1,
+		queueDepth:   8,
+		planStore:    os.Getenv("QSDNN_SERVE_STORE"),
+		drainTimeout: 2 * time.Minute,
+	}
+	df := durableFlags{every: serveChaosEvery}
+	if err := runCtx(ctx, "serve", "", "", 0, 0, 0, "", "tx2-like", 0, 0,
+		faultFlags{}, df, engineFlags{}, sf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// serveChild manages one re-exec'd daemon process.
+type serveChild struct {
+	cmd  *exec.Cmd
+	base string // http://host:port
+	done chan error
+}
+
+// startServeChild re-execs the test binary as a daemon on storeDir and
+// parses the listen line off its stdout for the bound ephemeral port.
+func startServeChild(t *testing.T, storeDir string) *serveChild {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run", "^TestServeCrashHelper$")
+	cmd.Env = append(os.Environ(),
+		"QSDNN_SERVE_HELPER=1",
+		"QSDNN_SERVE_STORE="+storeDir)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	c := &serveChild{cmd: cmd, done: make(chan error, 1)}
+	addr := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if rest, ok := strings.CutPrefix(sc.Text(), "qsdnn serve listening on "); ok {
+				addr <- strings.TrimSpace(rest)
+			}
+		}
+	}()
+	go func() { c.done <- cmd.Wait() }()
+	select {
+	case c.base = <-addr:
+	case err := <-c.done:
+		t.Fatalf("daemon exited before listening: %v", err)
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("daemon never printed its listen address")
+	}
+	return c
+}
+
+// httpJSON issues a request against the child and decodes the JSON
+// reply.
+func httpJSON(t *testing.T, method, url, body string, out any) int {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(payload, out); err != nil {
+			t.Fatalf("%s %s: decoding %q: %v", method, url, payload, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// pollUntil re-queries cond every few milliseconds until it holds.
+func pollUntil(t *testing.T, d time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", msg)
+}
+
+// TestServeCrashResume is the serve mirror of TestCrashResumeBenchAll:
+// SIGKILL the daemon mid-search (after at least two checkpoint
+// cadences), mangle the newest checkpoint's tail to simulate a torn
+// write, restart on the same -plan-store, and require that the daemon
+// reports the resumed job and finishes it to a plan byte-identical to
+// an uninterrupted reference run.
+func TestServeCrashResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("kill/restart chaos test skipped with -short")
+	}
+	storeDir := t.TempDir()
+	c := startServeChild(t, storeDir)
+
+	var acc serve.OptimizeResponse
+	if code := httpJSON(t, "POST", c.base+"/v1/optimize", serveChaosBody, &acc); code != http.StatusAccepted {
+		t.Fatalf("POST: status %d", code)
+	}
+	// Let the search cross at least two checkpoint cadences so both
+	// rotation generations exist, then SIGKILL mid-flight.
+	pollUntil(t, 60*time.Second, func() bool {
+		var st serve.OptimizeResponse
+		httpJSON(t, "GET", c.base+"/v1/jobs/"+acc.ID, "", &st)
+		return st.Progress != nil && st.Progress.Episode >= 2*serveChaosEvery
+	}, "two checkpoint cadences")
+	if err := c.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	<-c.done // reap; a SIGKILL death is the expected "failure"
+
+	// The kill can land anywhere, including inside SaveRotating — in
+	// which case the record survives only as its .prev rotation and
+	// the torn write already happened naturally. When an intact
+	// current generation exists, inject the torn write ourselves: flip
+	// its tail so resume must fall back to the previous generation.
+	currents, err := filepath.Glob(filepath.Join(storeDir, "jobs", "*.qsd"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevs, err := filepath.Glob(filepath.Join(storeDir, "jobs", "*.qsd.prev"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(currents)+len(prevs) == 0 {
+		all, _ := filepath.Glob(filepath.Join(storeDir, "*", "*"))
+		t.Fatalf("no job record generation survived the kill; store contents: %v", all)
+	}
+	if len(currents) == 1 && len(prevs) == 1 {
+		data, err := os.ReadFile(currents[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := len(data) - 8; i < len(data); i++ {
+			data[i] ^= 0xff
+		}
+		if err := os.WriteFile(currents[0], data[:len(data)-3], 0o644); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		t.Logf("kill tore the rotation itself (currents %v, prevs %v); resuming from what survived", currents, prevs)
+	}
+
+	// Restart on the same store: the job must come back and finish.
+	c2 := startServeChild(t, storeDir)
+	var st struct {
+		Resumed   int `json:"resumed"`
+		Completed int `json:"completed"`
+	}
+	httpJSON(t, "GET", c2.base+"/statusz", "", &st)
+	if st.Resumed < 1 {
+		t.Fatalf("restarted daemon reports %d resumed jobs, want >= 1", st.Resumed)
+	}
+	var final serve.OptimizeResponse
+	pollUntil(t, 120*time.Second, func() bool {
+		final = serve.OptimizeResponse{}
+		httpJSON(t, "POST", c2.base+"/v1/optimize", serveChaosBody, &final)
+		return final.State == serve.StateDone && len(final.Plan) > 0
+	}, "resumed job to finish")
+
+	// Byte-identity: the crashed, tail-corrupted, resumed plan equals
+	// the uninterrupted in-process reference at the same cadence.
+	var req serve.OptimizeRequest
+	if err := json.Unmarshal([]byte(serveChaosBody), &req); err != nil {
+		t.Fatal(err)
+	}
+	_, want, err := serve.ReferencePlan(context.Background(), req, serveChaosEvery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(final.Plan) != string(want) {
+		t.Errorf("resumed plan differs from uninterrupted reference\nresumed:   %s\nreference: %s", final.Plan, want)
+	}
+
+	// Graceful shutdown of the second daemon.
+	if err := c2.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-c2.done; err != nil {
+		t.Fatalf("daemon did not exit cleanly after SIGTERM: %v", err)
+	}
+}
+
+// TestServeDrainSIGTERM: a SIGTERM during an in-flight search drains
+// gracefully — the daemon exits 0, the job's plan is durably stored,
+// and no pending job record is left behind (zero dropped jobs).
+func TestServeDrainSIGTERM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("kill/restart chaos test skipped with -short")
+	}
+	storeDir := t.TempDir()
+	c := startServeChild(t, storeDir)
+
+	var acc serve.OptimizeResponse
+	if code := httpJSON(t, "POST", c.base+"/v1/optimize", serveChaosBody, &acc); code != http.StatusAccepted {
+		t.Fatalf("POST: status %d", code)
+	}
+	pollUntil(t, 60*time.Second, func() bool {
+		var st serve.OptimizeResponse
+		httpJSON(t, "GET", c.base+"/v1/jobs/"+acc.ID, "", &st)
+		return st.State == serve.StateRunning
+	}, "job to start running")
+
+	if err := c.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-c.done; err != nil {
+		t.Fatalf("daemon did not exit cleanly after SIGTERM: %v", err)
+	}
+
+	// Zero dropped jobs: the in-flight search finished and persisted
+	// its plan, and its pending record was retired.
+	plans, err := filepath.Glob(filepath.Join(storeDir, "plans", "*.qsd"))
+	if err != nil || len(plans) != 1 {
+		t.Fatalf("stored plans after drain: %v (err %v), want exactly 1", plans, err)
+	}
+	recs, err := filepath.Glob(filepath.Join(storeDir, "jobs", "*.qsd"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("pending job records after drain: %v, want none", recs)
+	}
+
+	// A fresh daemon on the same store serves the drained job's plan
+	// from disk, byte-identical to the reference.
+	c2 := startServeChild(t, storeDir)
+	var cached serve.OptimizeResponse
+	if code := httpJSON(t, "POST", c2.base+"/v1/optimize", serveChaosBody, &cached); code != http.StatusOK {
+		t.Fatalf("cached POST: status %d", code)
+	}
+	if !cached.Cached || len(cached.Plan) == 0 {
+		t.Fatalf("expected a cache-served plan, got %+v", cached)
+	}
+	var req serve.OptimizeRequest
+	if err := json.Unmarshal([]byte(serveChaosBody), &req); err != nil {
+		t.Fatal(err)
+	}
+	_, want, err := serve.ReferencePlan(context.Background(), req, serveChaosEvery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(cached.Plan) != string(want) {
+		t.Errorf("drained plan differs from reference\ndrained:   %s\nreference: %s", cached.Plan, want)
+	}
+	if err := c2.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-c2.done; err != nil {
+		t.Fatalf("second daemon did not exit cleanly: %v", err)
+	}
+}

@@ -140,6 +140,14 @@ const DefaultSnapshotEvery = 100
 // Curve starts at the resumed episode); its Time/Assignment reflect
 // the best over the whole logical run, snapshot history included.
 func SearchCheckpointed(tab *lut.Table, cfg Config, opts DurableOptions) (*Result, *Snapshot, error) {
+	return SearchCheckpointedPlanned(searchplan.Compile(tab), cfg, opts)
+}
+
+// SearchCheckpointedPlanned is SearchCheckpointed over a pre-compiled
+// plan — the serve daemon compiles each distinct table once in its
+// single-flight cache and runs every coalesced request's search on the
+// shared plan.
+func SearchCheckpointedPlanned(plan *searchplan.Plan, cfg Config, opts DurableOptions) (*Result, *Snapshot, error) {
 	cfg = cfg.withDefaults()
 	total := cfg.Episodes
 	every := opts.Every
@@ -168,8 +176,6 @@ func SearchCheckpointed(tab *lut.Table, cfg Config, opts DurableOptions) (*Resul
 		}
 		return s
 	}
-	// One compilation serves every chunk of the run.
-	plan := searchplan.Compile(tab)
 	var last *Snapshot
 	for ep := start; ep < total; {
 		chunk := every - ep%every // realign to cadence boundaries after a resume

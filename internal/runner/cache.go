@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -18,6 +19,14 @@ type cacheKey struct {
 	network string
 	mode    primitives.Mode
 	samples int
+}
+
+// String renders the key in the canonical form the cache indexes by.
+// External composers of the cache (runner.Flight) bring their own key
+// strings — e.g. the serve daemon adds the platform preset, which a
+// batch never varies.
+func (k cacheKey) String() string {
+	return fmt.Sprintf("%s|%d|%d", k.network, int(k.mode), k.samples)
 }
 
 // cacheEntry is one in-flight or completed profiling run. ready is
@@ -48,7 +57,7 @@ type cacheEntry struct {
 type tableCache struct {
 	seq     bool
 	mu      sync.Mutex
-	entries map[cacheKey]*cacheEntry
+	entries map[string]*cacheEntry
 	hits    int
 	misses  int
 	// parked counts get calls that actually blocked on another
@@ -57,13 +66,13 @@ type tableCache struct {
 }
 
 func newTableCache() *tableCache {
-	return &tableCache{entries: map[cacheKey]*cacheEntry{}}
+	return &tableCache{entries: map[string]*cacheEntry{}}
 }
 
 // newSequentialTableCache returns a cache for a one-worker batch: same
 // contract, no locking, no parking.
 func newSequentialTableCache() *tableCache {
-	return &tableCache{seq: true, entries: map[cacheKey]*cacheEntry{}}
+	return &tableCache{seq: true, entries: map[string]*cacheEntry{}}
 }
 
 // get returns the table for key, building it with build on the first
@@ -72,7 +81,7 @@ func newSequentialTableCache() *tableCache {
 // the failed entry is then evicted, so the key's next get retries the
 // build instead of replaying a cached failure forever — a transient
 // board outage must not poison the batch.
-func (c *tableCache) get(key cacheKey, build func() (*lut.Table, *profile.Report, error)) (*lut.Table, *searchplan.Plan, *profile.Report, error) {
+func (c *tableCache) get(key string, build func() (*lut.Table, *profile.Report, error)) (*lut.Table, *searchplan.Plan, *profile.Report, error) {
 	if c.seq {
 		return c.getSeq(key, build)
 	}
@@ -116,7 +125,7 @@ func (c *tableCache) get(key cacheKey, build func() (*lut.Table, *profile.Report
 // cache, so a plain map is the whole implementation. Entries are
 // stored with their ready channel already closed so the shared stats
 // and any accidental concurrent read still behave.
-func (c *tableCache) getSeq(key cacheKey, build func() (*lut.Table, *profile.Report, error)) (*lut.Table, *searchplan.Plan, *profile.Report, error) {
+func (c *tableCache) getSeq(key string, build func() (*lut.Table, *profile.Report, error)) (*lut.Table, *searchplan.Plan, *profile.Report, error) {
 	if e, ok := c.entries[key]; ok {
 		c.hits++
 		return e.tab, e.plan, e.rep, e.err

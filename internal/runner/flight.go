@@ -1,0 +1,44 @@
+package runner
+
+import (
+	"repro/internal/lut"
+	"repro/internal/profile"
+	"repro/internal/searchplan"
+)
+
+// Flight is the exported, long-lived face of the batch runner's keyed
+// single-flight LUT cache. A batch run builds a cache per call because
+// its lifetime is the batch; the serve daemon instead keeps one Flight
+// for the life of the process, so every request that agrees on a
+// profiling key — across arbitrarily many concurrent clients — shares
+// a single profiling run and a single compiled search plan.
+//
+// Keys are caller-defined strings: the runner's batches key by
+// (network, mode, samples); the serve daemon additionally folds in the
+// platform preset, which a batch never varies. The single-flight
+// contract is the cache's (tableCache): the first Get for a key runs
+// build, concurrent Gets park on that one build, failed builds are
+// evicted so the next Get retries instead of replaying a cached error.
+type Flight struct {
+	c *tableCache
+}
+
+// NewFlight returns an empty single-flight LUT cache safe for
+// concurrent use.
+func NewFlight() *Flight { return &Flight{c: newTableCache()} }
+
+// BuildFunc profiles one look-up table for a cache key.
+type BuildFunc func() (*lut.Table, *profile.Report, error)
+
+// Get returns the table, compiled search plan, and profiling report
+// for key, invoking build at most once per key no matter how many
+// goroutines ask concurrently. The plan is compiled exactly once per
+// distinct table, before any waiter observes the entry.
+func (f *Flight) Get(key string, build BuildFunc) (*lut.Table, *searchplan.Plan, *profile.Report, error) {
+	return f.c.get(key, build)
+}
+
+// Stats returns the lookup counters: hits is the number of Gets served
+// from (or coalesced into) an existing entry, misses the number of
+// distinct builds executed.
+func (f *Flight) Stats() (hits, misses int) { return f.c.stats() }

@@ -37,7 +37,7 @@ func flakyProfile(pl *platform.Platform, failures int64, calls *atomic.Int64) Pr
 // would replay the cached outage error forever.
 func TestCacheEvictsFailedBuilds(t *testing.T) {
 	cache := newTableCache()
-	key := cacheKey{network: "lenet5", mode: primitives.ModeCPU, samples: 2}
+	key := cacheKey{network: "lenet5", mode: primitives.ModeCPU, samples: 2}.String()
 	boom := errors.New("board unreachable")
 	if _, _, _, err := cache.get(key, func() (*lut.Table, *profile.Report, error) {
 		return nil, nil, boom

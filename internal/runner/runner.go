@@ -317,7 +317,7 @@ func RunContext(ctx context.Context, jobs []Job, opts Options) (*BatchResult, er
 		job := defaulted[ji]
 		net := nets[job.Network]
 		key := cacheKey{network: job.Network, mode: job.Mode, samples: job.Samples}
-		tab, plan, rep, err := cache.get(key, func() (*lut.Table, *profile.Report, error) {
+		tab, plan, rep, err := cache.get(key.String(), func() (*lut.Table, *profile.Report, error) {
 			// With a manifest, a stored table that verifies is reused
 			// (profiling is deterministic, so the result is identical);
 			// a fresh build is persisted before any unit records

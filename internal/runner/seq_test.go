@@ -41,7 +41,7 @@ func TestSequentialCacheNeverParks(t *testing.T) {
 		builds++
 		return tab, nil, nil
 	}
-	key := cacheKey{network: "lenet5", mode: primitives.ModeCPU, samples: 2}
+	key := cacheKey{network: "lenet5", mode: primitives.ModeCPU, samples: 2}.String()
 	for i := 0; i < 5; i++ {
 		got, plan, _, err := c.get(key, build)
 		if err != nil {
@@ -68,7 +68,7 @@ func TestSequentialCacheNeverParks(t *testing.T) {
 func TestSequentialCacheRetriesFailedBuild(t *testing.T) {
 	c := newSequentialTableCache()
 	tab := seqTestTable(t)
-	key := cacheKey{network: "lenet5", mode: primitives.ModeCPU, samples: 2}
+	key := cacheKey{network: "lenet5", mode: primitives.ModeCPU, samples: 2}.String()
 	calls := 0
 	flaky := func() (*lut.Table, *profile.Report, error) {
 		calls++
@@ -95,7 +95,7 @@ func TestSequentialCacheRetriesFailedBuild(t *testing.T) {
 func TestConcurrentCacheCountsParkedWaiters(t *testing.T) {
 	c := newTableCache()
 	tab := seqTestTable(t)
-	key := cacheKey{network: "lenet5", mode: primitives.ModeCPU, samples: 2}
+	key := cacheKey{network: "lenet5", mode: primitives.ModeCPU, samples: 2}.String()
 	entered := make(chan struct{})
 	release := make(chan struct{})
 	var wg sync.WaitGroup

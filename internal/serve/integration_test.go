@@ -1,0 +1,227 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// newLocalHTTP mounts an already-constructed Server on an ephemeral
+// port (the Drain lifecycle stays with the caller).
+func newLocalHTTP(t *testing.T, srv *Server) string {
+	t.Helper()
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+// TestServeEndToEndConcurrent is the headline load test: 64 concurrent
+// clients over 8 distinct requests (8 duplicates each) against a
+// 4-worker daemon. It proves, in one pass:
+//
+//   - zero client-visible errors under contention;
+//   - coalescing: duplicates of an in-flight request share its search,
+//     and profiling runs exactly once per distinct LUT key no matter
+//     how many clients race;
+//   - determinism: all 8 replies for one request are byte-identical,
+//     and equal to the plan the in-process reference pipeline (the
+//     CLI's checkpointed-search path) computes for that request.
+func TestServeEndToEndConcurrent(t *testing.T) {
+	cp := newCountingProfile(nil)
+	srv, ts := newTestServer(t, Config{MaxInflight: 4, QueueDepth: 128, Profile: cp.fn()})
+
+	const uniques = 8
+	const dups = 8
+	body := func(u int) string {
+		// Seeds vary the search, modes split the LUT keys: 8 distinct
+		// coalescing keys over 2 distinct LUT keys.
+		mode := "cpu"
+		if u%2 == 1 {
+			mode = "gpgpu"
+		}
+		return fmt.Sprintf(`{"network":"lenet5","mode":%q,"episodes":300,"samples":3,"seed":%d,"wait":true}`,
+			mode, u/2+1)
+	}
+
+	var wg sync.WaitGroup
+	plans := make([][]string, uniques) // plans[u] = the dup replies
+	errs := make(chan error, uniques*dups)
+	for u := 0; u < uniques; u++ {
+		plans[u] = make([]string, dups)
+		for d := 0; d < dups; d++ {
+			wg.Add(1)
+			go func(u, d int) {
+				defer wg.Done()
+				resp, err := http.Post(ts.URL+"/v1/optimize", "application/json",
+					strings.NewReader(body(u)))
+				if err != nil {
+					errs <- err
+					return
+				}
+				defer resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("client (%d,%d): status %d", u, d, resp.StatusCode)
+					return
+				}
+				var or OptimizeResponse
+				if err := json.NewDecoder(resp.Body).Decode(&or); err != nil {
+					errs <- fmt.Errorf("client (%d,%d): decode: %w", u, d, err)
+					return
+				}
+				if or.State != StateDone || len(or.Plan) == 0 {
+					errs <- fmt.Errorf("client (%d,%d): state %q, %d plan bytes", u, d, or.State, len(or.Plan))
+					return
+				}
+				plans[u][d] = string(or.Plan)
+			}(u, d)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Every duplicate saw the same bytes, and those bytes match the
+	// reference pipeline exactly.
+	for u := 0; u < uniques; u++ {
+		for d := 1; d < dups; d++ {
+			if plans[u][d] != plans[u][0] {
+				t.Fatalf("request %d: duplicate %d got different plan bytes", u, d)
+			}
+		}
+		var req OptimizeRequest
+		if err := json.Unmarshal([]byte(body(u)), &req); err != nil {
+			t.Fatal(err)
+		}
+		_, want, err := ReferencePlan(context.Background(), req, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plans[u][0] != string(want) {
+			t.Fatalf("request %d: served plan differs from the reference pipeline\nserved:    %s\nreference: %s",
+				u, plans[u][0], want)
+		}
+	}
+
+	// Profiling is single-flighted: exactly one invocation per
+	// distinct LUT key (cpu and gpgpu), despite 64 racing clients.
+	if cp.distinct() != 2 || cp.total() != 2 {
+		t.Fatalf("profile invocations: %d calls over %d keys, want exactly 2 over 2", cp.total(), cp.distinct())
+	}
+	st := srv.Status()
+	if st.Searches != uniques {
+		t.Fatalf("searches %d, want %d (one per distinct request)", st.Searches, uniques)
+	}
+	if st.Rejected != 0 || st.Failed != 0 {
+		t.Fatalf("outcomes: %+v", st)
+	}
+	if st.Coalesced+st.PlanCacheHits+st.PlanStoreHits == 0 {
+		t.Fatalf("no request was coalesced or cache-served: %+v", st)
+	}
+}
+
+// TestServeDrainCompletesInflight: a graceful drain with budget lets
+// every admitted job finish — zero dropped, zero interrupted — while
+// new work is refused.
+func TestServeDrainCompletesInflight(t *testing.T) {
+	srv, ts := newTestServer(t, Config{MaxInflight: 2, QueueDepth: 16})
+	const jobs = 6
+	for i := 0; i < jobs; i++ {
+		code, _, payload := postOptimize(t, ts.URL,
+			fmt.Sprintf(`{"network":"lenet5","mode":"cpu","episodes":300,"samples":3,"seed":%d}`, i+1))
+		if code != http.StatusAccepted {
+			t.Fatalf("POST %d: status %d (%s)", i, code, payload)
+		}
+	}
+	srv.Drain(30 * time.Second)
+	st := srv.Status()
+	if st.Completed != jobs {
+		t.Fatalf("completed %d of %d admitted jobs", st.Completed, jobs)
+	}
+	if st.Interrupted != 0 || st.Failed != 0 || st.Queued != 0 || st.Inflight != 0 {
+		t.Fatalf("after drain: %+v", st)
+	}
+	code, _, _ := postOptimize(t, ts.URL, fastBody(99))
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("POST after drain: %d, want 503", code)
+	}
+}
+
+// TestServeHardStopResumes: a zero-budget drain (the SIGKILL-adjacent
+// path a caller can also reach via -drain-timeout 0) interrupts jobs —
+// one parked in profiling, one still queued — and a second daemon on
+// the same plan store re-admits both from their durable records and
+// finishes them to plans byte-identical to the reference pipeline.
+func TestServeHardStopResumes(t *testing.T) {
+	dir := t.TempDir()
+	gate := make(chan struct{})
+	cp := newCountingProfile(gate)
+	srv, err := New(Config{MaxInflight: 1, QueueDepth: 4, PlanStore: dir, Profile: cp.fn()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := newLocalHTTP(t, srv)
+
+	bodies := []string{
+		`{"network":"lenet5","mode":"cpu","episodes":300,"samples":3,"seed":1}`,
+		`{"network":"lenet5","mode":"cpu","episodes":300,"samples":3,"seed":2}`,
+	}
+	for i, b := range bodies {
+		code, _, payload := postOptimize(t, ts, b)
+		if code != http.StatusAccepted {
+			t.Fatalf("POST %d: status %d (%s)", i, code, payload)
+		}
+	}
+	waitFor(t, 5*time.Second, func() bool { return srv.Status().Inflight == 1 }, "first job to park in profiling")
+	srv.Drain(0) // hard stop: profiling gate unblocks via ctx, worker exits
+	st := srv.Status()
+	if st.Interrupted != 2 || st.Completed != 0 {
+		t.Fatalf("after hard stop: %+v", st)
+	}
+
+	// Second daemon, same store, no gate: both jobs come back from
+	// their durable records and complete unattended.
+	srv2, err := New(Config{MaxInflight: 2, QueueDepth: 4, PlanStore: dir, Profile: newCountingProfile(nil).fn()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Drain(0)
+	if got := srv2.Status().Resumed; got != 2 {
+		t.Fatalf("resumed %d jobs, want 2", got)
+	}
+	waitFor(t, 30*time.Second, func() bool { return srv2.Status().Completed == 2 }, "resumed jobs to finish")
+
+	// The resumed plans are byte-identical to the reference pipeline.
+	ts2 := newLocalHTTP(t, srv2)
+	for i, b := range bodies {
+		code, _, payload := postOptimize(t, ts2, b) // identical request, now cache-served
+		if code != http.StatusOK {
+			t.Fatalf("post-resume GET-equivalent %d: status %d (%s)", i, code, payload)
+		}
+		var or OptimizeResponse
+		if err := json.Unmarshal(payload, &or); err != nil {
+			t.Fatal(err)
+		}
+		var req OptimizeRequest
+		if err := json.Unmarshal([]byte(b), &req); err != nil {
+			t.Fatal(err)
+		}
+		_, want, err := ReferencePlan(context.Background(), req, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(or.Plan) != string(want) {
+			t.Fatalf("resumed plan %d differs from reference\nresumed:   %s\nreference: %s", i, or.Plan, want)
+		}
+	}
+}

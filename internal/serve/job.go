@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"encoding/json"
+	"math"
+	"sync"
+)
+
+// Job states.
+const (
+	// StateQueued marks a job admitted but not yet claimed by a worker.
+	StateQueued = "queued"
+	// StateRunning marks a job a worker is executing.
+	StateRunning = "running"
+	// StateDone marks a finished job with a plan.
+	StateDone = "done"
+	// StateFailed marks a job that errored.
+	StateFailed = "failed"
+	// StateInterrupted marks a job stopped by a hard drain; its
+	// checkpoint is durable and a restarted server resumes it.
+	StateInterrupted = "interrupted"
+)
+
+// job is one admitted optimization: the validated spec plus the state
+// machine the handlers observe. Progress events accumulate in order;
+// subscribers (the SSE endpoint, waiting POSTs) follow them via the
+// update channel, which is closed and replaced on every publish — a
+// broadcast without per-subscriber bookkeeping.
+type job struct {
+	id   string
+	spec *jobSpec
+
+	mu       sync.Mutex
+	state    string
+	events   []Event
+	update   chan struct{}
+	planJSON json.RawMessage
+	err      error
+	resumed  bool
+
+	// done is closed exactly once, at the terminal transition
+	// (done/failed/interrupted).
+	done chan struct{}
+}
+
+func newJob(id string, spec *jobSpec) *job {
+	return &job{
+		id:     id,
+		spec:   spec,
+		state:  StateQueued,
+		update: make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+}
+
+// publishLocked appends an event and wakes every subscriber. Callers
+// hold j.mu.
+func (j *job) publishLocked(ev Event) {
+	j.events = append(j.events, ev)
+	close(j.update)
+	j.update = make(chan struct{})
+}
+
+// setRunning transitions queued -> running and emits the first event.
+func (j *job) setRunning() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = StateRunning
+	j.publishLocked(Event{State: StateRunning, Episode: 0, Total: j.spec.Episodes})
+}
+
+// progress records a checkpoint-cadence boundary.
+func (j *job) progress(episode int, best float64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if math.IsInf(best, 0) || math.IsNaN(best) {
+		best = 0
+	}
+	j.publishLocked(Event{State: j.state, Episode: episode, Total: j.spec.Episodes, BestSeconds: best})
+}
+
+// finish moves the job to a terminal state (exactly once) and wakes
+// everyone waiting on it.
+func (j *job) finish(state string, plan json.RawMessage, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	select {
+	case <-j.done:
+		return // already terminal
+	default:
+	}
+	j.state = state
+	j.planJSON = plan
+	j.err = err
+	ev := Event{State: state, Total: j.spec.Episodes}
+	if n := len(j.events); n > 0 {
+		ev.Episode = j.events[n-1].Episode
+		ev.BestSeconds = j.events[n-1].BestSeconds
+	}
+	if state == StateDone {
+		ev.Episode = j.spec.Episodes
+	}
+	j.publishLocked(ev)
+	close(j.done)
+}
+
+// status snapshots the job for the /v1/jobs/{id} reply.
+func (j *job) status() OptimizeResponse {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	resp := OptimizeResponse{ID: j.id, State: j.state, Plan: j.planJSON}
+	if n := len(j.events); n > 0 {
+		ev := j.events[n-1]
+		resp.Progress = &ev
+	}
+	if j.err != nil {
+		resp.Error = j.err.Error()
+	}
+	return resp
+}
+
+// eventsFrom returns the events at index >= from, a channel that is
+// closed when more arrive, and whether the job is already terminal.
+func (j *job) eventsFrom(from int) ([]Event, <-chan struct{}, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var evs []Event
+	if from < len(j.events) {
+		evs = append(evs, j.events[from:]...)
+	}
+	terminal := false
+	select {
+	case <-j.done:
+		terminal = true
+	default:
+	}
+	return evs, j.update, terminal
+}

@@ -1,0 +1,172 @@
+// Package loadtest drives a running qsdnn serve daemon with a fixed
+// pool of concurrent clients and reports client-observed latency
+// percentiles and throughput. scripts/bench.sh uses it to produce
+// BENCH_serve.json; the package test doubles as the >= 64-client
+// zero-error acceptance gate.
+package loadtest
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Options configures one load run.
+type Options struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Clients is the number of concurrent clients (default 64).
+	Clients int
+	// Requests is the total request count (default 4 * Clients).
+	Requests int
+	// Bodies are the POST /v1/optimize payloads, assigned round-robin.
+	Bodies [][]byte
+	// Timeout bounds one request (default 2 minutes).
+	Timeout time.Duration
+}
+
+// Result is the aggregate outcome of a load run.
+type Result struct {
+	Requests   int           `json:"requests"`
+	Clients    int           `json:"clients"`
+	Errors     int           `json:"errors"`
+	ByStatus   map[int]int   `json:"by_status"`
+	P50        time.Duration `json:"p50_ns"`
+	P95        time.Duration `json:"p95_ns"`
+	P99        time.Duration `json:"p99_ns"`
+	Max        time.Duration `json:"max_ns"`
+	Elapsed    time.Duration `json:"elapsed_ns"`
+	Throughput float64       `json:"requests_per_second"`
+}
+
+// String renders the run for humans.
+func (r *Result) String() string {
+	return fmt.Sprintf("%d requests / %d clients: %d errors, p50 %.2fms p95 %.2fms p99 %.2fms max %.2fms, %.1f req/s",
+		r.Requests, r.Clients, r.Errors,
+		float64(r.P50)/1e6, float64(r.P95)/1e6, float64(r.P99)/1e6, float64(r.Max)/1e6,
+		r.Throughput)
+}
+
+// percentile returns the p-th percentile (0 < p <= 100) of sorted
+// durations using nearest-rank.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(p/100*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// Run fires opt.Requests POSTs at opt.BaseURL from opt.Clients
+// concurrent workers. A request counts as an error if it fails at the
+// transport layer or returns a status outside {200, 202, 429} — 429 is
+// the daemon's documented backpressure answer, so the caller can
+// decide from ByStatus whether rejections are acceptable for the run.
+func Run(ctx context.Context, opt Options) (*Result, error) {
+	if opt.BaseURL == "" {
+		return nil, fmt.Errorf("loadtest: BaseURL is required")
+	}
+	if len(opt.Bodies) == 0 {
+		return nil, fmt.Errorf("loadtest: at least one request body is required")
+	}
+	if opt.Clients <= 0 {
+		opt.Clients = 64
+	}
+	if opt.Requests <= 0 {
+		opt.Requests = 4 * opt.Clients
+	}
+	if opt.Timeout <= 0 {
+		opt.Timeout = 2 * time.Minute
+	}
+	client := &http.Client{Timeout: opt.Timeout}
+	url := opt.BaseURL + "/v1/optimize"
+
+	var mu sync.Mutex
+	durations := make([]time.Duration, 0, opt.Requests)
+	byStatus := map[int]int{}
+	errorsN := 0
+
+	work := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < opt.Clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				body := opt.Bodies[i%len(opt.Bodies)]
+				t0 := time.Now()
+				status, err := post(ctx, client, url, body)
+				d := time.Since(t0)
+				mu.Lock()
+				durations = append(durations, d)
+				byStatus[status]++
+				if err != nil || (status != http.StatusOK && status != http.StatusAccepted && status != http.StatusTooManyRequests) {
+					errorsN++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := 0; i < opt.Requests; i++ {
+		select {
+		case work <- i:
+		case <-ctx.Done():
+			close(work)
+			wg.Wait()
+			return nil, ctx.Err()
+		}
+	}
+	close(work)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sort.Slice(durations, func(i, j int) bool { return durations[i] < durations[j] })
+	res := &Result{
+		Requests: len(durations),
+		Clients:  opt.Clients,
+		Errors:   errorsN,
+		ByStatus: byStatus,
+		P50:      percentile(durations, 50),
+		P95:      percentile(durations, 95),
+		P99:      percentile(durations, 99),
+		Elapsed:  elapsed,
+	}
+	if len(durations) > 0 {
+		res.Max = durations[len(durations)-1]
+	}
+	if elapsed > 0 {
+		res.Throughput = float64(len(durations)) / elapsed.Seconds()
+	}
+	return res, nil
+}
+
+// post issues one request and returns the status code (0 on transport
+// failure).
+func post(ctx context.Context, client *http.Client, url string, body []byte) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return resp.StatusCode, err
+	}
+	return resp.StatusCode, nil
+}

@@ -1,0 +1,132 @@
+package loadtest
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// TestLoad64Clients is the load acceptance gate: 64 concurrent clients,
+// 256 requests over 8 distinct jobs, zero errors, and sane percentile
+// accounting — all against a real in-process daemon.
+func TestLoad64Clients(t *testing.T) {
+	srv, err := serve.New(serve.Config{MaxInflight: 4, QueueDepth: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Drain(0)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var bodies [][]byte
+	for seed := 1; seed <= 8; seed++ {
+		bodies = append(bodies, []byte(fmt.Sprintf(
+			`{"network":"lenet5","mode":"cpu","episodes":300,"samples":3,"seed":%d,"wait":true}`, seed)))
+	}
+	res, err := Run(context.Background(), Options{
+		BaseURL:  ts.URL,
+		Clients:  64,
+		Requests: 256,
+		Bodies:   bodies,
+		Timeout:  2 * time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(res.String())
+	if res.Errors != 0 {
+		t.Fatalf("%d client errors: %+v", res.Errors, res.ByStatus)
+	}
+	if res.Requests != 256 {
+		t.Fatalf("recorded %d requests, want 256", res.Requests)
+	}
+	if res.ByStatus[200] != 256 {
+		t.Fatalf("status histogram: %+v, want 256 x 200 (wait:true never queues a reply)", res.ByStatus)
+	}
+	if res.P50 <= 0 || res.P95 < res.P50 || res.P99 < res.P95 || res.Max < res.P99 {
+		t.Fatalf("percentiles not monotone: %+v", res)
+	}
+	if res.Throughput <= 0 {
+		t.Fatalf("throughput %v", res.Throughput)
+	}
+	if st := srv.Status(); st.Rejected != 0 || st.Failed != 0 {
+		t.Fatalf("daemon outcomes: %+v", st)
+	}
+}
+
+// TestLoadRecord is the scripts/bench.sh hook: with QSDNN_LOADTEST_OUT
+// set to an absolute path it runs the standard 64-client load against
+// an in-process daemon and writes the measured percentiles and
+// throughput there as JSON (BENCH_serve.json); otherwise it skips.
+func TestLoadRecord(t *testing.T) {
+	out := os.Getenv("QSDNN_LOADTEST_OUT")
+	if out == "" {
+		t.Skip("set QSDNN_LOADTEST_OUT to record a load run (see scripts/bench.sh)")
+	}
+	srv, err := serve.New(serve.Config{MaxInflight: 4, QueueDepth: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Drain(0)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var bodies [][]byte
+	for seed := 1; seed <= 8; seed++ {
+		bodies = append(bodies, []byte(fmt.Sprintf(
+			`{"network":"lenet5","mode":"cpu","episodes":300,"samples":3,"seed":%d,"wait":true}`, seed)))
+	}
+	res, err := Run(context.Background(), Options{BaseURL: ts.URL, Clients: 64, Requests: 256, Bodies: bodies})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(res.String())
+	if res.Errors != 0 {
+		t.Fatalf("%d client errors: %+v", res.Errors, res.ByStatus)
+	}
+	ms := func(d time.Duration) float64 { return float64(d) / 1e6 }
+	payload, err := json.MarshalIndent(struct {
+		Workload string  `json:"workload"`
+		P50Ms    float64 `json:"p50_ms"`
+		P95Ms    float64 `json:"p95_ms"`
+		P99Ms    float64 `json:"p99_ms"`
+		MaxMs    float64 `json:"max_ms"`
+		RPS      float64 `json:"requests_per_second"`
+		Load     *Result `json:"load"`
+	}{
+		Workload: "lenet5 cpu e300 s3, 8 distinct seeds, wait:true",
+		P50Ms:    ms(res.P50), P95Ms: ms(res.P95), P99Ms: ms(res.P99), MaxMs: ms(res.Max),
+		RPS:  res.Throughput,
+		Load: res,
+	}, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(payload, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	ds := make([]time.Duration, 100)
+	for i := range ds {
+		ds[i] = time.Duration(i+1) * time.Millisecond
+	}
+	for _, tc := range []struct {
+		p    float64
+		want time.Duration
+	}{{50, 50 * time.Millisecond}, {95, 95 * time.Millisecond}, {99, 99 * time.Millisecond}, {100, 100 * time.Millisecond}} {
+		if got := percentile(ds, tc.p); got != tc.want {
+			t.Fatalf("p%.0f = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	if got := percentile(nil, 50); got != 0 {
+		t.Fatalf("empty percentile = %v", got)
+	}
+}

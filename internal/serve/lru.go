@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is the warm in-memory plan cache in front of the durable
+// plan store: a fixed-capacity LRU from request key to the marshaled
+// plan bytes that were (or will be) persisted for that key. Serving
+// from it skips both the search and the disk read, and because the
+// cached value is the exact stored payload, a cache hit is
+// byte-identical to a cold recompute.
+type lruCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List
+	items map[string]*list.Element
+}
+
+type lruEntry struct {
+	key     string
+	payload []byte
+}
+
+// newLRU returns an LRU holding up to cap entries; cap <= 0 selects
+// the default capacity of 256 plans.
+func newLRU(cap int) *lruCache {
+	if cap <= 0 {
+		cap = 256
+	}
+	return &lruCache{cap: cap, ll: list.New(), items: map[string]*list.Element{}}
+}
+
+// get returns the cached payload for key and marks it most recently
+// used.
+func (c *lruCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).payload, true
+}
+
+// add inserts or refreshes key, evicting the least recently used entry
+// past capacity.
+func (c *lruCache) add(key string, payload []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruEntry).payload = payload
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, payload: payload})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+	}
+}
+
+// len reports the current entry count.
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,720 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/lut"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/platform"
+	"repro/internal/pool"
+	"repro/internal/primitives"
+	"repro/internal/profile"
+	"repro/internal/runner"
+)
+
+// ProfileFunc builds the look-up table for one validated request. The
+// server wraps it in the single-flight runner.Flight, so it runs at
+// most once per distinct (network, platform, mode, samples)
+// combination no matter how many clients ask concurrently. It must
+// honor ctx. nil selects the platform simulator.
+type ProfileFunc func(ctx context.Context, net *nn.Network, board *platform.Platform, mode primitives.Mode, samples int) (*lut.Table, *profile.Report, error)
+
+// Config configures a Server.
+type Config struct {
+	// MaxInflight is the number of concurrent searches (the worker
+	// count); <= 0 selects one per CPU.
+	MaxInflight int
+	// QueueDepth bounds the admission queue; a request arriving with
+	// the queue full is rejected with 429 + Retry-After. <= 0
+	// selects 64.
+	QueueDepth int
+	// PlanStore is the durable state directory (plans + job records +
+	// search checkpoints); empty serves from memory only, with no
+	// crash resume.
+	PlanStore string
+	// CacheSize is the warm in-memory plan LRU capacity; <= 0
+	// selects 256.
+	CacheSize int
+	// SnapshotEvery is the search checkpoint cadence in episodes —
+	// also the progress-event granularity; <= 0 selects
+	// core.DefaultSnapshotEvery.
+	SnapshotEvery int
+	// RetainJobs bounds how many finished jobs stay pollable at
+	// /v1/jobs/{id}; <= 0 selects 1024.
+	RetainJobs int
+	// Profile overrides the profiling step (tests use it to count
+	// invocations and inject gates); nil profiles on the platform
+	// simulator.
+	Profile ProfileFunc
+	// Robust selects the fault-tolerant measurement policy for the
+	// default simulator profiler; ignored when Profile is non-nil.
+	Robust *profile.Robust
+}
+
+// errStopped aborts a search at a checkpoint boundary during a hard
+// stop: the snapshot is already durable, so the job resumes on the
+// next start.
+var errStopped = errors.New("serve: hard stop at checkpoint boundary")
+
+// Server is the optimization daemon. Create with New, mount
+// Handler(), and stop with Drain.
+type Server struct {
+	cfg    Config
+	every  int
+	retain int
+
+	profileFn ProfileFunc
+	flight    *runner.Flight
+	lru       *lruCache
+	store     *planStore // nil without Config.PlanStore
+
+	baseCtx context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+
+	mu        sync.Mutex
+	draining  bool
+	queue     chan *job
+	resumedQ  []*job
+	jobs      map[string]*job
+	byKey     map[string]*job
+	doneOrder []string
+	nextID    int64
+
+	queuedN     atomic.Int64
+	inflight    atomic.Int64
+	accepted    atomic.Int64
+	rejected    atomic.Int64
+	coalesced   atomic.Int64
+	completed   atomic.Int64
+	failed      atomic.Int64
+	interrupted atomic.Int64
+	resumed     atomic.Int64
+	skippedRec  atomic.Int64
+	searches    atomic.Int64
+	planHits    atomic.Int64
+	storeHits   atomic.Int64
+	planMisses  atomic.Int64
+}
+
+// defaultProfile profiles on the platform simulator, optionally under
+// the robust measurement policy.
+func defaultProfile(robust *profile.Robust) ProfileFunc {
+	return func(ctx context.Context, net *nn.Network, board *platform.Platform, mode primitives.Mode, samples int) (*lut.Table, *profile.Report, error) {
+		sim := profile.NewSimSource(net, board)
+		return profile.RunFallible(ctx, net, profile.AsFallible(sim),
+			profile.Options{Mode: mode, Samples: samples, Robust: robust})
+	}
+}
+
+// New builds a Server, reopens its durable store, re-admits every job
+// record a previous process left behind (crash or hard-stop resume),
+// and starts the worker set.
+func New(cfg Config) (*Server, error) {
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	every := cfg.SnapshotEvery
+	if every <= 0 {
+		every = core.DefaultSnapshotEvery
+	}
+	retain := cfg.RetainJobs
+	if retain <= 0 {
+		retain = 1024
+	}
+	profileFn := cfg.Profile
+	if profileFn == nil {
+		profileFn = defaultProfile(cfg.Robust)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:       cfg,
+		every:     every,
+		retain:    retain,
+		profileFn: profileFn,
+		flight:    runner.NewFlight(),
+		lru:       newLRU(cfg.CacheSize),
+		baseCtx:   ctx,
+		cancel:    cancel,
+		queue:     make(chan *job, cfg.QueueDepth),
+		jobs:      map[string]*job{},
+		byKey:     map[string]*job{},
+	}
+	if cfg.PlanStore != "" {
+		st, err := openPlanStore(cfg.PlanStore)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		s.store = st
+		reqs, skipped, err := st.pendingJobs()
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		s.skippedRec.Add(int64(skipped))
+		for _, req := range reqs {
+			spec, err := req.spec()
+			if err != nil {
+				s.skippedRec.Add(1)
+				continue
+			}
+			j := newJob(s.newID(), spec)
+			j.resumed = true
+			s.jobs[j.id] = j
+			s.byKey[spec.key()] = j
+			s.resumedQ = append(s.resumedQ, j)
+			s.queuedN.Add(1)
+			s.resumed.Add(1)
+		}
+	}
+	for w := 0; w < cfg.MaxInflight; w++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// newID mints a job id. Callers either hold s.mu or run before any
+// concurrency exists (New).
+func (s *Server) newID() string {
+	s.nextID++
+	return fmt.Sprintf("j-%06d", s.nextID)
+}
+
+// Handler returns the daemon's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /statusz", s.handleStatusz)
+	return mux
+}
+
+// writeJSON writes v with the given status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+// errorJSON is the uniform error reply body.
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+// handleOptimize is the admission path: validate (400), serve from the
+// plan cache/store when the identical request was already optimized,
+// coalesce onto an identical in-flight job, or admit onto the bounded
+// queue — rejecting with 429 + Retry-After when it is full and 503
+// while draining.
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	req, spec, err := decodeOptimizeRequest(r.Body)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
+		return
+	}
+	key := spec.key()
+	if payload, ok := s.lookupPlan(key); ok {
+		writeJSON(w, http.StatusOK, OptimizeResponse{State: StateDone, Cached: true, Plan: payload})
+		return
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", "5")
+		writeJSON(w, http.StatusServiceUnavailable, errorJSON{Error: "server is draining"})
+		return
+	}
+	if j := s.byKey[key]; j != nil {
+		s.coalesced.Add(1)
+		s.mu.Unlock()
+		s.respondJob(w, r, j, req.Wait, http.StatusOK)
+		return
+	}
+	// Second cache check under the lock: a job for this key may have
+	// finished between the lock-free lookup above and here (it caches
+	// its plan before releasing its coalescing slot, so holding s.mu
+	// with byKey empty means any such plan is already visible) —
+	// without this, the race would admit a duplicate search.
+	if payload, ok := s.lookupPlan(key); ok {
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, OptimizeResponse{State: StateDone, Cached: true, Plan: payload})
+		return
+	}
+	j := newJob(s.newID(), spec)
+	if s.store != nil {
+		// Durable admission: the job record lands before the job is
+		// claimable, so a SIGKILL at any later instant cannot lose it.
+		if err := s.store.saveJobRecord(spec, nil); err != nil {
+			s.mu.Unlock()
+			writeJSON(w, http.StatusInternalServerError, errorJSON{Error: fmt.Sprintf("persisting job record: %v", err)})
+			return
+		}
+	}
+	select {
+	case s.queue <- j:
+	default:
+		if s.store != nil {
+			s.store.dropJobRecord(key)
+		}
+		s.rejected.Add(1)
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, errorJSON{Error: "queue full"})
+		return
+	}
+	s.jobs[j.id] = j
+	s.byKey[key] = j
+	s.accepted.Add(1)
+	s.queuedN.Add(1)
+	s.mu.Unlock()
+	s.respondJob(w, r, j, req.Wait, http.StatusAccepted)
+}
+
+// respondJob replies for an admitted (or coalesced-onto) job: a 202
+// status envelope, or — with wait — the finished plan inline.
+func (s *Server) respondJob(w http.ResponseWriter, r *http.Request, j *job, wait bool, code int) {
+	if !wait {
+		writeJSON(w, code, j.status())
+		return
+	}
+	select {
+	case <-j.done:
+	case <-r.Context().Done():
+		return // client gone; the job keeps running for other waiters
+	}
+	st := j.status()
+	switch st.State {
+	case StateDone:
+		writeJSON(w, http.StatusOK, st)
+	case StateInterrupted:
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, st)
+	default:
+		writeJSON(w, http.StatusInternalServerError, st)
+	}
+}
+
+// jobByID looks up a job.
+func (s *Server) jobByID(id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j := s.jobByID(r.PathValue("id"))
+	if j == nil {
+		writeJSON(w, http.StatusNotFound, errorJSON{Error: "unknown job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+// handleEvents streams a job's progress as server-sent events: one
+// `data:` line per checkpoint-cadence boundary, ending with the
+// terminal state event.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.jobByID(r.PathValue("id"))
+	if j == nil {
+		writeJSON(w, http.StatusNotFound, errorJSON{Error: "unknown job"})
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, errorJSON{Error: "streaming unsupported"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	sent := 0
+	for {
+		evs, update, terminal := j.eventsFrom(sent)
+		for _, ev := range evs {
+			data, err := json.Marshal(ev)
+			if err != nil {
+				return
+			}
+			fmt.Fprintf(w, "data: %s\n\n", data)
+		}
+		if len(evs) > 0 {
+			fl.Flush()
+			sent += len(evs)
+		}
+		if terminal {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-update:
+		}
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		w.Header().Set("Retry-After", "5")
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// Statusz is the GET /statusz body: queue occupancy, job outcomes, and
+// every cache layer's effectiveness.
+type Statusz struct {
+	Draining    bool  `json:"draining"`
+	MaxInflight int   `json:"max_inflight"`
+	QueueDepth  int   `json:"queue_depth"`
+	Inflight    int64 `json:"inflight"`
+	Queued      int64 `json:"queued"`
+
+	Accepted    int64 `json:"accepted"`
+	Rejected    int64 `json:"rejected"`
+	Coalesced   int64 `json:"coalesced"`
+	Completed   int64 `json:"completed"`
+	Failed      int64 `json:"failed"`
+	Interrupted int64 `json:"interrupted"`
+	Resumed     int64 `json:"resumed"`
+	SkippedRec  int64 `json:"skipped_records"`
+	Searches    int64 `json:"searches"`
+
+	PlanCacheHits   int64 `json:"plan_cache_hits"`
+	PlanStoreHits   int64 `json:"plan_store_hits"`
+	PlanCacheMisses int64 `json:"plan_cache_misses"`
+	PlanCacheSize   int   `json:"plan_cache_size"`
+	LUTCacheHits    int   `json:"lut_cache_hits"`
+	LUTCacheMisses  int   `json:"lut_cache_misses"`
+}
+
+// Status snapshots the daemon counters.
+func (s *Server) Status() Statusz {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	lh, lm := s.flight.Stats()
+	return Statusz{
+		Draining:        draining,
+		MaxInflight:     s.cfg.MaxInflight,
+		QueueDepth:      s.cfg.QueueDepth,
+		Inflight:        s.inflight.Load(),
+		Queued:          s.queuedN.Load(),
+		Accepted:        s.accepted.Load(),
+		Rejected:        s.rejected.Load(),
+		Coalesced:       s.coalesced.Load(),
+		Completed:       s.completed.Load(),
+		Failed:          s.failed.Load(),
+		Interrupted:     s.interrupted.Load(),
+		Resumed:         s.resumed.Load(),
+		SkippedRec:      s.skippedRec.Load(),
+		Searches:        s.searches.Load(),
+		PlanCacheHits:   s.planHits.Load(),
+		PlanStoreHits:   s.storeHits.Load(),
+		PlanCacheMisses: s.planMisses.Load(),
+		PlanCacheSize:   s.lru.len(),
+		LUTCacheHits:    lh,
+		LUTCacheMisses:  lm,
+	}
+}
+
+func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Status())
+}
+
+// lookupPlan serves a finished plan from the LRU or the durable store.
+func (s *Server) lookupPlan(key string) (json.RawMessage, bool) {
+	if p, ok := s.lru.get(key); ok {
+		s.planHits.Add(1)
+		return p, true
+	}
+	if s.store != nil {
+		if p, ok := s.store.getPlan(key); ok {
+			s.storeHits.Add(1)
+			s.lru.add(key, p)
+			return p, true
+		}
+	}
+	s.planMisses.Add(1)
+	return nil, false
+}
+
+// worker claims jobs — startup-resumed ones first, then the admission
+// queue — until Drain closes the queue or a hard stop cancels the base
+// context.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		if j := s.popResumed(); j != nil {
+			s.run(j)
+			continue
+		}
+		j, ok := <-s.queue
+		if !ok {
+			for j := s.popResumed(); j != nil; j = s.popResumed() {
+				s.run(j)
+			}
+			return
+		}
+		s.run(j)
+	}
+}
+
+func (s *Server) popResumed() *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.resumedQ) == 0 {
+		return nil
+	}
+	j := s.resumedQ[0]
+	s.resumedQ = s.resumedQ[1:]
+	return j
+}
+
+// run executes one job under internal/pool's panic isolation: a
+// panicking search fails that job (stack captured in its error) and
+// the daemon lives on.
+func (s *Server) run(j *job) {
+	s.queuedN.Add(-1)
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	j.setRunning()
+	out := pool.RunContext(s.baseCtx, 1, 1, func(int) { s.exec(j) })
+	if perr := out.Err(); perr != nil {
+		s.finishJob(j, StateFailed, nil, fmt.Errorf("job panicked: %v", perr))
+	}
+	if out.Skipped == 1 {
+		// Hard stop won the race before the job started; its durable
+		// admission record (if any) resumes it next start.
+		s.finishJob(j, StateInterrupted, nil, errors.New("server stopped before the job ran"))
+	}
+}
+
+// exec is the job pipeline: cache check, single-flight profile,
+// checkpointed search with progress events, durable plan persistence.
+func (s *Server) exec(j *job) {
+	spec := j.spec
+	ctx := s.baseCtx
+	key := spec.key()
+
+	// A resumed job whose plan was already persisted (crash between
+	// putPlan and dropJobRecord) finishes without searching.
+	if payload, ok := s.lookupPlan(key); ok {
+		if s.store != nil {
+			s.store.dropJobRecord(key)
+		}
+		s.finishJob(j, StateDone, payload, nil)
+		return
+	}
+
+	net, err := models.Build(spec.Network)
+	if err != nil {
+		s.finishJob(j, StateFailed, nil, err)
+		return
+	}
+	board, ok := platform.Preset(spec.Platform)
+	if !ok {
+		s.finishJob(j, StateFailed, nil, fmt.Errorf("unknown platform %q", spec.Platform))
+		return
+	}
+	tab, plan, _, err := s.flight.Get(spec.lutKey(), func() (*lut.Table, *profile.Report, error) {
+		return s.profileFn(ctx, net, board, spec.Mode, spec.Samples)
+	})
+	if err != nil {
+		if ctx.Err() != nil {
+			s.finishJob(j, StateInterrupted, nil, fmt.Errorf("profiling interrupted: %w", err))
+			return
+		}
+		s.finishJob(j, StateFailed, nil, fmt.Errorf("profiling: %w", err))
+		return
+	}
+
+	var from *core.Snapshot
+	if s.store != nil {
+		from = s.store.loadSnapshot(key, tab)
+	}
+	var res *core.Result
+	if from != nil && from.Checkpoint.Episode >= spec.Episodes && len(from.BestAssignment) > 0 {
+		// The previous process checkpointed the full budget but died
+		// before persisting the plan; the snapshot carries the final
+		// best, so the result is rebuilt without re-searching.
+		res = &core.Result{
+			Assignment: append([]primitives.ID(nil), from.BestAssignment...),
+			Time:       from.BestTime,
+			Episodes:   spec.Episodes,
+		}
+	}
+	if res == nil {
+		if from != nil && from.Checkpoint.Episode >= spec.Episodes {
+			from = nil // unusable snapshot; start over
+		}
+		s.searches.Add(1)
+		cfg := core.Config{Episodes: spec.Episodes, Seed: spec.Seed}
+		var serr error
+		res, _, serr = core.SearchCheckpointedPlanned(plan, cfg, core.DurableOptions{
+			Every: s.every,
+			From:  from,
+			Save: func(snap *core.Snapshot) error {
+				j.progress(snap.Checkpoint.Episode, snap.BestTime)
+				if s.store != nil {
+					payload, merr := snap.Marshal()
+					if merr != nil {
+						return merr
+					}
+					if werr := s.store.saveJobRecord(spec, payload); werr != nil {
+						return werr
+					}
+				}
+				if ctx.Err() != nil && snap.Checkpoint.Episode < spec.Episodes {
+					// Hard stop: the snapshot just persisted is the
+					// resume point; stop at this boundary.
+					return errStopped
+				}
+				return nil
+			},
+		})
+		if serr != nil {
+			if errors.Is(serr, errStopped) || ctx.Err() != nil {
+				s.finishJob(j, StateInterrupted, nil, errors.New("server stopping; search checkpointed for resume"))
+				return
+			}
+			s.finishJob(j, StateFailed, nil, serr)
+			return
+		}
+	}
+
+	pr := buildPlanResponse(spec, net, tab, res)
+	payload, err := json.Marshal(pr)
+	if err != nil {
+		s.finishJob(j, StateFailed, nil, err)
+		return
+	}
+	if s.store != nil {
+		if err := s.store.putPlan(key, payload); err != nil {
+			s.finishJob(j, StateFailed, nil, fmt.Errorf("persisting plan: %w", err))
+			return
+		}
+		s.store.dropJobRecord(key)
+	}
+	s.lru.add(key, payload)
+	s.finishJob(j, StateDone, payload, nil)
+}
+
+// finishJob moves a job to a terminal state once, updates the outcome
+// counters, releases its coalescing slot, and bounds the finished-job
+// registry.
+func (s *Server) finishJob(j *job, state string, plan json.RawMessage, err error) {
+	select {
+	case <-j.done:
+		return // already terminal (e.g. the panic path raced exec)
+	default:
+	}
+	j.finish(state, plan, err)
+	switch state {
+	case StateDone:
+		s.completed.Add(1)
+	case StateFailed:
+		s.failed.Add(1)
+	case StateInterrupted:
+		s.interrupted.Add(1)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.byKey[j.spec.key()] == j {
+		delete(s.byKey, j.spec.key())
+	}
+	s.doneOrder = append(s.doneOrder, j.id)
+	for len(s.doneOrder) > s.retain {
+		delete(s.jobs, s.doneOrder[0])
+		s.doneOrder = s.doneOrder[1:]
+	}
+}
+
+// Drain gracefully stops the daemon: admission closes (new POSTs get
+// 503), queued and in-flight jobs run to completion, and only past the
+// timeout does it hard-stop — in-flight searches then cut out at their
+// next checkpoint boundary with a durable snapshot, and a server
+// restarted on the same plan store resumes them to byte-identical
+// results. timeout <= 0 hard-stops immediately. Drain is idempotent
+// and returns when every worker has exited.
+func (s *Server) Drain(timeout time.Duration) {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	if timeout <= 0 {
+		s.cancel()
+		<-done
+		return
+	}
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case <-done:
+	case <-t.C:
+		s.cancel()
+		<-done
+	}
+}
+
+// ReferencePlan computes, in-process and without a server, exactly the
+// plan the daemon serves for req at the given checkpoint cadence —
+// the same pipeline the CLI's durable search (`qsdnn search
+// -checkpoint`) runs. Tests pin byte-identity between served, cached,
+// crash-resumed and reference plans with it.
+func ReferencePlan(ctx context.Context, req OptimizeRequest, every int) (*PlanResponse, []byte, error) {
+	spec, err := req.spec()
+	if err != nil {
+		return nil, nil, err
+	}
+	net, err := models.Build(spec.Network)
+	if err != nil {
+		return nil, nil, err
+	}
+	board, _ := platform.Preset(spec.Platform)
+	tab, _, err := defaultProfile(nil)(ctx, net, board, spec.Mode, spec.Samples)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, _, err := core.SearchCheckpointed(tab, core.Config{Episodes: spec.Episodes, Seed: spec.Seed},
+		core.DurableOptions{Every: every})
+	if err != nil {
+		return nil, nil, err
+	}
+	pr := buildPlanResponse(spec, net, tab, res)
+	payload, err := json.Marshal(pr)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pr, payload, nil
+}

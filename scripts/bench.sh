@@ -3,14 +3,18 @@
 # records the CI bench-smoke job uploads and EXPERIMENTS.md quotes:
 #   BENCH_search.json   search-phase benchmarks (root package)
 #   BENCH_kernels.json  GEMM/conv kernel + engine benchmarks
+#   BENCH_serve.json    serving daemon: 64-client load percentiles
+#                       (p50/p95/p99 latency, throughput)
 # The raw `go test -bench` text is preserved next to them for
-# benchstat (bench/latest.txt, bench/latest_kernels.txt).
+# benchstat (bench/latest.txt, bench/latest_kernels.txt,
+# bench/latest_serve.txt).
 #
 # Environment overrides:
 #   BENCHTIME  per-benchmark budget (default 2s; CI smoke uses 1x)
 #   COUNT      repetitions per benchmark (default 1)
 #   OUT        search JSON path (default BENCH_search.json)
 #   KOUT       kernel JSON path (default BENCH_kernels.json)
+#   SOUT       serve JSON path (default BENCH_serve.json)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -19,8 +23,10 @@ BENCHTIME="${BENCHTIME:-2s}"
 COUNT="${COUNT:-1}"
 OUT="${OUT:-BENCH_search.json}"
 KOUT="${KOUT:-BENCH_kernels.json}"
+SOUT="${SOUT:-BENCH_serve.json}"
 RAW="${RAW:-bench/latest.txt}"
 KRAW="${KRAW:-bench/latest_kernels.txt}"
+SRAW="${SRAW:-bench/latest_serve.txt}"
 
 mkdir -p "$(dirname "$RAW")"
 
@@ -78,3 +84,21 @@ go test -run '^$' \
     -benchtime "$BENCHTIME" -count "$COUNT" \
     . ./internal/gemm/ ./internal/runner/ | tee "$KRAW"
 emit_json "$KRAW" "$KOUT"
+
+# Serving daemon: the three HTTP request classes end to end (cold
+# profile+search, warm cache hit, 8-way coalesced duplicates).
+go test -run '^$' \
+    -bench 'BenchmarkServeOptimize' \
+    -benchtime "$BENCHTIME" -count "$COUNT" \
+    ./internal/serve/ | tee "$SRAW"
+
+# Load generator: 64 concurrent clients against an in-process daemon;
+# writes client-observed p50/p95/p99 latency and sustained throughput.
+# go test runs the test in its package directory, so the output path
+# must be absolute.
+case "$SOUT" in
+/*) sout_abs="$SOUT" ;;
+*) sout_abs="$(pwd)/$SOUT" ;;
+esac
+QSDNN_LOADTEST_OUT="$sout_abs" go test -run 'TestLoadRecord' -count 1 ./internal/serve/loadtest/
+echo "wrote $SOUT"
