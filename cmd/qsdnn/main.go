@@ -35,6 +35,7 @@ import (
 	"repro/internal/platform"
 	"repro/internal/primitives"
 	"repro/internal/profile"
+	"repro/internal/resilience"
 	"repro/internal/sched"
 	"repro/internal/serve"
 	"repro/internal/store"
@@ -74,6 +75,12 @@ func main() {
 	queueDepth := fs.Int("queue-depth", 64, "serve: bounded admission queue depth (full queue replies 429)")
 	planStore := fs.String("plan-store", "", "serve: durable plan/checkpoint directory (empty = in-memory only, no crash resume)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "serve: graceful-drain budget on SIGINT/SIGTERM before in-flight searches checkpoint and stop")
+	maxDeadline := fs.Duration("max-deadline", 0, "serve: cap on per-request deadline_ms budgets; also the default budget for requests without one (0 = uncapped)")
+	brownout := fs.Bool("brownout", false, "serve: degraded mode — answer over-budget/failing requests with the newest cached plan of the same network/platform/mode/objective, marked degraded, instead of an error")
+	breakerFailures := fs.Int("breaker-failures", 0, "serve: trip a per-(platform,library) circuit breaker after N consecutive profiling failures (0 = breakers off)")
+	breakerCooldown := fs.Duration("breaker-cooldown", 5*time.Second, "serve: how long a tripped breaker rejects before half-open probes")
+	watchdogStall := fs.Duration("watchdog-stall", 0, "serve: cancel jobs whose progress heartbeat goes quiet for longer than this floor (0 = watchdog off)")
+	watchdogMult := fs.Float64("watchdog-multiple", 8, "serve: stall limit as a multiple of each job's learned heartbeat cadence (floor -watchdog-stall)")
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
 	}
@@ -90,7 +97,13 @@ func main() {
 	ft := faultFlags{robust: *robust, retries: *retries, sampleTimeout: *sampleTimeout, faultSeed: *faultSeed}
 	df := durableFlags{manifest: *manifestDir, checkpoint: *checkpointDir, resume: *resume, every: *checkpointEvery}
 	ef := engineFlags{real: *realEngine, workers: *kernelWorkers, seed: *seed}
-	sf := serveFlags{addr: *addr, maxInflight: *maxInflight, queueDepth: *queueDepth, planStore: *planStore, drainTimeout: *drainTimeout}
+	sf := serveFlags{
+		addr: *addr, maxInflight: *maxInflight, queueDepth: *queueDepth,
+		planStore: *planStore, drainTimeout: *drainTimeout,
+		maxDeadline: *maxDeadline, brownout: *brownout,
+		breakerFailures: *breakerFailures, breakerCooldown: *breakerCooldown,
+		watchdogStall: *watchdogStall, watchdogMult: *watchdogMult,
+	}
 	if err := runCtx(ctx, cmd, *netName, *modeStr, *episodes, *samples, *seed, *lutFile, *platName, *parallel, *seeds, ft, df, ef, sf); err != nil {
 		fmt.Fprintln(os.Stderr, "qsdnn:", err)
 		os.Exit(1)
@@ -149,6 +162,26 @@ func validateFlags(fs *flag.FlagSet) error {
 			if get().(time.Duration) < 0 {
 				err = fmt.Errorf("-drain-timeout must be >= 0 (got %s)", f.Value)
 			}
+		case "max-deadline":
+			if get().(time.Duration) < 0 {
+				err = fmt.Errorf("-max-deadline must be >= 0 (got %s)", f.Value)
+			}
+		case "breaker-failures":
+			if get().(int) < 0 {
+				err = fmt.Errorf("-breaker-failures must be >= 0 (got %s)", f.Value)
+			}
+		case "breaker-cooldown":
+			if get().(time.Duration) < 0 {
+				err = fmt.Errorf("-breaker-cooldown must be >= 0 (got %s)", f.Value)
+			}
+		case "watchdog-stall":
+			if get().(time.Duration) < 0 {
+				err = fmt.Errorf("-watchdog-stall must be >= 0 (got %s)", f.Value)
+			}
+		case "watchdog-multiple":
+			if get().(float64) <= 0 {
+				err = fmt.Errorf("-watchdog-multiple must be positive (got %s)", f.Value)
+			}
 		}
 	})
 	return err
@@ -164,11 +197,17 @@ type durableFlags struct {
 
 // serveFlags bundles the daemon CLI flags.
 type serveFlags struct {
-	addr         string
-	maxInflight  int
-	queueDepth   int
-	planStore    string
-	drainTimeout time.Duration
+	addr            string
+	maxInflight     int
+	queueDepth      int
+	planStore       string
+	drainTimeout    time.Duration
+	maxDeadline     time.Duration
+	brownout        bool
+	breakerFailures int
+	breakerCooldown time.Duration
+	watchdogStall   time.Duration
+	watchdogMult    float64
 }
 
 // engineFlags bundles the real-engine profiling CLI flags.
@@ -265,6 +304,22 @@ flags: -net NAME -mode cpu|gpgpu -platform NAME -episodes N -samples N -seed N -
                                                 and queue bounds, durable plan +
                                                 checkpoint store, graceful-drain
                                                 budget before a checkpointed stop
+       -max-deadline DUR                        serve: cap (and default) for per-request
+                                                deadline_ms budgets; at the deadline the
+                                                best-so-far plan is returned, marked
+                                                budget_exhausted
+       -brownout                                serve: degraded mode — over-budget or
+                                                failing requests get the newest cached
+                                                plan of the same family, marked degraded,
+                                                with an honest Retry-After
+       -breaker-failures N -breaker-cooldown DUR
+                                                serve: per-(platform,library) circuit
+                                                breakers; trip after N consecutive
+                                                profiling failures, probe again after
+                                                the cooldown
+       -watchdog-stall DUR -watchdog-multiple F serve: cancel jobs whose progress
+                                                heartbeat is quiet past max(DUR,
+                                                F x learned cadence)
 SIGINT/SIGTERM interrupt cleanly: a running bench-all flushes its partial results;
 a running serve drains, checkpoints what cannot finish, and resumes on restart.`)
 }
@@ -297,13 +352,25 @@ func serveCmd(ctx context.Context, sf serveFlags, ft faultFlags, df durableFlags
 	if err != nil {
 		return err
 	}
-	srv, err := serve.New(serve.Config{
+	cfg := serve.Config{
 		MaxInflight:   sf.maxInflight,
 		QueueDepth:    sf.queueDepth,
 		PlanStore:     sf.planStore,
 		SnapshotEvery: df.every,
 		Robust:        ft.policy(),
-	})
+		Faults:        ft.faults(),
+		MaxDeadline:   sf.maxDeadline,
+		Brownout:      sf.brownout,
+		WatchdogStall: sf.watchdogStall,
+		WatchdogMult:  sf.watchdogMult,
+	}
+	if sf.breakerFailures > 0 {
+		cfg.Breaker = &resilience.BreakerConfig{
+			FailureThreshold: sf.breakerFailures,
+			Cooldown:         sf.breakerCooldown,
+		}
+	}
+	srv, err := serve.New(cfg)
 	if err != nil {
 		ln.Close()
 		return err
@@ -312,7 +379,20 @@ func serveCmd(ctx context.Context, sf serveFlags, ft faultFlags, df durableFlags
 		fmt.Fprintf(os.Stderr, "qsdnn serve: resuming %d interrupted job(s), %d unreadable record(s) skipped\n",
 			st.Resumed, st.SkippedRec)
 	}
-	hs := &http.Server{Handler: srv.Handler()}
+	// Hardened server timeouts: a client that trickles headers or bodies
+	// byte-by-byte (Slowloris) is cut off instead of pinning a
+	// connection forever. Long-lived responses — SSE streams and
+	// wait-mode POSTs — clear their own write deadline per-connection
+	// via http.NewResponseController inside the handlers, so WriteTimeout
+	// here only bounds ordinary request/response exchanges.
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       120 * time.Second,
+		MaxHeaderBytes:    1 << 20,
+	}
 	// The listen line goes to stdout so scripted callers (and the
 	// chaos tests) can parse the bound address under -addr :0.
 	fmt.Printf("qsdnn serve listening on http://%s\n", ln.Addr())

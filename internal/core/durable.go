@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 
@@ -129,6 +130,14 @@ type DurableOptions struct {
 // DefaultSnapshotEvery is the default checkpoint cadence in episodes.
 const DefaultSnapshotEvery = 100
 
+// ErrStopEarly is the cooperative early-stop signal for a deadline
+// budget: a Save callback that returns an error wrapping it makes
+// SearchCheckpointedPlanned stop at that checkpoint boundary and
+// return the best-so-far Result and boundary Snapshot alongside the
+// error — the caller gets a usable (partial-budget) plan instead of
+// nothing. Any other Save error still aborts with a nil result.
+var ErrStopEarly = errors.New("core: search stopped early at checkpoint boundary")
+
 // SearchCheckpointed runs a search of cfg.Episodes total episodes in
 // chunks of opts.Every episodes, saving a Snapshot after each chunk.
 // With opts.From it continues from a prior snapshot's episode count —
@@ -195,6 +204,10 @@ func SearchCheckpointedPlanned(plan *searchplan.Plan, cfg Config, opts DurableOp
 		last = snap(ck)
 		if opts.Save != nil {
 			if err := opts.Save(last); err != nil {
+				if errors.Is(err, ErrStopEarly) {
+					best.Episodes = ep - start
+					return best, last, fmt.Errorf("core: saving snapshot at episode %d: %w", ep, err)
+				}
 				return nil, nil, fmt.Errorf("core: saving snapshot at episode %d: %w", ep, err)
 			}
 		}

@@ -84,11 +84,12 @@ func (r *Robust) minValid(n int) int {
 	return m
 }
 
-// backoff returns the ctx-aware sleep before retry attempt a (1-based)
-// of the measurement identified by what.
-func (r *Robust) backoff(ctx context.Context, what string, sample, attempt int) error {
+// backoffDelay returns the jittered sleep before retry attempt a
+// (1-based) of the measurement identified by what; 0 when backoff is
+// disabled.
+func (r *Robust) backoffDelay(what string, sample, attempt int) time.Duration {
 	if r.BackoffBase <= 0 {
-		return nil
+		return 0
 	}
 	d := r.BackoffBase << (attempt - 1)
 	if r.BackoffMax > 0 && d > r.BackoffMax {
@@ -96,7 +97,15 @@ func (r *Robust) backoff(ctx context.Context, what string, sample, attempt int) 
 	}
 	// Deterministic jitter in [0.5, 1.5): seeded by the measurement
 	// identity so runs with equal seeds sleep identically.
-	d = time.Duration(float64(d) * (0.5 + u01(r.JitterSeed, what, sample, attempt)))
+	return time.Duration(float64(d) * (0.5 + u01(r.JitterSeed, what, sample, attempt)))
+}
+
+// backoff sleeps for backoffDelay, aborting early if ctx is done.
+func (r *Robust) backoff(ctx context.Context, what string, sample, attempt int) error {
+	d := r.backoffDelay(what, sample, attempt)
+	if d <= 0 {
+		return nil
+	}
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {
@@ -147,6 +156,16 @@ func (m *meter) attempt(ctx context.Context, what string, sample int, f func(con
 	var lastErr error
 	for a := 0; a <= retries; a++ {
 		if a > 0 {
+			// Respect the run's remaining deadline budget, not just the
+			// per-sample timeout: a retry whose backoff sleep would
+			// outlive the budget cannot possibly succeed, so fail now
+			// and let the caller use what is left of the budget.
+			if dl, ok := ctx.Deadline(); ok {
+				if d := m.policy.backoffDelay(what, sample, a); time.Until(dl) <= d {
+					return 0, fmt.Errorf("%s: retry budget exhausted after %d attempt(s): %w (last error: %v)",
+						what, a, context.DeadlineExceeded, lastErr)
+				}
+			}
 			m.report.Retries++
 			if err := m.policy.backoff(ctx, what, sample, a); err != nil {
 				return 0, err
@@ -164,6 +183,14 @@ func (m *meter) attempt(ctx context.Context, what string, sample int, f func(con
 		if ctx.Err() != nil {
 			// The run itself was canceled — don't retry.
 			return 0, err
+		}
+		// A source that declares its error non-retryable (an open
+		// circuit breaker's fast-fail) skips the remaining attempts:
+		// retrying against a breaker that already knows the backend is
+		// down only burns budget.
+		var nr interface{ NoRetry() bool }
+		if errors.As(err, &nr) && nr.NoRetry() {
+			return 0, fmt.Errorf("%s: %w", what, err)
 		}
 		if errors.Is(err, context.DeadlineExceeded) {
 			m.report.Timeouts++

@@ -1,0 +1,216 @@
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrStalled is the sentinel wrapped by every watchdog cancellation.
+var ErrStalled = errors.New("resilience: progress heartbeat stalled")
+
+// StallError reports a watchdog firing: the named task went Quiet
+// without a heartbeat, exceeding its Limit.
+type StallError struct {
+	Name  string
+	Quiet time.Duration
+	Limit time.Duration
+}
+
+func (e *StallError) Error() string {
+	return fmt.Sprintf("resilience: %s stalled (quiet %v, limit %v)", e.Name, e.Quiet, e.Limit)
+}
+
+func (e *StallError) Unwrap() error { return ErrStalled }
+
+// Watchdog cancels tasks whose progress heartbeat goes quiet. Each
+// watched task gets a Heartbeat; the task beats it on every unit of
+// progress (a profiled sample, a checkpointed search chunk). The
+// watchdog learns each task's expected cadence (EWMA of beat
+// intervals) and fires when the quiet time exceeds
+// max(floor, mult × cadence).
+type Watchdog struct {
+	floor time.Duration
+	mult  float64
+	now   func() time.Time
+
+	mu    sync.Mutex
+	tasks map[*Heartbeat]struct{}
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+	fired    int64
+}
+
+// NewWatchdog builds a watchdog with the given stall floor (the
+// minimum quiet time before any task is considered stalled — also the
+// default cadence before a task has beaten twice) and cadence multiple
+// (≤ 0 selects 8). No goroutine starts until Start.
+func NewWatchdog(floor time.Duration, mult float64) *Watchdog {
+	if mult <= 0 {
+		mult = 8
+	}
+	return &Watchdog{
+		floor: floor,
+		mult:  mult,
+		now:   time.Now,
+		tasks: make(map[*Heartbeat]struct{}),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+}
+
+// Start launches the scan loop. The scan period is a quarter of the
+// stall floor (at least 10ms) so a stall is detected within ~1.25× its
+// limit.
+func (w *Watchdog) Start() {
+	period := w.floor / 4
+	if period < 10*time.Millisecond {
+		period = 10 * time.Millisecond
+	}
+	go func() {
+		defer close(w.done)
+		t := time.NewTicker(period)
+		defer t.Stop()
+		for {
+			select {
+			case <-w.stop:
+				return
+			case <-t.C:
+				w.Sweep()
+			}
+		}
+	}()
+}
+
+// Stop terminates the scan loop (idempotent). Watched heartbeats are
+// not fired on stop.
+func (w *Watchdog) Stop() {
+	w.stopOnce.Do(func() { close(w.stop) })
+	select {
+	case <-w.done:
+	default:
+		// Start was never called; done never closes.
+	}
+}
+
+// Fired returns how many stalls the watchdog has detected.
+func (w *Watchdog) Fired() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.fired
+}
+
+// Watch registers a task. cancel is invoked (once, from the scan
+// goroutine) with a *StallError when the task's heartbeat stalls. The
+// returned Heartbeat starts live with a beat at registration time;
+// call its Stop when the task finishes.
+func (w *Watchdog) Watch(name string, cancel func(error)) *Heartbeat {
+	hb := &Heartbeat{w: w, name: name, cancelFn: cancel, last: w.now()}
+	w.mu.Lock()
+	w.tasks[hb] = struct{}{}
+	w.mu.Unlock()
+	return hb
+}
+
+// Sweep scans every watched heartbeat once, firing those that have
+// stalled, and returns how many fired. The background loop calls it on
+// a ticker; tests call it directly with an injected clock.
+func (w *Watchdog) Sweep() int {
+	now := w.now()
+	w.mu.Lock()
+	var firing []*Heartbeat
+	for hb := range w.tasks {
+		if hb.stalled(now, w.floor, w.mult) {
+			firing = append(firing, hb)
+			delete(w.tasks, hb)
+		}
+	}
+	w.fired += int64(len(firing))
+	w.mu.Unlock()
+	for _, hb := range firing {
+		quiet, limit := hb.quietLimit(now, w.floor, w.mult)
+		hb.cancelFn(&StallError{Name: hb.name, Quiet: quiet, Limit: limit})
+	}
+	return len(firing)
+}
+
+// Heartbeat is one watched task's progress pulse.
+type Heartbeat struct {
+	w        *Watchdog
+	name     string
+	cancelFn func(error)
+
+	mu        sync.Mutex
+	last      time.Time
+	ewma      time.Duration // learned beat cadence; 0 until two beats
+	suspended bool
+}
+
+// Beat records one unit of progress and refines the learned cadence.
+// A beat that ends a Suspend only restarts the quiet clock — the
+// suspended interval is parking time, not cadence evidence.
+func (hb *Heartbeat) Beat() {
+	if hb == nil {
+		return
+	}
+	now := hb.w.now()
+	hb.mu.Lock()
+	if !hb.suspended {
+		iv := now.Sub(hb.last)
+		if hb.ewma == 0 {
+			hb.ewma = iv
+		} else {
+			hb.ewma += (iv - hb.ewma) / 8
+		}
+	}
+	hb.suspended = false
+	hb.last = now
+	hb.mu.Unlock()
+}
+
+// Suspend parks the heartbeat: the task is intentionally waiting on
+// work it does not own (another job's single-flight profiling build),
+// so quiet time must not count against it. The next Beat resumes
+// monitoring.
+func (hb *Heartbeat) Suspend() {
+	if hb == nil {
+		return
+	}
+	hb.mu.Lock()
+	hb.suspended = true
+	hb.mu.Unlock()
+}
+
+// Stop unregisters the heartbeat; the watchdog will never fire it
+// after Stop returns.
+func (hb *Heartbeat) Stop() {
+	if hb == nil {
+		return
+	}
+	hb.w.mu.Lock()
+	delete(hb.w.tasks, hb)
+	hb.w.mu.Unlock()
+}
+
+func (hb *Heartbeat) stalled(now time.Time, floor time.Duration, mult float64) bool {
+	quiet, limit := hb.quietLimit(now, floor, mult)
+	return quiet > limit
+}
+
+func (hb *Heartbeat) quietLimit(now time.Time, floor time.Duration, mult float64) (quiet, limit time.Duration) {
+	hb.mu.Lock()
+	defer hb.mu.Unlock()
+	if hb.suspended {
+		return 0, floor
+	}
+	limit = floor
+	if hb.ewma > 0 {
+		if scaled := time.Duration(float64(hb.ewma) * mult); scaled > limit {
+			limit = scaled
+		}
+	}
+	return now.Sub(hb.last), limit
+}

@@ -1,0 +1,139 @@
+package resilience
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestWatchdogSweep drives Sweep with an injected clock: a quiet task
+// fires once (with a StallError naming it), a beating task never does.
+func TestWatchdogSweep(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(2000, 0)}
+	w := NewWatchdog(100*time.Millisecond, 4)
+	w.now = clk.now
+	defer w.Stop()
+
+	var fired atomic.Value
+	stuck := w.Watch("stuck", func(err error) { fired.Store(err) })
+	_ = stuck
+	live := w.Watch("live", func(err error) { t.Errorf("live task fired: %v", err) })
+
+	// Inside the floor: nobody fires.
+	clk.advance(90 * time.Millisecond)
+	live.Beat()
+	if n := w.Sweep(); n != 0 {
+		t.Fatalf("sweep inside floor fired %d", n)
+	}
+
+	// Past the floor: only the quiet task fires.
+	clk.advance(20 * time.Millisecond)
+	live.Beat()
+	if n := w.Sweep(); n != 1 {
+		t.Fatalf("sweep fired %d, want 1", n)
+	}
+	err, _ := fired.Load().(error)
+	var se *StallError
+	if !errors.As(err, &se) || !errors.Is(err, ErrStalled) {
+		t.Fatalf("cancel got %v, want *StallError wrapping ErrStalled", err)
+	}
+	if se.Name != "stuck" || se.Quiet <= se.Limit {
+		t.Fatalf("stall error: %+v", se)
+	}
+	if w.Fired() != 1 {
+		t.Fatalf("Fired() = %d", w.Fired())
+	}
+
+	// A fired task is unregistered: it cannot fire twice.
+	clk.advance(time.Hour)
+	live.Stop()
+	if n := w.Sweep(); n != 0 {
+		t.Fatalf("second sweep fired %d", n)
+	}
+}
+
+// TestWatchdogLearnedCadence checks that a slow-but-steady task earns a
+// limit of mult × its cadence, above the floor.
+func TestWatchdogLearnedCadence(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(3000, 0)}
+	w := NewWatchdog(10*time.Millisecond, 4)
+	w.now = clk.now
+	defer w.Stop()
+
+	hb := w.Watch("steady", func(err error) { t.Errorf("steady task fired: %v", err) })
+	// Beat every 50ms: the EWMA converges to 50ms, so the limit is
+	// max(10ms, 4 x ~50ms) ≈ 200ms.
+	for i := 0; i < 16; i++ {
+		clk.advance(50 * time.Millisecond)
+		hb.Beat()
+	}
+	// 150ms quiet: over the floor, under the learned limit.
+	clk.advance(150 * time.Millisecond)
+	if n := w.Sweep(); n != 0 {
+		t.Fatalf("fired despite learned cadence headroom (%d)", n)
+	}
+	hb.Stop()
+}
+
+// TestWatchdogSuspend checks that a parked task never stalls, and that
+// the parking interval does not poison the learned cadence.
+func TestWatchdogSuspend(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(4000, 0)}
+	w := NewWatchdog(20*time.Millisecond, 4)
+	w.now = clk.now
+	defer w.Stop()
+
+	var fired atomic.Int64
+	hb := w.Watch("parked", func(err error) { fired.Add(1) })
+	for i := 0; i < 8; i++ {
+		clk.advance(5 * time.Millisecond)
+		hb.Beat()
+	}
+	hb.Suspend()
+	clk.advance(time.Minute) // parked on someone else's build
+	if n := w.Sweep(); n != 0 || fired.Load() != 0 {
+		t.Fatalf("suspended task fired (%d)", n)
+	}
+	hb.Beat() // resume
+	// The minute of parking must not have entered the EWMA: a beat
+	// cadence of ~5ms keeps the limit near the floor, so a genuine
+	// stall right after resuming still fires quickly.
+	clk.advance(100 * time.Millisecond)
+	if n := w.Sweep(); n != 1 {
+		t.Fatalf("stall after resume fired %d, want 1", n)
+	}
+}
+
+// TestWatchdogStopNeverStarted checks Stop is safe without Start.
+func TestWatchdogStopNeverStarted(t *testing.T) {
+	w := NewWatchdog(time.Second, 0)
+	w.Stop()
+	w.Stop() // idempotent
+}
+
+// TestWatchdogBackgroundLoop exercises the real ticker path end to end.
+func TestWatchdogBackgroundLoop(t *testing.T) {
+	w := NewWatchdog(40*time.Millisecond, 1)
+	w.Start()
+	defer w.Stop()
+	done := make(chan error, 1)
+	w.Watch("bg", func(err error) { done <- err })
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrStalled) {
+			t.Fatalf("got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("background watchdog never fired")
+	}
+}
+
+// TestHeartbeatNilSafe checks the nil-receiver guards used when the
+// watchdog is disabled.
+func TestHeartbeatNilSafe(t *testing.T) {
+	var hb *Heartbeat
+	hb.Beat()
+	hb.Suspend()
+	hb.Stop()
+}

@@ -105,6 +105,12 @@ type Options struct {
 	// seeded fault injector — the test harness for the robustness
 	// machinery. Ignored when Profile is non-nil.
 	Faults *profile.FaultConfig
+	// UnitTimeout, when > 0, caps each unit's wall-clock (profiling
+	// wait plus search) with a per-unit context deadline derived at
+	// unit start. A unit that exceeds it fails with an error wrapping
+	// context.DeadlineExceeded; the rest of the batch proceeds. 0
+	// preserves the legacy unbounded behavior.
+	UnitTimeout time.Duration
 	// Manifest, when non-nil, makes the batch resumable: completed
 	// units are journaled (with a digest of the table they were
 	// computed from), profiled tables are persisted as checksummed
@@ -316,6 +322,12 @@ func RunContext(ctx context.Context, jobs []Job, opts Options) (*BatchResult, er
 		ji, si := units[u].job, units[u].seed
 		job := defaulted[ji]
 		net := nets[job.Network]
+		uctx := ctx
+		if opts.UnitTimeout > 0 {
+			var ucancel context.CancelFunc
+			uctx, ucancel = context.WithTimeout(ctx, opts.UnitTimeout)
+			defer ucancel()
+		}
 		key := cacheKey{network: job.Network, mode: job.Mode, samples: job.Samples}
 		tab, plan, rep, err := cache.get(key.String(), func() (*lut.Table, *profile.Report, error) {
 			// With a manifest, a stored table that verifies is reused
@@ -327,7 +339,7 @@ func RunContext(ctx context.Context, jobs []Job, opts Options) (*BatchResult, er
 					return tab, nil, nil
 				}
 			}
-			tab, rep, err := profileFn(ctx, net, job.Mode, job.Samples)
+			tab, rep, err := profileFn(uctx, net, job.Mode, job.Samples)
 			if err == nil && ml != nil {
 				if serr := ml.save(key, job, tab); serr != nil {
 					return nil, nil, fmt.Errorf("persisting LUT: %w", serr)

@@ -1,0 +1,72 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/lut"
+	"repro/internal/nn"
+	"repro/internal/platform"
+	"repro/internal/primitives"
+	"repro/internal/profile"
+)
+
+// TestUnitTimeout: a unit whose profiling blocks past UnitTimeout
+// fails with a deadline error, promptly, while units of other jobs
+// complete normally.
+func TestUnitTimeout(t *testing.T) {
+	blocking := func(ctx context.Context, net *nn.Network, mode primitives.Mode, samples int) (*lut.Table, *profile.Report, error) {
+		if net.Name == "mobilenet-v1" {
+			// A hung backend: wait for the unit deadline, honoring ctx.
+			<-ctx.Done()
+			return nil, nil, ctx.Err()
+		}
+		return profile.RunContext(ctx, net, profile.NewSimSource(net, platform.JetsonTX2Like()),
+			profile.Options{Mode: mode, Samples: samples})
+	}
+	jobs := []Job{
+		{Network: "mobilenet-v1", Mode: primitives.ModeCPU, Seeds: []int64{1}, Episodes: 50, Samples: 2},
+		{Network: "lenet5", Mode: primitives.ModeCPU, Seeds: []int64{1, 2}, Episodes: 50, Samples: 2},
+	}
+	start := time.Now()
+	batch, err := RunContext(context.Background(), jobs, Options{
+		Workers:     2,
+		Profile:     blocking,
+		UnitTimeout: 50 * time.Millisecond,
+	})
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("batch took %v — the unit timeout did not preempt the hung profiler", elapsed)
+	}
+
+	hung, healthy := batch.Jobs[0], batch.Jobs[1]
+	if hung.Err == nil {
+		t.Fatal("hung unit reported no error")
+	}
+	if !errors.Is(hung.Err, context.DeadlineExceeded) {
+		t.Fatalf("hung unit err = %v, want wrapped context.DeadlineExceeded", hung.Err)
+	}
+	if hung.Complete {
+		t.Fatal("hung job marked complete")
+	}
+
+	if healthy.Err != nil {
+		t.Fatalf("healthy job failed: %v", healthy.Err)
+	}
+	if !healthy.Complete || len(healthy.Seeds) != 2 {
+		t.Fatalf("healthy job incomplete: %+v", healthy)
+	}
+	for _, sr := range healthy.Seeds {
+		if sr.Result == nil || len(sr.Result.Assignment) == 0 {
+			t.Fatalf("healthy seed %d has no result", sr.Seed)
+		}
+	}
+	if batch.Canceled {
+		t.Fatal("a unit timeout must not mark the whole batch canceled")
+	}
+}

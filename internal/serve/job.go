@@ -1,9 +1,11 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"math"
 	"sync"
+	"time"
 )
 
 // Job states.
@@ -19,6 +21,10 @@ const (
 	// StateInterrupted marks a job stopped by a hard drain; its
 	// checkpoint is durable and a restarted server resumes it.
 	StateInterrupted = "interrupted"
+	// StateCanceled marks a job canceled before completion: every
+	// waiting client disconnected, its deadline budget expired without
+	// a usable plan, or the watchdog declared it stalled.
+	StateCanceled = "canceled"
 )
 
 // job is one admitted optimization: the validated spec plus the state
@@ -30,6 +36,15 @@ type job struct {
 	id   string
 	spec *jobSpec
 
+	// ctx is the job's execution context, armed at admission: it
+	// carries the deadline budget (counted from admission, queue wait
+	// included) and is canceled when the job is abandoned or stalls.
+	// cancelCause records why. stopTimer releases the deadline timer.
+	ctx         context.Context
+	cancelCause context.CancelCauseFunc
+	stopTimer   context.CancelFunc
+	deadline    time.Time // zero when no budget
+
 	mu       sync.Mutex
 	state    string
 	events   []Event
@@ -37,9 +52,16 @@ type job struct {
 	planJSON json.RawMessage
 	err      error
 	resumed  bool
+	degraded bool
+	// waiters counts clients blocked on this job (wait-mode POSTs).
+	// pinned marks a job that must run regardless of waiters: a 202
+	// async submission (the client will poll), a durable-record
+	// obligation, or a resumed job.
+	waiters int
+	pinned  bool
 
 	// done is closed exactly once, at the terminal transition
-	// (done/failed/interrupted).
+	// (done/failed/interrupted/canceled).
 	done chan struct{}
 }
 
@@ -51,6 +73,63 @@ func newJob(id string, spec *jobSpec) *job {
 		update: make(chan struct{}),
 		done:   make(chan struct{}),
 	}
+}
+
+// arm derives the job's execution context from parent: cancelable with
+// cause, plus a deadline when budget > 0. Must be called before the
+// job is claimable by a worker.
+func (j *job) arm(parent context.Context, budget time.Duration) {
+	j.ctx, j.cancelCause = context.WithCancelCause(parent)
+	j.stopTimer = func() {}
+	if budget > 0 {
+		j.deadline = time.Now().Add(budget)
+		j.ctx, j.stopTimer = context.WithDeadline(j.ctx, j.deadline)
+	}
+}
+
+// release frees the job's context resources; safe to call repeatedly.
+func (j *job) release() {
+	if j.stopTimer != nil {
+		j.stopTimer()
+	}
+	if j.cancelCause != nil {
+		j.cancelCause(nil)
+	}
+}
+
+// addWaiter registers one blocked client.
+func (j *job) addWaiter() {
+	j.mu.Lock()
+	j.waiters++
+	j.mu.Unlock()
+}
+
+// dropWaiter unregisters one blocked client; when the last waiter of
+// an unpinned, still-live job leaves, the job is canceled — nobody
+// will ever read the result, so finishing it is pure waste.
+func (j *job) dropWaiter() {
+	j.mu.Lock()
+	j.waiters--
+	abandon := j.waiters == 0 && !j.pinned
+	j.mu.Unlock()
+	if !abandon {
+		return
+	}
+	select {
+	case <-j.done:
+		return // already terminal
+	default:
+	}
+	if j.cancelCause != nil {
+		j.cancelCause(errAbandoned)
+	}
+}
+
+// setDegraded marks the job's result as a brownout substitution.
+func (j *job) setDegraded() {
+	j.mu.Lock()
+	j.degraded = true
+	j.mu.Unlock()
 }
 
 // publishLocked appends an event and wakes every subscriber. Callers
@@ -108,7 +187,7 @@ func (j *job) finish(state string, plan json.RawMessage, err error) {
 func (j *job) status() OptimizeResponse {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	resp := OptimizeResponse{ID: j.id, State: j.state, Plan: j.planJSON}
+	resp := OptimizeResponse{ID: j.id, State: j.state, Plan: j.planJSON, Degraded: j.degraded}
 	if n := len(j.events); n > 0 {
 		ev := j.events[n-1]
 		resp.Progress = &ev

@@ -30,6 +30,29 @@ type Options struct {
 	Timeout time.Duration
 }
 
+// Class aggregates the latency distribution of one response class
+// (e.g. degraded brownout answers, budget-exhausted best-effort plans).
+type Class struct {
+	Count int           `json:"count"`
+	P50   time.Duration `json:"p50_ns,omitempty"`
+	P95   time.Duration `json:"p95_ns,omitempty"`
+	P99   time.Duration `json:"p99_ns,omitempty"`
+	Max   time.Duration `json:"max_ns,omitempty"`
+}
+
+func classOf(ds []time.Duration) Class {
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	c := Class{Count: len(ds)}
+	if len(ds) == 0 {
+		return c
+	}
+	c.P50 = percentile(ds, 50)
+	c.P95 = percentile(ds, 95)
+	c.P99 = percentile(ds, 99)
+	c.Max = ds[len(ds)-1]
+	return c
+}
+
 // Result is the aggregate outcome of a load run.
 type Result struct {
 	Requests   int           `json:"requests"`
@@ -42,6 +65,12 @@ type Result struct {
 	Max        time.Duration `json:"max_ns"`
 	Elapsed    time.Duration `json:"elapsed_ns"`
 	Throughput float64       `json:"requests_per_second"`
+	// Degraded aggregates brownout substitutions ("degraded":true
+	// responses); BudgetExhausted aggregates best-effort plans returned
+	// at the deadline ("budget_exhausted":true). Both are zero-count on
+	// a healthy full-budget run.
+	Degraded        Class `json:"degraded"`
+	BudgetExhausted Class `json:"budget_exhausted"`
 }
 
 // String renders the run for humans.
@@ -70,9 +99,12 @@ func percentile(sorted []time.Duration, p float64) time.Duration {
 
 // Run fires opt.Requests POSTs at opt.BaseURL from opt.Clients
 // concurrent workers. A request counts as an error if it fails at the
-// transport layer or returns a status outside {200, 202, 429} — 429 is
-// the daemon's documented backpressure answer, so the caller can
-// decide from ByStatus whether rejections are acceptable for the run.
+// transport layer, returns a status outside {200, 202, 429, 503}, or
+// returns 429/503 without a Retry-After header — 429 is the daemon's
+// documented backpressure answer and 503 its honest overload/degraded
+// answer, but both are only acceptable when they tell the client when
+// to come back. The caller can decide from ByStatus whether rejections
+// are acceptable for the run.
 func Run(ctx context.Context, opt Options) (*Result, error) {
 	if opt.BaseURL == "" {
 		return nil, fmt.Errorf("loadtest: BaseURL is required")
@@ -94,6 +126,7 @@ func Run(ctx context.Context, opt Options) (*Result, error) {
 
 	var mu sync.Mutex
 	durations := make([]time.Duration, 0, opt.Requests)
+	var degradedD, budgetD []time.Duration
 	byStatus := map[int]int{}
 	errorsN := 0
 
@@ -107,12 +140,30 @@ func Run(ctx context.Context, opt Options) (*Result, error) {
 			for i := range work {
 				body := opt.Bodies[i%len(opt.Bodies)]
 				t0 := time.Now()
-				status, err := post(ctx, client, url, body)
+				r, err := post(ctx, client, url, body)
 				d := time.Since(t0)
+				bad := err != nil
+				switch r.status {
+				case http.StatusOK, http.StatusAccepted:
+				case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+					// Backpressure and degradation are honest only with
+					// a Retry-After; a bare 429/503 strands the client.
+					if !r.retryAfter {
+						bad = true
+					}
+				default:
+					bad = true
+				}
 				mu.Lock()
 				durations = append(durations, d)
-				byStatus[status]++
-				if err != nil || (status != http.StatusOK && status != http.StatusAccepted && status != http.StatusTooManyRequests) {
+				byStatus[r.status]++
+				if r.degraded {
+					degradedD = append(degradedD, d)
+				}
+				if r.budget {
+					budgetD = append(budgetD, d)
+				}
+				if bad {
 					errorsN++
 				}
 				mu.Unlock()
@@ -149,24 +200,41 @@ func Run(ctx context.Context, opt Options) (*Result, error) {
 	if elapsed > 0 {
 		res.Throughput = float64(len(durations)) / elapsed.Seconds()
 	}
+	res.Degraded = classOf(degradedD)
+	res.BudgetExhausted = classOf(budgetD)
 	return res, nil
 }
 
-// post issues one request and returns the status code (0 on transport
-// failure).
-func post(ctx context.Context, client *http.Client, url string, body []byte) (int, error) {
+// reply is one request's client-observed outcome: the status (0 on
+// transport failure), whether a Retry-After header came back, and
+// whether the body flagged the plan as degraded or budget-exhausted.
+// The flags are detected by substring, not a full unmarshal — the
+// fields are only ever emitted as literal true.
+type reply struct {
+	status     int
+	retryAfter bool
+	degraded   bool
+	budget     bool
+}
+
+// post issues one request and classifies the response.
+func post(ctx context.Context, client *http.Client, url string, body []byte) (reply, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
-		return 0, err
+		return reply{}, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := client.Do(req)
 	if err != nil {
-		return 0, err
+		return reply{}, err
 	}
 	defer resp.Body.Close()
-	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
-		return resp.StatusCode, err
+	payload, err := io.ReadAll(resp.Body)
+	r := reply{
+		status:     resp.StatusCode,
+		retryAfter: resp.Header.Get("Retry-After") != "",
+		degraded:   bytes.Contains(payload, []byte(`"degraded":true`)),
+		budget:     bytes.Contains(payload, []byte(`"budget_exhausted":true`)),
 	}
-	return resp.StatusCode, nil
+	return r, err
 }

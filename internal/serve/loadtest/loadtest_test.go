@@ -9,8 +9,95 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/profile"
+	"repro/internal/resilience"
 	"repro/internal/serve"
 )
+
+// faultyConfig is the shared chaos configuration of the resilience
+// load gate and the degraded-mode bench record: half the non-Vanilla
+// (layer, primitive) measurements fail permanently, a quarter fail
+// transiently, breakers trip after 3 consecutive failures, brownout
+// substitution is on, and every request runs under a deadline budget.
+func faultyConfig() serve.Config {
+	return serve.Config{
+		MaxInflight:   2,
+		QueueDepth:    256,
+		SnapshotEvery: 200,
+		MaxDeadline:   5 * time.Second,
+		Brownout:      true,
+		Faults: &profile.FaultConfig{
+			Seed:          7,
+			TransientRate: 0.25,
+			PermanentRate: 0.5,
+		},
+		Robust:  &profile.Robust{MaxRetries: 1, MinValidFrac: 0.25},
+		Breaker: &resilience.BreakerConfig{FailureThreshold: 3},
+	}
+}
+
+// faultyBodies mixes quick jobs that finish inside the budget with
+// 1e6-episode searches that cannot, all wait:true under a 2s
+// deadline_ms.
+func faultyBodies() [][]byte {
+	var bodies [][]byte
+	for seed := 1; seed <= 4; seed++ {
+		bodies = append(bodies, []byte(fmt.Sprintf(
+			`{"network":"lenet5","mode":"cpu","episodes":300,"samples":3,"seed":%d,"wait":true,"deadline_ms":2000}`, seed)))
+		bodies = append(bodies, []byte(fmt.Sprintf(
+			`{"network":"lenet5","mode":"cpu","episodes":1000000,"samples":3,"seed":%d,"wait":true,"deadline_ms":2000}`, 100+seed)))
+	}
+	return bodies
+}
+
+// TestLoadFaultyDeadline is the resilience acceptance gate: under a
+// seeded 50%-failing source with per-request 2s deadline budgets,
+// every request must complete (no hangs) and every response must be a
+// valid plan, a best-effort budget-exhausted plan, a degraded cached
+// plan, or an honest 429/503 with Retry-After — never a 500, never a
+// bare rejection.
+func TestLoadFaultyDeadline(t *testing.T) {
+	srv, err := serve.New(faultyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Drain(0)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	res, err := Run(context.Background(), Options{
+		BaseURL:  ts.URL,
+		Clients:  16,
+		Requests: 64,
+		Bodies:   faultyBodies(),
+		Timeout:  60 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(res.String())
+	t.Logf("degraded: %+v budget_exhausted: %+v by_status: %+v", res.Degraded, res.BudgetExhausted, res.ByStatus)
+	if res.Errors != 0 {
+		t.Fatalf("%d client errors (hung request, 5xx, or rejection without Retry-After): %+v", res.Errors, res.ByStatus)
+	}
+	if res.Requests != 64 {
+		t.Fatalf("recorded %d requests, want 64 (a hung request never records)", res.Requests)
+	}
+	for status := range res.ByStatus {
+		switch status {
+		case 200, 202, 429, 503:
+		default:
+			t.Fatalf("unexpected status %d in %+v", status, res.ByStatus)
+		}
+	}
+	if res.BudgetExhausted.Count == 0 {
+		t.Fatalf("no budget-exhausted best-effort plans served; 1e6-episode searches cannot finish in 2s: %+v", res.ByStatus)
+	}
+	st := srv.Status()
+	if st.BudgetExhausted == 0 {
+		t.Fatalf("daemon recorded no budget-exhausted completions: %+v", st)
+	}
+}
 
 // TestLoad64Clients is the load acceptance gate: 64 concurrent clients,
 // 256 requests over 8 distinct jobs, zero errors, and sane percentile
@@ -90,6 +177,29 @@ func TestLoadRecord(t *testing.T) {
 	if res.Errors != 0 {
 		t.Fatalf("%d client errors: %+v", res.Errors, res.ByStatus)
 	}
+
+	// Second phase: the degraded-mode workload — seeded fault
+	// injection, breakers, brownout, and 2s deadline budgets — so the
+	// bench record also carries degraded-response and deadline-hit
+	// percentiles.
+	fsrv, err := serve.New(faultyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fsrv.Drain(0)
+	fts := httptest.NewServer(fsrv.Handler())
+	defer fts.Close()
+	fres, err := Run(context.Background(), Options{
+		BaseURL: fts.URL, Clients: 16, Requests: 64, Bodies: faultyBodies(), Timeout: 60 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(fres.String())
+	if fres.Errors != 0 {
+		t.Fatalf("%d degraded-phase client errors: %+v", fres.Errors, fres.ByStatus)
+	}
+
 	ms := func(d time.Duration) float64 { return float64(d) / 1e6 }
 	payload, err := json.MarshalIndent(struct {
 		Workload string  `json:"workload"`
@@ -99,11 +209,13 @@ func TestLoadRecord(t *testing.T) {
 		MaxMs    float64 `json:"max_ms"`
 		RPS      float64 `json:"requests_per_second"`
 		Load     *Result `json:"load"`
+		Faulty   *Result `json:"faulty_load"`
 	}{
 		Workload: "lenet5 cpu e300 s3, 8 distinct seeds, wait:true",
 		P50Ms:    ms(res.P50), P95Ms: ms(res.P95), P99Ms: ms(res.P99), MaxMs: ms(res.Max),
-		RPS:  res.Throughput,
-		Load: res,
+		RPS:    res.Throughput,
+		Load:   res,
+		Faulty: fres,
 	}, "", "  ")
 	if err != nil {
 		t.Fatal(err)

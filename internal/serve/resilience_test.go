@@ -1,0 +1,421 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/lut"
+	"repro/internal/nn"
+	"repro/internal/platform"
+	"repro/internal/primitives"
+	"repro/internal/profile"
+	"repro/internal/resilience"
+)
+
+// TestDeadlineBudgetExhausted: a 1e6-episode search under a 500ms
+// deadline_ms returns 200 with the best-so-far plan, marked
+// budget_exhausted, with the partial episode count — never a timeout
+// error, never a hang.
+func TestDeadlineBudgetExhausted(t *testing.T) {
+	srv, ts := newTestServer(t, Config{MaxInflight: 1, QueueDepth: 4, SnapshotEvery: 200})
+	body := `{"network":"lenet5","mode":"cpu","episodes":1000000,"samples":3,"seed":1,"wait":true,"deadline_ms":500}`
+	code, _, payload := postOptimize(t, ts.URL, body)
+	if code != http.StatusOK {
+		t.Fatalf("status %d (%s)", code, payload)
+	}
+	var or OptimizeResponse
+	if err := json.Unmarshal(payload, &or); err != nil {
+		t.Fatal(err)
+	}
+	if or.State != StateDone || len(or.Plan) == 0 {
+		t.Fatalf("response: %s", payload)
+	}
+	var pr PlanResponse
+	if err := json.Unmarshal(or.Plan, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if !pr.BudgetExhausted {
+		t.Fatalf("plan not marked budget_exhausted: %s", or.Plan)
+	}
+	if pr.EpisodesRun <= 0 || pr.EpisodesRun >= 1000000 {
+		t.Fatalf("episodes_run = %d, want partial progress", pr.EpisodesRun)
+	}
+	if len(pr.Assignment) == 0 || pr.Seconds <= 0 {
+		t.Fatalf("best-so-far plan is empty: %s", or.Plan)
+	}
+	st := srv.Status()
+	if st.BudgetExhausted != 1 {
+		t.Fatalf("statusz budget_exhausted = %d, want 1: %+v", st.BudgetExhausted, st)
+	}
+	if st.Failed != 0 {
+		t.Fatalf("budget exhaustion recorded as failure: %+v", st)
+	}
+
+	// A best-effort plan is never cached: the identical request runs
+	// again (and, with no deadline this time, completes in full).
+	full := `{"network":"lenet5","mode":"cpu","episodes":1000000,"samples":3,"seed":1,"wait":true}`
+	_ = full // the full run would take too long here; just verify no cache hit
+	code2, _, payload2 := postOptimize(t, ts.URL, body)
+	if code2 != http.StatusOK {
+		t.Fatalf("second POST: %d (%s)", code2, payload2)
+	}
+	var or2 OptimizeResponse
+	if err := json.Unmarshal(payload2, &or2); err != nil {
+		t.Fatal(err)
+	}
+	if or2.Cached {
+		t.Fatalf("budget-exhausted plan was served from cache: %s", payload2)
+	}
+}
+
+// TestMaxDeadlineCapsAndDefaults: the server-side -max-deadline both
+// caps an over-ask and applies as the default budget for requests that
+// send none.
+func TestMaxDeadlineCapsAndDefaults(t *testing.T) {
+	srv, ts := newTestServer(t, Config{
+		MaxInflight: 1, QueueDepth: 4, SnapshotEvery: 200,
+		MaxDeadline: 400 * time.Millisecond,
+	})
+	// No deadline_ms: the server default still bounds the job.
+	body := `{"network":"lenet5","mode":"cpu","episodes":1000000,"samples":3,"seed":5,"wait":true}`
+	t0 := time.Now()
+	code, _, payload := postOptimize(t, ts.URL, body)
+	elapsed := time.Since(t0)
+	if code != http.StatusOK {
+		t.Fatalf("status %d (%s)", code, payload)
+	}
+	var or OptimizeResponse
+	if err := json.Unmarshal(payload, &or); err != nil {
+		t.Fatal(err)
+	}
+	var pr PlanResponse
+	if err := json.Unmarshal(or.Plan, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if !pr.BudgetExhausted {
+		t.Fatalf("server default budget not applied: %s", or.Plan)
+	}
+	if elapsed > 10*time.Second {
+		t.Fatalf("request took %v despite a 400ms budget", elapsed)
+	}
+	// An over-ask is capped to MaxDeadline, not honored.
+	body2 := `{"network":"lenet5","mode":"cpu","episodes":1000000,"samples":3,"seed":6,"wait":true,"deadline_ms":3600000}`
+	code2, _, payload2 := postOptimize(t, ts.URL, body2)
+	if code2 != http.StatusOK {
+		t.Fatalf("status %d (%s)", code2, payload2)
+	}
+	var or2 OptimizeResponse
+	json.Unmarshal(payload2, &or2)
+	var pr2 PlanResponse
+	if err := json.Unmarshal(or2.Plan, &pr2); err != nil {
+		t.Fatal(err)
+	}
+	if !pr2.BudgetExhausted {
+		t.Fatalf("client over-ask escaped the -max-deadline cap: %s", or2.Plan)
+	}
+	if got := srv.Status().BudgetExhausted; got != 2 {
+		t.Fatalf("budget_exhausted = %d, want 2", got)
+	}
+}
+
+// TestWaiterAbandonCancel: when the only wait-mode client disconnects,
+// the job is canceled — nobody will read the result, so finishing it
+// is pure waste. (A 202 async submission or a durable record pins the
+// job; this one has neither.)
+func TestWaiterAbandonCancel(t *testing.T) {
+	gate := make(chan struct{})
+	defer close(gate)
+	cp := newCountingProfile(gate)
+	srv, ts := newTestServer(t, Config{MaxInflight: 1, QueueDepth: 4, Profile: cp.fn()})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	body := `{"network":"lenet5","mode":"cpu","episodes":300,"samples":3,"seed":9,"wait":true}`
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/optimize", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if resp != nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		errc <- err
+	}()
+	waitFor(t, 5*time.Second, func() bool { return cp.total() == 1 }, "job to park in profiling")
+	cancel() // the only interested client walks away
+	if err := <-errc; err == nil {
+		t.Fatal("client POST should have failed with context canceled")
+	}
+	waitFor(t, 5*time.Second, func() bool { return srv.Status().Canceled == 1 }, "abandoned job to cancel")
+	st := srv.Status()
+	if st.Completed != 0 || st.Failed != 0 {
+		t.Fatalf("abandoned job still ran to completion: %+v", st)
+	}
+}
+
+// TestBreakerE2E: under a fixed fault seed, two independent servers
+// walk their breakers through identical transitions (determinism), and
+// a server with breakers but no faults serves plans byte-identical to
+// the reference pipeline (transparency when healthy).
+func TestBreakerE2E(t *testing.T) {
+	mk := func() *Server {
+		// TransientBurst 2 with MaxRetries 2 means every measurement
+		// eventually succeeds — the faults trip breakers mid-run, but
+		// the healed table (and therefore the plan) is byte-identical
+		// to a fault-free run.
+		srv, err := New(Config{
+			MaxInflight: 1, QueueDepth: 8,
+			Faults: &profile.FaultConfig{Seed: 11, TransientRate: 0.6, TransientBurst: 2},
+			Robust: &profile.Robust{MaxRetries: 2},
+			// Threshold 2: a burst-2 transient (fail, fail, succeed)
+			// is exactly the trip pattern, so breakers demonstrably
+			// cycle under this schedule.
+			Breaker: &resilience.BreakerConfig{
+				FailureThreshold: 2,
+				Probes:           2,
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Drain(0) })
+		return srv
+	}
+	body := `{"network":"lenet5","mode":"cpu","episodes":300,"samples":4,"seed":3,"wait":true}`
+
+	var plans [][]byte
+	var snaps [][]resilience.BreakerStatus
+	for i := 0; i < 2; i++ {
+		srv := mk()
+		ts := newLocalHTTP(t, srv)
+		code, _, payload := postOptimize(t, ts, body)
+		if code != http.StatusOK {
+			t.Fatalf("server %d: status %d (%s)", i, code, payload)
+		}
+		var or OptimizeResponse
+		if err := json.Unmarshal(payload, &or); err != nil {
+			t.Fatal(err)
+		}
+		plans = append(plans, or.Plan)
+		snaps = append(snaps, srv.Status().Breakers)
+	}
+	if !bytes.Equal(plans[0], plans[1]) {
+		t.Fatalf("plans differ across identically seeded servers\na: %s\nb: %s", plans[0], plans[1])
+	}
+	a, _ := json.Marshal(snaps[0])
+	b, _ := json.Marshal(snaps[1])
+	if !bytes.Equal(a, b) {
+		t.Fatalf("breaker transitions not deterministic\na: %s\nb: %s", a, b)
+	}
+	trips, failures := int64(0), int64(0)
+	for _, s := range snaps[0] {
+		trips += s.Trips
+		failures += s.Failures
+	}
+	if failures == 0 {
+		t.Fatalf("fault schedule injected nothing: %s", a)
+	}
+	if trips == 0 {
+		t.Fatalf("no breaker tripped under the transient-failure schedule: %s", a)
+	}
+
+	// Transparency: breakers without faults change nothing.
+	hsrv, err := New(Config{
+		MaxInflight: 1, QueueDepth: 8,
+		Breaker: &resilience.BreakerConfig{FailureThreshold: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hsrv.Drain(0)
+	hts := newLocalHTTP(t, hsrv)
+	code, _, payload := postOptimize(t, hts, body)
+	if code != http.StatusOK {
+		t.Fatalf("healthy server: %d (%s)", code, payload)
+	}
+	var hor OptimizeResponse
+	if err := json.Unmarshal(payload, &hor); err != nil {
+		t.Fatal(err)
+	}
+	var req OptimizeRequest
+	if err := json.Unmarshal([]byte(body), &req); err != nil {
+		t.Fatal(err)
+	}
+	_, want, err := ReferencePlan(context.Background(), req, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(hor.Plan, want) {
+		t.Fatalf("breakers changed a healthy plan\ngot:  %s\nwant: %s", hor.Plan, want)
+	}
+	// Healed equivalence: the faulty servers' retries absorbed every
+	// transient, so their plans match the fault-free reference byte
+	// for byte.
+	if !bytes.Equal(plans[0], want) {
+		t.Fatalf("healed plan differs from reference\ngot:  %s\nwant: %s", plans[0], want)
+	}
+	for _, s := range hsrv.Status().Breakers {
+		if s.Trips != 0 || s.Failures != 0 {
+			t.Fatalf("healthy run recorded breaker activity: %+v", s)
+		}
+	}
+}
+
+// TestWatchdogStall: a source whose every measurement hangs (30s
+// stalls, no sample timeout to rescue it) is detected by the progress
+// watchdog within its 50ms floor and the job is canceled with a
+// watchdog verdict, answered as an honest 503 with Retry-After.
+func TestWatchdogStall(t *testing.T) {
+	srv, ts := newTestServer(t, Config{
+		MaxInflight: 1, QueueDepth: 4,
+		Faults:        &profile.FaultConfig{Seed: 1, StallRate: 1, Stall: 30 * time.Second},
+		Robust:        &profile.Robust{MaxRetries: 0},
+		WatchdogStall: 50 * time.Millisecond,
+	})
+	body := `{"network":"lenet5","mode":"cpu","episodes":300,"samples":3,"seed":2,"wait":true}`
+	t0 := time.Now()
+	code, hdr, payload := postOptimize(t, ts.URL, body)
+	elapsed := time.Since(t0)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d (%s), want 503", code, payload)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+	if elapsed > 10*time.Second {
+		t.Fatalf("stalled job took %v to cancel; the watchdog floor is 50ms", elapsed)
+	}
+	st := srv.Status()
+	if st.WatchdogCancels != 1 {
+		t.Fatalf("watchdog_cancels = %d, want 1: %+v", st.WatchdogCancels, st)
+	}
+	if st.Canceled != 1 {
+		t.Fatalf("canceled = %d, want 1: %+v", st.Canceled, st)
+	}
+	var or OptimizeResponse
+	if err := json.Unmarshal(payload, &or); err != nil {
+		t.Fatal(err)
+	}
+	if or.State != StateCanceled || !strings.Contains(or.Error, "stalled") {
+		t.Fatalf("job record does not surface the stall: %s", payload)
+	}
+}
+
+// TestBrownoutServesFamilyPlan: a second daemon whose profiler is
+// broken answers a request with the newest durable plan of the same
+// (network, platform, mode, objective) family — marked degraded, with
+// a Retry-After — instead of a 500.
+func TestBrownoutServesFamilyPlan(t *testing.T) {
+	dir := t.TempDir()
+
+	// Daemon 1: healthy, completes and persists plan A.
+	srv1, ts1 := newTestServer(t, Config{MaxInflight: 1, QueueDepth: 4, PlanStore: dir})
+	bodyA := `{"network":"lenet5","mode":"cpu","episodes":300,"samples":3,"seed":1,"wait":true}`
+	code, _, payloadA := postOptimize(t, ts1.URL, bodyA)
+	if code != http.StatusOK {
+		t.Fatalf("daemon 1: %d (%s)", code, payloadA)
+	}
+	var orA OptimizeResponse
+	if err := json.Unmarshal(payloadA, &orA); err != nil {
+		t.Fatal(err)
+	}
+	srv1.Drain(0)
+
+	// Daemon 2: same store, brownout on, profiler hard-broken.
+	srv2, err := New(Config{
+		MaxInflight: 1, QueueDepth: 4, PlanStore: dir, Brownout: true,
+		Profile: failingProfile("backend driver missing"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Drain(0)
+	ts2 := newLocalHTTP(t, srv2)
+
+	// Different seed/episodes: a different exact key, same family.
+	bodyB := `{"network":"lenet5","mode":"cpu","episodes":500,"samples":3,"seed":42,"wait":true}`
+	code2, hdr2, payloadB := postOptimize(t, ts2, bodyB)
+	if code2 != http.StatusOK {
+		t.Fatalf("brownout answer: %d (%s)", code2, payloadB)
+	}
+	if hdr2.Get("Retry-After") == "" {
+		t.Fatal("degraded 200 without Retry-After")
+	}
+	var orB OptimizeResponse
+	if err := json.Unmarshal(payloadB, &orB); err != nil {
+		t.Fatal(err)
+	}
+	if !orB.Degraded {
+		t.Fatalf("response not marked degraded: %s", payloadB)
+	}
+	if !bytes.Equal(orB.Plan, orA.Plan) {
+		t.Fatalf("degraded plan is not the family's newest plan\ngot:  %s\nwant: %s", orB.Plan, orA.Plan)
+	}
+	st := srv2.Status()
+	if st.DegradedServed != 1 {
+		t.Fatalf("degraded_served = %d, want 1: %+v", st.DegradedServed, st)
+	}
+
+	// A family with no cached plan still fails honestly (503-free is
+	// only promised when a substitute exists): alexnet has no plan in
+	// this store.
+	bodyC := `{"network":"alexnet","mode":"cpu","episodes":300,"samples":3,"seed":1,"wait":true}`
+	code3, hdr3, payloadC := postOptimize(t, ts2, bodyC)
+	if code3 != http.StatusServiceUnavailable && code3 != http.StatusInternalServerError {
+		t.Fatalf("no-substitute failure: %d (%s)", code3, payloadC)
+	}
+	if code3 == http.StatusServiceUnavailable && hdr3.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+}
+
+// TestRetryAfterEstimate: the Retry-After estimate scales with queue
+// depth and recent service time and clamps to [1, 60].
+func TestRetryAfterEstimate(t *testing.T) {
+	srv, err := New(Config{MaxInflight: 2, QueueDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Drain(0)
+	// No history: the default estimate is the floor.
+	if got := srv.retryAfterSeconds(); got != 1 {
+		t.Fatalf("idle estimate = %d, want 1", got)
+	}
+	// Slow service times push the estimate up...
+	srv.recordService(40 * time.Second)
+	if got := srv.retryAfterSeconds(); got <= 1 {
+		t.Fatalf("estimate after 40s jobs = %d, want > 1", got)
+	}
+	// ...and clamp at 60.
+	for i := 0; i < 8; i++ {
+		srv.recordService(10 * time.Minute)
+	}
+	if got := srv.retryAfterSeconds(); got != 60 {
+		t.Fatalf("estimate = %d, want clamped 60", got)
+	}
+	// EWMA decays back down with fast jobs.
+	for i := 0; i < 64; i++ {
+		srv.recordService(50 * time.Millisecond)
+	}
+	if got := srv.retryAfterSeconds(); got != 1 {
+		t.Fatalf("estimate after recovery = %d, want 1", got)
+	}
+}
+
+// failingProfile is a ProfileFunc that always errors — the hard-broken
+// backend used by brownout tests.
+func failingProfile(msg string) ProfileFunc {
+	return func(ctx context.Context, _ *nn.Network, _ *platform.Platform, _ primitives.Mode, _ int) (*lut.Table, *profile.Report, error) {
+		return nil, nil, fmt.Errorf("%s", msg)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -19,7 +20,9 @@ import (
 	"repro/internal/pool"
 	"repro/internal/primitives"
 	"repro/internal/profile"
+	"repro/internal/resilience"
 	"repro/internal/runner"
+	"repro/internal/searchplan"
 )
 
 // ProfileFunc builds the look-up table for one validated request. The
@@ -59,12 +62,45 @@ type Config struct {
 	// Robust selects the fault-tolerant measurement policy for the
 	// default simulator profiler; ignored when Profile is non-nil.
 	Robust *profile.Robust
+	// Faults, when non-nil, wraps the default simulator source in the
+	// seeded fault injector — the test/chaos harness for the
+	// resilience machinery. Ignored when Profile is non-nil.
+	Faults *profile.FaultConfig
+	// MaxDeadline caps the per-request deadline_ms budget and, when
+	// set, also applies as the default budget for requests that send
+	// none. 0 leaves client budgets uncapped and deadline-less
+	// requests unbounded (the legacy behavior).
+	MaxDeadline time.Duration
+	// Brownout enables degraded serving: when a job cannot be
+	// completed in budget (queue delay, open breakers, profiling
+	// failure), the newest cached plan of the request's family is
+	// served with degraded=true and an honest Retry-After, instead of
+	// an error.
+	Brownout bool
+	// Breaker, when non-nil, installs per-(platform, library) circuit
+	// breakers around the default simulator profiler. A nil Exempt
+	// list defaults to the Vanilla library — the degradation floor
+	// must stay measurable. Ignored when Profile is non-nil.
+	Breaker *resilience.BreakerConfig
+	// WatchdogStall, when > 0, arms the stuck-work watchdog: a job
+	// whose progress heartbeat (profiled measurements, checkpoint
+	// boundaries) goes quiet for more than
+	// max(WatchdogStall, WatchdogMult x learned cadence) is canceled.
+	WatchdogStall time.Duration
+	// WatchdogMult is the learned-cadence multiple for the watchdog
+	// limit; <= 0 selects 8.
+	WatchdogMult float64
 }
 
 // errStopped aborts a search at a checkpoint boundary during a hard
 // stop: the snapshot is already durable, so the job resumes on the
 // next start.
 var errStopped = errors.New("serve: hard stop at checkpoint boundary")
+
+// errAbandoned cancels a job every waiting client has walked away
+// from: with no waiter and no durable-record obligation, nobody will
+// ever read the result.
+var errAbandoned = errors.New("serve: all waiting clients disconnected")
 
 // Server is the optimization daemon. Create with New, mount
 // Handler(), and stop with Drain.
@@ -73,14 +109,25 @@ type Server struct {
 	every  int
 	retain int
 
-	profileFn ProfileFunc
+	profileFn ProfileFunc // nil selects the simulator pipeline in profileJob
 	flight    *runner.Flight
 	lru       *lruCache
 	store     *planStore // nil without Config.PlanStore
+	breakers  *resilience.BreakerSet
+	watchdog  *resilience.Watchdog
 
 	baseCtx context.Context
 	cancel  context.CancelFunc
 	wg      sync.WaitGroup
+
+	// family maps a brownout family key to the newest full-plan
+	// request key cached for it.
+	famMu  sync.Mutex
+	family map[string]string
+
+	// svcNanos is an EWMA of recent per-job service time (ns), feeding
+	// the Retry-After estimator. 0 until the first job completes.
+	svcNanos atomic.Int64
 
 	mu        sync.Mutex
 	draining  bool
@@ -91,20 +138,24 @@ type Server struct {
 	doneOrder []string
 	nextID    int64
 
-	queuedN     atomic.Int64
-	inflight    atomic.Int64
-	accepted    atomic.Int64
-	rejected    atomic.Int64
-	coalesced   atomic.Int64
-	completed   atomic.Int64
-	failed      atomic.Int64
-	interrupted atomic.Int64
-	resumed     atomic.Int64
-	skippedRec  atomic.Int64
-	searches    atomic.Int64
-	planHits    atomic.Int64
-	storeHits   atomic.Int64
-	planMisses  atomic.Int64
+	queuedN         atomic.Int64
+	inflight        atomic.Int64
+	accepted        atomic.Int64
+	rejected        atomic.Int64
+	coalesced       atomic.Int64
+	completed       atomic.Int64
+	failed          atomic.Int64
+	interrupted     atomic.Int64
+	canceled        atomic.Int64
+	watchdogFired   atomic.Int64
+	degradedServed  atomic.Int64
+	budgetExhausted atomic.Int64
+	resumed         atomic.Int64
+	skippedRec      atomic.Int64
+	searches        atomic.Int64
+	planHits        atomic.Int64
+	storeHits       atomic.Int64
+	planMisses      atomic.Int64
 }
 
 // defaultProfile profiles on the platform simulator, optionally under
@@ -135,16 +186,12 @@ func New(cfg Config) (*Server, error) {
 	if retain <= 0 {
 		retain = 1024
 	}
-	profileFn := cfg.Profile
-	if profileFn == nil {
-		profileFn = defaultProfile(cfg.Robust)
-	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:       cfg,
 		every:     every,
 		retain:    retain,
-		profileFn: profileFn,
+		profileFn: cfg.Profile,
 		flight:    runner.NewFlight(),
 		lru:       newLRU(cfg.CacheSize),
 		baseCtx:   ctx,
@@ -152,17 +199,34 @@ func New(cfg Config) (*Server, error) {
 		queue:     make(chan *job, cfg.QueueDepth),
 		jobs:      map[string]*job{},
 		byKey:     map[string]*job{},
+		family:    map[string]string{},
+	}
+	if cfg.Breaker != nil {
+		bcfg := *cfg.Breaker
+		if bcfg.Exempt == nil {
+			// Vanilla is the degradation floor: RunFallible can drop any
+			// other library's candidates, but an unmeasurable Vanilla
+			// fails the whole table, so its breaker never trips.
+			bcfg.Exempt = []string{primitives.Vanilla.String()}
+		}
+		s.breakers = resilience.NewBreakerSet(&bcfg)
+	}
+	if cfg.WatchdogStall > 0 {
+		s.watchdog = resilience.NewWatchdog(cfg.WatchdogStall, cfg.WatchdogMult)
+		s.watchdog.Start()
 	}
 	if cfg.PlanStore != "" {
 		st, err := openPlanStore(cfg.PlanStore)
 		if err != nil {
 			cancel()
+			s.stopWatchdog()
 			return nil, err
 		}
 		s.store = st
 		reqs, skipped, err := st.pendingJobs()
 		if err != nil {
 			cancel()
+			s.stopWatchdog()
 			return nil, err
 		}
 		s.skippedRec.Add(int64(skipped))
@@ -174,11 +238,23 @@ func New(cfg Config) (*Server, error) {
 			}
 			j := newJob(s.newID(), spec)
 			j.resumed = true
+			// Resumed jobs run without a deadline and regardless of
+			// waiters: the durable record is an obligation to finish.
+			j.arm(s.baseCtx, 0)
+			j.pinned = true
 			s.jobs[j.id] = j
 			s.byKey[spec.key()] = j
 			s.resumedQ = append(s.resumedQ, j)
 			s.queuedN.Add(1)
 			s.resumed.Add(1)
+		}
+		if cfg.Brownout {
+			// Rebuild the family index from the durable plans (oldest
+			// first, so the newest plan of each family wins) — brownout
+			// substitution survives restarts.
+			for _, key := range st.planKeys() {
+				s.noteFamily(key)
+			}
 		}
 	}
 	for w := 0; w < cfg.MaxInflight; w++ {
@@ -234,18 +310,28 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, OptimizeResponse{State: StateDone, Cached: true, Plan: payload})
 		return
 	}
+	// The effective deadline budget: the client's, capped by the
+	// server's -max-deadline, which also applies when the client sent
+	// none.
+	budget := spec.Deadline
+	if s.cfg.MaxDeadline > 0 && (budget == 0 || budget > s.cfg.MaxDeadline) {
+		budget = s.cfg.MaxDeadline
+	}
 
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
-		w.Header().Set("Retry-After", "5")
+		w.Header().Set("Retry-After", s.retryAfter())
 		writeJSON(w, http.StatusServiceUnavailable, errorJSON{Error: "server is draining"})
 		return
 	}
 	if j := s.byKey[key]; j != nil {
 		s.coalesced.Add(1)
+		if req.Wait {
+			j.addWaiter()
+		}
 		s.mu.Unlock()
-		s.respondJob(w, r, j, req.Wait, http.StatusOK)
+		s.respondJob(w, r, j, req.Wait, http.StatusOK, budget)
 		return
 	}
 	// Second cache check under the lock: a job for this key may have
@@ -258,12 +344,34 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, OptimizeResponse{State: StateDone, Cached: true, Plan: payload})
 		return
 	}
+	// Load shedding under a budget: when the queue alone is expected
+	// to eat the whole budget, admitting the job would only burn a
+	// worker on an answer nobody can wait for — brown out (or refuse
+	// honestly) up front.
+	if budget > 0 && s.estimatedDelay() > budget {
+		s.rejected.Add(1)
+		s.mu.Unlock()
+		s.brownoutOr503(w, spec, "queue delay exceeds the request deadline budget")
+		return
+	}
 	j := newJob(s.newID(), spec)
+	j.arm(s.baseCtx, budget)
+	if req.Wait {
+		j.addWaiter()
+	} else {
+		// An async (202) submission has no connected waiter to track;
+		// the client polls, so the job must run.
+		j.pinned = true
+	}
 	if s.store != nil {
 		// Durable admission: the job record lands before the job is
-		// claimable, so a SIGKILL at any later instant cannot lose it.
+		// claimable, so a SIGKILL at any later instant cannot lose it —
+		// and the record is an obligation to finish even if every
+		// waiter disconnects.
+		j.pinned = true
 		if err := s.store.saveJobRecord(spec, nil); err != nil {
 			s.mu.Unlock()
+			j.release()
 			writeJSON(w, http.StatusInternalServerError, errorJSON{Error: fmt.Sprintf("persisting job record: %v", err)})
 			return
 		}
@@ -276,7 +384,8 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		}
 		s.rejected.Add(1)
 		s.mu.Unlock()
-		w.Header().Set("Retry-After", "1")
+		j.release()
+		w.Header().Set("Retry-After", s.retryAfter())
 		writeJSON(w, http.StatusTooManyRequests, errorJSON{Error: "queue full"})
 		return
 	}
@@ -285,27 +394,70 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	s.accepted.Add(1)
 	s.queuedN.Add(1)
 	s.mu.Unlock()
-	s.respondJob(w, r, j, req.Wait, http.StatusAccepted)
+	s.respondJob(w, r, j, req.Wait, http.StatusAccepted, budget)
 }
 
+// brownoutOr503 answers a request the server cannot serve exactly in
+// time: under brownout with a cached family plan available, a degraded
+// 200; otherwise an honest 503. Both carry the Retry-After estimate.
+func (s *Server) brownoutOr503(w http.ResponseWriter, spec *jobSpec, msg string) {
+	w.Header().Set("Retry-After", s.retryAfter())
+	if s.cfg.Brownout {
+		if payload, ok := s.lookupDegraded(spec); ok {
+			s.degradedServed.Add(1)
+			writeJSON(w, http.StatusOK, OptimizeResponse{State: StateDone, Cached: true, Degraded: true, Plan: payload})
+			return
+		}
+	}
+	writeJSON(w, http.StatusServiceUnavailable, errorJSON{Error: msg})
+}
+
+// budgetGrace is how much longer than its budget a waiting client
+// holds on: the job's own deadline fires first, the search stops at
+// the next checkpoint boundary, and the best-so-far plan is built —
+// all inside the grace — so the client receives the budget-exhausted
+// plan instead of racing it.
+const budgetGrace = time.Second
+
 // respondJob replies for an admitted (or coalesced-onto) job: a 202
-// status envelope, or — with wait — the finished plan inline.
-func (s *Server) respondJob(w http.ResponseWriter, r *http.Request, j *job, wait bool, code int) {
+// status envelope, or — with wait — the finished plan inline. Wait
+// callers must have registered a waiter (addWaiter) before calling;
+// it is dropped here on every exit, and a last waiter walking away
+// cancels an unpinned job.
+func (s *Server) respondJob(w http.ResponseWriter, r *http.Request, j *job, wait bool, code int, budget time.Duration) {
 	if !wait {
 		writeJSON(w, code, j.status())
 		return
 	}
+	defer j.dropWaiter()
+	// A waiting POST is a long poll; exempt it from the http.Server
+	// write deadline (same contract as the SSE stream).
+	http.NewResponseController(w).SetWriteDeadline(time.Time{})
+	var timeout <-chan time.Time
+	if budget > 0 {
+		t := time.NewTimer(budget + budgetGrace)
+		defer t.Stop()
+		timeout = t.C
+	}
 	select {
 	case <-j.done:
 	case <-r.Context().Done():
-		return // client gone; the job keeps running for other waiters
+		return // client gone; dropWaiter decides the job's fate
+	case <-timeout:
+		// The job overran its budget without even a best-so-far plan
+		// (e.g. stuck in profiling past the grace).
+		s.brownoutOr503(w, j.spec, "deadline budget exhausted before the job finished")
+		return
 	}
 	st := j.status()
 	switch st.State {
 	case StateDone:
+		if st.Degraded {
+			w.Header().Set("Retry-After", s.retryAfter())
+		}
 		writeJSON(w, http.StatusOK, st)
-	case StateInterrupted:
-		w.Header().Set("Retry-After", "1")
+	case StateInterrupted, StateCanceled:
+		w.Header().Set("Retry-After", s.retryAfter())
 		writeJSON(w, http.StatusServiceUnavailable, st)
 	default:
 		writeJSON(w, http.StatusInternalServerError, st)
@@ -342,6 +494,10 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusInternalServerError, errorJSON{Error: "streaming unsupported"})
 		return
 	}
+	// A progress stream outlives any sane write deadline; exempt it
+	// (ignoring the error — a recorder or h2 stream may not support
+	// deadlines, and then there is nothing to exempt from).
+	http.NewResponseController(w).SetWriteDeadline(time.Time{})
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-store")
 	w.WriteHeader(http.StatusOK)
@@ -376,7 +532,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	draining := s.draining
 	s.mu.Unlock()
 	if draining {
-		w.Header().Set("Retry-After", "5")
+		w.Header().Set("Retry-After", s.retryAfter())
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
 	}
@@ -403,6 +559,19 @@ type Statusz struct {
 	SkippedRec  int64 `json:"skipped_records"`
 	Searches    int64 `json:"searches"`
 
+	// Resilience outcomes: canceled jobs (abandoned / budget /
+	// watchdog), watchdog firings, degraded brownout replies, and
+	// best-so-far plans returned at budget exhaustion.
+	Canceled        int64 `json:"canceled"`
+	WatchdogCancels int64 `json:"watchdog_cancels"`
+	DegradedServed  int64 `json:"degraded_served"`
+	BudgetExhausted int64 `json:"budget_exhausted"`
+	// RetryAfterSeconds is the current Retry-After estimate.
+	RetryAfterSeconds int `json:"retry_after_seconds"`
+	// Breakers is every circuit breaker's state, sorted; absent when
+	// breakers are not configured.
+	Breakers []resilience.BreakerStatus `json:"breakers,omitempty"`
+
 	PlanCacheHits   int64 `json:"plan_cache_hits"`
 	PlanStoreHits   int64 `json:"plan_store_hits"`
 	PlanCacheMisses int64 `json:"plan_cache_misses"`
@@ -417,28 +586,37 @@ func (s *Server) Status() Statusz {
 	draining := s.draining
 	s.mu.Unlock()
 	lh, lm := s.flight.Stats()
-	return Statusz{
-		Draining:        draining,
-		MaxInflight:     s.cfg.MaxInflight,
-		QueueDepth:      s.cfg.QueueDepth,
-		Inflight:        s.inflight.Load(),
-		Queued:          s.queuedN.Load(),
-		Accepted:        s.accepted.Load(),
-		Rejected:        s.rejected.Load(),
-		Coalesced:       s.coalesced.Load(),
-		Completed:       s.completed.Load(),
-		Failed:          s.failed.Load(),
-		Interrupted:     s.interrupted.Load(),
-		Resumed:         s.resumed.Load(),
-		SkippedRec:      s.skippedRec.Load(),
-		Searches:        s.searches.Load(),
-		PlanCacheHits:   s.planHits.Load(),
-		PlanStoreHits:   s.storeHits.Load(),
-		PlanCacheMisses: s.planMisses.Load(),
-		PlanCacheSize:   s.lru.len(),
-		LUTCacheHits:    lh,
-		LUTCacheMisses:  lm,
+	st := Statusz{
+		Draining:          draining,
+		MaxInflight:       s.cfg.MaxInflight,
+		QueueDepth:        s.cfg.QueueDepth,
+		Inflight:          s.inflight.Load(),
+		Queued:            s.queuedN.Load(),
+		Accepted:          s.accepted.Load(),
+		Rejected:          s.rejected.Load(),
+		Coalesced:         s.coalesced.Load(),
+		Completed:         s.completed.Load(),
+		Failed:            s.failed.Load(),
+		Interrupted:       s.interrupted.Load(),
+		Canceled:          s.canceled.Load(),
+		WatchdogCancels:   s.watchdogFired.Load(),
+		DegradedServed:    s.degradedServed.Load(),
+		BudgetExhausted:   s.budgetExhausted.Load(),
+		RetryAfterSeconds: s.retryAfterSeconds(),
+		Resumed:           s.resumed.Load(),
+		SkippedRec:        s.skippedRec.Load(),
+		Searches:          s.searches.Load(),
+		PlanCacheHits:     s.planHits.Load(),
+		PlanStoreHits:     s.storeHits.Load(),
+		PlanCacheMisses:   s.planMisses.Load(),
+		PlanCacheSize:     s.lru.len(),
+		LUTCacheHits:      lh,
+		LUTCacheMisses:    lm,
 	}
+	if s.breakers != nil {
+		st.Breakers = s.breakers.Snapshot()
+	}
+	return st
 }
 
 func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
@@ -460,6 +638,89 @@ func (s *Server) lookupPlan(key string) (json.RawMessage, bool) {
 	}
 	s.planMisses.Add(1)
 	return nil, false
+}
+
+// noteFamily records key as its family's newest full plan.
+func (s *Server) noteFamily(key string) {
+	s.famMu.Lock()
+	s.family[familyOfKey(key)] = key
+	s.famMu.Unlock()
+}
+
+// lookupDegraded serves the newest cached plan of spec's family — the
+// brownout substitute when the exact plan cannot be computed in time.
+func (s *Server) lookupDegraded(spec *jobSpec) (json.RawMessage, bool) {
+	s.famMu.Lock()
+	key, ok := s.family[spec.familyKey()]
+	s.famMu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	return s.lookupPlan(key)
+}
+
+// defaultServiceNanos seeds the Retry-After estimate before the first
+// job has completed.
+const defaultServiceNanos = int64(time.Second)
+
+// serviceNanos returns the EWMA per-job service time in nanoseconds.
+func (s *Server) serviceNanos() int64 {
+	if n := s.svcNanos.Load(); n > 0 {
+		return n
+	}
+	return defaultServiceNanos
+}
+
+// recordService folds one job's wall-clock into the service-time EWMA.
+func (s *Server) recordService(d time.Duration) {
+	n := int64(d)
+	if n <= 0 {
+		n = 1
+	}
+	for {
+		old := s.svcNanos.Load()
+		next := n
+		if old != 0 {
+			next = old + (n-old)/4
+		}
+		if s.svcNanos.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// retryAfterSeconds estimates how long a retried request would wait
+// for a worker: pending work (queued + in-flight + the retry itself)
+// times the recent per-job service time, spread over the worker set,
+// clamped to [1, 60] seconds.
+func (s *Server) retryAfterSeconds() int {
+	pending := s.queuedN.Load() + s.inflight.Load() + 1
+	per := s.serviceNanos()
+	secs := (pending*per/int64(s.cfg.MaxInflight) + int64(time.Second) - 1) / int64(time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return int(secs)
+}
+
+// retryAfter is retryAfterSeconds as a Retry-After header value.
+func (s *Server) retryAfter() string {
+	return strconv.Itoa(s.retryAfterSeconds())
+}
+
+// estimatedDelay is the expected queue wait for a newly admitted job.
+func (s *Server) estimatedDelay() time.Duration {
+	return time.Duration(s.queuedN.Load() * s.serviceNanos() / int64(s.cfg.MaxInflight))
+}
+
+// stopWatchdog halts the watchdog loop if one was armed.
+func (s *Server) stopWatchdog() {
+	if s.watchdog != nil {
+		s.watchdog.Stop()
+	}
 }
 
 // worker claims jobs — startup-resumed ones first, then the admission
@@ -502,7 +763,9 @@ func (s *Server) run(j *job) {
 	s.inflight.Add(1)
 	defer s.inflight.Add(-1)
 	j.setRunning()
+	t0 := time.Now()
 	out := pool.RunContext(s.baseCtx, 1, 1, func(int) { s.exec(j) })
+	s.recordService(time.Since(t0))
 	if perr := out.Err(); perr != nil {
 		s.finishJob(j, StateFailed, nil, fmt.Errorf("job panicked: %v", perr))
 	}
@@ -513,12 +776,26 @@ func (s *Server) run(j *job) {
 	}
 }
 
-// exec is the job pipeline: cache check, single-flight profile,
-// checkpointed search with progress events, durable plan persistence.
+// exec is the job pipeline: cache check, single-flight profile (under
+// the breakers and the watchdog heartbeat), checkpointed search with
+// progress events and deadline-budget early stop, durable plan
+// persistence.
 func (s *Server) exec(j *job) {
 	spec := j.spec
-	ctx := s.baseCtx
 	key := spec.key()
+	if j.ctx == nil {
+		j.arm(s.baseCtx, 0)
+	}
+	defer j.release()
+
+	var hb *resilience.Heartbeat
+	if s.watchdog != nil {
+		hb = s.watchdog.Watch(j.id, func(cause error) {
+			s.watchdogFired.Add(1)
+			j.cancelCause(cause)
+		})
+		defer hb.Stop()
+	}
 
 	// A resumed job whose plan was already persisted (crash between
 	// putPlan and dropJobRecord) finishes without searching.
@@ -527,6 +804,11 @@ func (s *Server) exec(j *job) {
 			s.store.dropJobRecord(key)
 		}
 		s.finishJob(j, StateDone, payload, nil)
+		return
+	}
+	if j.ctx.Err() != nil && s.baseCtx.Err() == nil {
+		// Abandoned or out of budget while queued; nothing ran yet.
+		s.finishBudget(j, context.Cause(j.ctx))
 		return
 	}
 
@@ -540,15 +822,36 @@ func (s *Server) exec(j *job) {
 		s.finishJob(j, StateFailed, nil, fmt.Errorf("unknown platform %q", spec.Platform))
 		return
 	}
-	tab, plan, _, err := s.flight.Get(spec.lutKey(), func() (*lut.Table, *profile.Report, error) {
-		return s.profileFn(ctx, net, board, spec.Mode, spec.Samples)
-	})
-	if err != nil {
-		if ctx.Err() != nil {
-			s.finishJob(j, StateInterrupted, nil, fmt.Errorf("profiling interrupted: %w", err))
+
+	// The single-flight build runs under the leader job's context, so
+	// a leader's deadline can kill a build other jobs are parked on.
+	// The flight evicts failed builds, so followers just retry and the
+	// next leader rebuilds under its own (live) context.
+	var tab *lut.Table
+	var plan *searchplan.Plan
+	for tries := 0; ; tries++ {
+		hb.Suspend() // parked on the flight: quiet time is not a stall
+		var perr error
+		tab, plan, _, perr = s.flight.Get(spec.lutKey(), func() (*lut.Table, *profile.Report, error) {
+			hb.Beat() // this job is the leader; its own work resumes
+			return s.profileJob(j, hb, net, board)
+		})
+		hb.Beat()
+		if perr == nil {
+			break
+		}
+		if s.baseCtx.Err() != nil {
+			s.finishJob(j, StateInterrupted, nil, fmt.Errorf("profiling interrupted: %w", perr))
 			return
 		}
-		s.finishJob(j, StateFailed, nil, fmt.Errorf("profiling: %w", err))
+		if j.ctx.Err() != nil {
+			s.finishBudget(j, fmt.Errorf("profiling: %w", perr))
+			return
+		}
+		if tries < 3 && (errors.Is(perr, context.Canceled) || errors.Is(perr, context.DeadlineExceeded)) {
+			continue // another job's budget killed the shared build
+		}
+		s.finishFailed(j, fmt.Errorf("profiling: %w", perr))
 		return
 	}
 
@@ -578,6 +881,7 @@ func (s *Server) exec(j *job) {
 			Every: s.every,
 			From:  from,
 			Save: func(snap *core.Snapshot) error {
+				hb.Beat()
 				j.progress(snap.Checkpoint.Episode, snap.BestTime)
 				if s.store != nil {
 					payload, merr := snap.Marshal()
@@ -588,20 +892,33 @@ func (s *Server) exec(j *job) {
 						return werr
 					}
 				}
-				if ctx.Err() != nil && snap.Checkpoint.Episode < spec.Episodes {
+				if s.baseCtx.Err() != nil && snap.Checkpoint.Episode < spec.Episodes {
 					// Hard stop: the snapshot just persisted is the
 					// resume point; stop at this boundary.
 					return errStopped
+				}
+				if j.ctx.Err() != nil && snap.Checkpoint.Episode < spec.Episodes {
+					// Deadline budget (or cancellation) hit: stop at
+					// this boundary with the best-so-far carried out.
+					return fmt.Errorf("job context done: %w", core.ErrStopEarly)
 				}
 				return nil
 			},
 		})
 		if serr != nil {
-			if errors.Is(serr, errStopped) || ctx.Err() != nil {
+			if errors.Is(serr, errStopped) || s.baseCtx.Err() != nil {
 				s.finishJob(j, StateInterrupted, nil, errors.New("server stopping; search checkpointed for resume"))
 				return
 			}
-			s.finishJob(j, StateFailed, nil, serr)
+			if errors.Is(serr, core.ErrStopEarly) && res != nil {
+				s.finishBestEffort(j, net, tab, res)
+				return
+			}
+			if j.ctx.Err() != nil {
+				s.finishBudget(j, serr)
+				return
+			}
+			s.finishFailed(j, serr)
 			return
 		}
 	}
@@ -620,7 +937,119 @@ func (s *Server) exec(j *job) {
 		s.store.dropJobRecord(key)
 	}
 	s.lru.add(key, payload)
+	s.noteFamily(key)
 	s.finishJob(j, StateDone, payload, nil)
+}
+
+// profileJob builds the job's look-up table: the configured override
+// when one exists (tests), otherwise the platform simulator composed
+// with the configured resilience layers — fault injection innermost,
+// then the circuit breakers, then the watchdog heartbeat, so a
+// breaker fast-fail still beats (fast-failing is progress; stalling
+// is not).
+func (s *Server) profileJob(j *job, hb *resilience.Heartbeat, net *nn.Network, board *platform.Platform) (*lut.Table, *profile.Report, error) {
+	spec := j.spec
+	if s.profileFn != nil {
+		return s.profileFn(j.ctx, net, board, spec.Mode, spec.Samples)
+	}
+	sim := profile.NewSimSource(net, board)
+	robust := s.cfg.Robust
+	var src profile.FallibleSource = profile.AsFallible(sim)
+	if s.cfg.Faults != nil {
+		src = profile.NewFaultSource(sim, *s.cfg.Faults)
+		if robust == nil {
+			robust = profile.DefaultRobust()
+		}
+	}
+	if s.breakers != nil {
+		src = resilience.GuardSource(s.breakers, spec.Platform, src)
+	}
+	src = resilience.WithHeartbeat(hb, src)
+	return profile.RunFallible(j.ctx, net, src, profile.Options{Mode: spec.Mode, Samples: spec.Samples, Robust: robust})
+}
+
+// finishBestEffort completes a budget-exhausted job with its
+// best-so-far plan, marked so the client knows the search budget was
+// not fully spent. The partial plan is served to this job's waiters
+// but never cached: a later identical request deserves the full run.
+func (s *Server) finishBestEffort(j *job, net *nn.Network, tab *lut.Table, res *core.Result) {
+	if cause := context.Cause(j.ctx); errors.Is(cause, errAbandoned) {
+		s.finishCanceled(j, cause)
+		return
+	}
+	if len(res.Assignment) == 0 {
+		s.finishBudget(j, errors.New("no episode completed inside the budget"))
+		return
+	}
+	pr := buildPlanResponse(j.spec, net, tab, res)
+	pr.BudgetExhausted = true
+	pr.EpisodesRun = res.Episodes
+	payload, err := json.Marshal(pr)
+	if err != nil {
+		s.finishJob(j, StateFailed, nil, err)
+		return
+	}
+	if s.store != nil {
+		s.store.dropJobRecord(j.spec.key())
+	}
+	s.budgetExhausted.Add(1)
+	s.finishJob(j, StateDone, payload, nil)
+}
+
+// finishBudget completes a job whose context died before a usable
+// result existed: canceled outright, or — under brownout — answered
+// with the newest cached plan of its family.
+func (s *Server) finishBudget(j *job, cause error) {
+	if c := context.Cause(j.ctx); c != nil && !errors.Is(c, context.Canceled) {
+		cause = c
+	}
+	if errors.Is(cause, errAbandoned) {
+		s.finishCanceled(j, cause)
+		return
+	}
+	if s.cfg.Brownout {
+		if payload, ok := s.lookupDegraded(j.spec); ok {
+			if s.store != nil {
+				s.store.dropJobRecord(j.spec.key())
+			}
+			j.setDegraded()
+			s.degradedServed.Add(1)
+			s.finishJob(j, StateDone, payload, nil)
+			return
+		}
+	}
+	s.finishCanceled(j, cause)
+}
+
+// finishFailed completes a genuinely failed job — under brownout with
+// a degraded family plan when one exists, as a failure otherwise. A
+// failed job's durable record is kept: a restarted server retries it.
+func (s *Server) finishFailed(j *job, err error) {
+	if s.cfg.Brownout {
+		if payload, ok := s.lookupDegraded(j.spec); ok {
+			if s.store != nil {
+				s.store.dropJobRecord(j.spec.key())
+			}
+			j.setDegraded()
+			s.degradedServed.Add(1)
+			s.finishJob(j, StateDone, payload, nil)
+			return
+		}
+	}
+	s.finishJob(j, StateFailed, nil, err)
+}
+
+// finishCanceled completes a canceled job. Its durable record is
+// dropped — except for watchdog stalls, where a restarted server
+// (with a possibly healthier backend) should retry the work.
+func (s *Server) finishCanceled(j *job, cause error) {
+	if cause == nil {
+		cause = context.Canceled
+	}
+	if s.store != nil && !errors.Is(cause, resilience.ErrStalled) {
+		s.store.dropJobRecord(j.spec.key())
+	}
+	s.finishJob(j, StateCanceled, nil, fmt.Errorf("job canceled: %w", cause))
 }
 
 // finishJob moves a job to a terminal state once, updates the outcome
@@ -640,6 +1069,8 @@ func (s *Server) finishJob(j *job, state string, plan json.RawMessage, err error
 		s.failed.Add(1)
 	case StateInterrupted:
 		s.interrupted.Add(1)
+	case StateCanceled:
+		s.canceled.Add(1)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -675,6 +1106,7 @@ func (s *Server) Drain(timeout time.Duration) {
 	if timeout <= 0 {
 		s.cancel()
 		<-done
+		s.stopWatchdog()
 		return
 	}
 	t := time.NewTimer(timeout)
@@ -685,6 +1117,7 @@ func (s *Server) Drain(timeout time.Duration) {
 		s.cancel()
 		<-done
 	}
+	s.stopWatchdog()
 }
 
 // ReferencePlan computes, in-process and without a server, exactly the

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"repro/internal/core"
@@ -170,6 +171,81 @@ func (s *planStore) loadSnapshot(key string, tab *lut.Table) *core.Snapshot {
 		return nil
 	}
 	return snap
+}
+
+// planKeys scans the stored plans and returns their request keys
+// ordered oldest-first by file modification time (newest last), so a
+// fold that keeps the last writer per family ends up with the newest
+// plan. Unreadable entries are skipped — the scan rebuilds a cache,
+// not a source of truth.
+func (s *planStore) planKeys() []string {
+	plansDir := filepath.Join(s.dir, plansSubdir)
+	entries, err := os.ReadDir(plansDir)
+	if err != nil {
+		return nil
+	}
+	type keyed struct {
+		key string
+		mod int64
+	}
+	var found []keyed
+	seen := map[string]bool{}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() {
+			continue
+		}
+		base := name
+		switch {
+		case strings.Contains(name, ".qsd.tmp"):
+			continue
+		case strings.HasSuffix(name, ".qsd.prev"):
+			base = strings.TrimSuffix(name, ".prev")
+		case strings.HasSuffix(name, ".qsd"):
+		default:
+			continue
+		}
+		if seen[base] {
+			continue
+		}
+		seen[base] = true
+		path := filepath.Join(plansDir, base)
+		payload, _, _, lerr := store.LoadRotating(path, func(p []byte) error {
+			var env planEnvelope
+			if err := json.Unmarshal(p, &env); err != nil {
+				return err
+			}
+			if env.Key == "" || len(env.Plan) == 0 {
+				return fmt.Errorf("empty plan envelope")
+			}
+			return nil
+		})
+		if lerr != nil {
+			continue
+		}
+		var env planEnvelope
+		if json.Unmarshal(payload, &env) != nil {
+			continue
+		}
+		var mod int64
+		if fi, serr := os.Stat(path); serr == nil {
+			mod = fi.ModTime().UnixNano()
+		} else if fi, serr := os.Stat(store.PreviousPath(path)); serr == nil {
+			mod = fi.ModTime().UnixNano()
+		}
+		found = append(found, keyed{key: env.Key, mod: mod})
+	}
+	sort.Slice(found, func(i, j int) bool {
+		if found[i].mod != found[j].mod {
+			return found[i].mod < found[j].mod
+		}
+		return found[i].key < found[j].key
+	})
+	keys := make([]string, len(found))
+	for i, k := range found {
+		keys[i] = k.key
+	}
+	return keys
 }
 
 // decodeJobRecord unmarshals and key-checks one job record payload.

@@ -27,6 +27,7 @@ import (
 	"io"
 	"math"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/lut"
@@ -44,6 +45,8 @@ const (
 	MaxEpisodes = 1_000_000
 	// MaxSamples bounds the per-request profiling average count.
 	MaxSamples = 100_000
+	// MaxDeadlineMS bounds the per-request deadline budget (one hour).
+	MaxDeadlineMS = 3_600_000
 	// MaxBodyBytes bounds the request body the decoder will read.
 	MaxBodyBytes = 1 << 20
 )
@@ -69,6 +72,12 @@ type OptimizeRequest struct {
 	Samples float64 `json:"samples,omitempty"`
 	// Seed drives the search agent (default 1).
 	Seed int64 `json:"seed,omitempty"`
+	// DeadlineMS is the optional end-to-end latency budget in
+	// milliseconds, measured from admission. The server caps it at its
+	// -max-deadline; a job that exhausts it returns its best-so-far
+	// plan marked budget_exhausted (or a degraded cached plan under
+	// brownout) instead of running on. 0 means no client deadline.
+	DeadlineMS float64 `json:"deadline_ms,omitempty"`
 	// Wait blocks the POST until the job finishes and returns the
 	// plan inline instead of a 202 + job id.
 	Wait bool `json:"wait,omitempty"`
@@ -86,6 +95,11 @@ type jobSpec struct {
 	Episodes  int
 	Samples   int
 	Seed      int64
+	// Deadline is the client's end-to-end budget (0 = none). It is
+	// deliberately NOT part of key(): the plan a request produces does
+	// not depend on its deadline, so requests that differ only in
+	// deadline still coalesce and share cached plans.
+	Deadline time.Duration
 }
 
 // badRequestError marks a client error the handler maps to 400.
@@ -190,6 +204,11 @@ func (r *OptimizeRequest) spec() (*jobSpec, error) {
 	if s.Samples, err = budget("samples", r.Samples, 50, MaxSamples); err != nil {
 		return nil, err
 	}
+	deadlineMS, err := budget("deadline_ms", r.DeadlineMS, 0, MaxDeadlineMS)
+	if err != nil {
+		return nil, err
+	}
+	s.Deadline = time.Duration(deadlineMS) * time.Millisecond
 	if s.Seed == 0 {
 		s.Seed = 1
 	}
@@ -202,6 +221,25 @@ func (r *OptimizeRequest) spec() (*jobSpec, error) {
 func (s *jobSpec) key() string {
 	return fmt.Sprintf("%s|%s|%s|%s|e%d|s%d|r%d",
 		s.Network, s.Platform, s.ModeName, s.Objective, s.Episodes, s.Samples, s.Seed)
+}
+
+// familyKey is the brownout-substitution identity: the (network,
+// platform, mode, objective) prefix of key(). Plans within one family
+// answer the same deployment question — they differ only in search
+// budget, sampling effort, or seed — so the newest cached plan of the
+// family is an honest degraded answer when the exact plan cannot be
+// computed in time.
+func (s *jobSpec) familyKey() string {
+	return fmt.Sprintf("%s|%s|%s|%s", s.Network, s.Platform, s.ModeName, s.Objective)
+}
+
+// familyOfKey reduces a full coalescing key to its family prefix.
+func familyOfKey(key string) string {
+	parts := strings.SplitN(key, "|", 5)
+	if len(parts) < 5 {
+		return key
+	}
+	return strings.Join(parts[:4], "|")
 }
 
 // lutKey is the profiling identity: requests that agree on it consume
@@ -217,13 +255,14 @@ func (s *jobSpec) lutKey() string {
 // on restart.
 func (s *jobSpec) request() OptimizeRequest {
 	return OptimizeRequest{
-		Network:   s.Network,
-		Platform:  s.Platform,
-		Mode:      s.ModeName,
-		Objective: s.Objective,
-		Episodes:  float64(s.Episodes),
-		Samples:   float64(s.Samples),
-		Seed:      s.Seed,
+		Network:    s.Network,
+		Platform:   s.Platform,
+		Mode:       s.ModeName,
+		Objective:  s.Objective,
+		Episodes:   float64(s.Episodes),
+		Samples:    float64(s.Samples),
+		Seed:       s.Seed,
+		DeadlineMS: float64(s.Deadline / time.Millisecond),
 	}
 }
 
@@ -257,6 +296,28 @@ type PlanResponse struct {
 	SpeedupVsBSL     float64      `json:"speedup_vs_bsl"`
 	Assignment       []int        `json:"assignment"`
 	Choices          []PlanChoice `json:"choices"`
+	// BudgetExhausted marks a best-so-far plan returned because the
+	// request's deadline budget ran out before the full episode budget;
+	// EpisodesRun is how many episodes actually completed. Both are
+	// omitted from full-budget plans, which stay byte-identical to
+	// pre-deadline servers.
+	BudgetExhausted bool `json:"budget_exhausted,omitempty"`
+	EpisodesRun     int  `json:"episodes_run,omitempty"`
+}
+
+// finite maps non-finite measurements to 0 so the plan stays
+// marshalable: on a heavily degraded table a baseline (all-Vanilla, or
+// a whole-library substitution) can be unmeasurable (+Inf) even though
+// the mixed plan itself is fine, and JSON cannot carry Inf/NaN. A zero
+// baseline (and the zero speedup it implies) tells the client "no
+// baseline on this table" the same way a zero BestSeconds does in
+// progress events. Healthy tables only ever see finite values, so
+// full-budget plans are byte-identical to pre-degradation servers.
+func finite(v float64) float64 {
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return 0
+	}
+	return v
 }
 
 // buildPlanResponse assembles the served plan from a finished search —
@@ -272,14 +333,16 @@ func buildPlanResponse(spec *jobSpec, net *nn.Network, tab *lut.Table, res *core
 		Episodes:       spec.Episodes,
 		Samples:        spec.Samples,
 		Seed:           spec.Seed,
-		Seconds:        res.Time,
-		VanillaSeconds: core.VanillaTime(tab),
-		BSLSeconds:     bsl.Time,
+		Seconds:        finite(res.Time),
+		VanillaSeconds: finite(core.VanillaTime(tab)),
+		BSLSeconds:     finite(bsl.Time),
 		BSLLibrary:     bslLib.String(),
 		Assignment:     make([]int, 0, len(res.Assignment)),
 	}
-	p.SpeedupVsVanilla = p.VanillaSeconds / p.Seconds
-	p.SpeedupVsBSL = p.BSLSeconds / p.Seconds
+	if p.Seconds > 0 {
+		p.SpeedupVsVanilla = p.VanillaSeconds / p.Seconds
+		p.SpeedupVsBSL = p.BSLSeconds / p.Seconds
+	}
 	for _, id := range res.Assignment {
 		p.Assignment = append(p.Assignment, int(id))
 	}
@@ -292,7 +355,7 @@ func buildPlanResponse(spec *jobSpec, net *nn.Network, tab *lut.Table, res *core
 			Primitive: pr.Name,
 			Library:   pr.Lib.String(),
 			Processor: pr.Proc.String(),
-			Seconds:   tab.Time(i, pr.Idx),
+			Seconds:   finite(tab.Time(i, pr.Idx)),
 		})
 	}
 	return p
@@ -322,6 +385,11 @@ type OptimizeResponse struct {
 	State string `json:"state"`
 	// Cached marks a plan served from the store/LRU without a search.
 	Cached bool `json:"cached,omitempty"`
+	// Degraded marks a brownout reply: Plan is the newest cached plan
+	// of the request's family (same network/platform/mode/objective),
+	// not the exact plan requested. The response carries a Retry-After
+	// estimating when the exact plan could be computed.
+	Degraded bool `json:"degraded,omitempty"`
 	// Progress is the latest progress event of a running job.
 	Progress *Event `json:"progress,omitempty"`
 	// Plan is the optimized plan, present when State is "done". Kept

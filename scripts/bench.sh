@@ -93,7 +93,9 @@ go test -run '^$' \
     ./internal/serve/ | tee "$SRAW"
 
 # Load generator: 64 concurrent clients against an in-process daemon;
-# writes client-observed p50/p95/p99 latency and sustained throughput.
+# writes client-observed p50/p95/p99 latency and sustained throughput,
+# plus a second degraded-mode phase (seeded faults + deadline budgets)
+# whose per-class percentiles land under "faulty_load".
 # go test runs the test in its package directory, so the output path
 # must be absolute.
 case "$SOUT" in
