@@ -29,6 +29,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/health"
 	"repro/internal/lut"
 	"repro/internal/models"
 	"repro/internal/plan"
@@ -81,6 +82,10 @@ func main() {
 	breakerCooldown := fs.Duration("breaker-cooldown", 5*time.Second, "serve: how long a tripped breaker rejects before half-open probes")
 	watchdogStall := fs.Duration("watchdog-stall", 0, "serve: cancel jobs whose progress heartbeat goes quiet for longer than this floor (0 = watchdog off)")
 	watchdogMult := fs.Float64("watchdog-multiple", 8, "serve: stall limit as a multiple of each job's learned heartbeat cadence (floor -watchdog-stall)")
+	canaryInterval := fs.Duration("canary-interval", 0, "serve: background canary re-profiling cadence; each tick re-measures a deterministic rotating subset of LUT entries and quarantines drifted libraries (0 = off)")
+	driftBand := fs.Float64("drift-band", 4, "serve: drift threshold in MAD-scaled band widths — a canary measurement further than this from its stored baseline counts as drifted")
+	planTTL := fs.Int64("plan-ttl", 0, "serve: profile epochs a cached plan stays fresh; older plans are served marked revalidating (0 = no TTL)")
+	noHeal := fs.Bool("no-heal", false, "serve: disable self-healing re-optimization; quarantined plans stay cached and are served marked revalidating")
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
 	}
@@ -103,6 +108,8 @@ func main() {
 		maxDeadline: *maxDeadline, brownout: *brownout,
 		breakerFailures: *breakerFailures, breakerCooldown: *breakerCooldown,
 		watchdogStall: *watchdogStall, watchdogMult: *watchdogMult,
+		canaryInterval: *canaryInterval, driftBand: *driftBand,
+		planTTL: *planTTL, noHeal: *noHeal,
 	}
 	if err := runCtx(ctx, cmd, *netName, *modeStr, *episodes, *samples, *seed, *lutFile, *platName, *parallel, *seeds, ft, df, ef, sf); err != nil {
 		fmt.Fprintln(os.Stderr, "qsdnn:", err)
@@ -182,6 +189,18 @@ func validateFlags(fs *flag.FlagSet) error {
 			if get().(float64) <= 0 {
 				err = fmt.Errorf("-watchdog-multiple must be positive (got %s)", f.Value)
 			}
+		case "canary-interval":
+			if get().(time.Duration) < 0 {
+				err = fmt.Errorf("-canary-interval must be >= 0 (got %s)", f.Value)
+			}
+		case "drift-band":
+			if get().(float64) <= 0 {
+				err = fmt.Errorf("-drift-band must be positive (got %s)", f.Value)
+			}
+		case "plan-ttl":
+			if get().(int64) < 0 {
+				err = fmt.Errorf("-plan-ttl must be >= 0 (got %s)", f.Value)
+			}
 		}
 	})
 	return err
@@ -208,6 +227,10 @@ type serveFlags struct {
 	breakerCooldown time.Duration
 	watchdogStall   time.Duration
 	watchdogMult    float64
+	canaryInterval  time.Duration
+	driftBand       float64
+	planTTL         int64
+	noHeal          bool
 }
 
 // engineFlags bundles the real-engine profiling CLI flags.
@@ -320,6 +343,15 @@ flags: -net NAME -mode cpu|gpgpu -platform NAME -episodes N -samples N -seed N -
        -watchdog-stall DUR -watchdog-multiple F serve: cancel jobs whose progress
                                                 heartbeat is quiet past max(DUR,
                                                 F x learned cadence)
+       -canary-interval DUR -drift-band F       serve: plan health — every DUR, canary
+                                                re-measurements of a rotating LUT subset;
+                                                entries further than F MAD-scaled band
+                                                widths from baseline quarantine their
+                                                (platform, library) pair
+       -plan-ttl N -no-heal                     serve: cached plans older than N profile
+                                                epochs serve marked revalidating; -no-heal
+                                                disables the background re-optimization of
+                                                quarantined plans
 SIGINT/SIGTERM interrupt cleanly: a running bench-all flushes its partial results;
 a running serve drains, checkpoints what cannot finish, and resumes on restart.`)
 }
@@ -363,6 +395,12 @@ func serveCmd(ctx context.Context, sf serveFlags, ft faultFlags, df durableFlags
 		Brownout:      sf.brownout,
 		WatchdogStall: sf.watchdogStall,
 		WatchdogMult:  sf.watchdogMult,
+		Health: &health.Config{
+			Interval: sf.canaryInterval,
+			Band:     sf.driftBand,
+			PlanTTL:  sf.planTTL,
+			NoHeal:   sf.noHeal,
+		},
 	}
 	if sf.breakerFailures > 0 {
 		cfg.Breaker = &resilience.BreakerConfig{

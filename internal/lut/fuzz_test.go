@@ -94,6 +94,15 @@ func FuzzLoad(f *testing.F) {
 	f.Add(bytes.Replace(valid, []byte(`"from":0`), []byte(`"from":7`), 1))
 	f.Add(bytes.Replace(valid, []byte(`"prim":"vanilla-direct"`), []byte(`"prim":"warp-core"`), 1))
 	f.Add(bytes.Replace(valid, []byte(`"mode":"GPGPU"`), []byte(`"mode":"TPU"`), 1))
+	// Candidate-set reconciliation seeds: a degraded (DropCandidate)
+	// table, a candidates list naming an unknown primitive, a truncated
+	// candidates array, and a legacy table with no candidates field.
+	if degraded, err := json.Marshal(fuzzDegradedTable(net)); err == nil {
+		f.Add(degraded)
+	}
+	f.Add(bytes.Replace(valid, []byte(`"candidates":[`), []byte(`"candidates":[["warp-core"],`), 1))
+	f.Add(bytes.Replace(valid, []byte(`"candidates":[[`), []byte(`"candidates":[`), 1))
+	f.Add(legacyNoCands(valid))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		tab, err := Load(data, net)
 		if err != nil {
@@ -107,25 +116,145 @@ func FuzzLoad(f *testing.F) {
 	})
 }
 
+// fuzzDegradedTable is fuzzTable after degradation: one candidate
+// dropped from each eligible layer, as the fault-tolerant profiler does
+// when a primitive persistently fails.
+func fuzzDegradedTable(net *nn.Network) *Table {
+	tab := fuzzTable(net)
+	for i := 1; i < tab.NumLayers(); i++ {
+		cands := tab.Candidates(i)
+		if len(cands) < 2 {
+			continue
+		}
+		// Drop the last non-Vanilla candidate, keeping the layer valid.
+		for k := len(cands) - 1; k >= 0; k-- {
+			if cands[k] != primitives.PVanilla.Idx {
+				tab.DropCandidate(i, cands[k])
+				break
+			}
+		}
+	}
+	return tab
+}
+
+// legacyNoCands strips the candidates field, emulating a table written
+// before candidate sets were serialized.
+func legacyNoCands(valid []byte) []byte {
+	var m map[string]json.RawMessage
+	if json.Unmarshal(valid, &m) != nil {
+		return valid
+	}
+	delete(m, "candidates")
+	out, err := json.Marshal(m)
+	if err != nil {
+		return valid
+	}
+	return out
+}
+
 // TestMarshalLoadRoundTripExact: serializing a table, loading it back
-// and serializing again reproduces the bytes exactly.
+// and serializing again reproduces the bytes exactly — for the fully
+// populated table and for a DropCandidate-degraded one (whose reduced
+// candidate sets must survive the round trip).
 func TestMarshalLoadRoundTripExact(t *testing.T) {
 	net := fuzzNet()
-	tab := fuzzTable(net)
-	first, err := json.Marshal(tab)
+	for name, tab := range map[string]*Table{
+		"full":     fuzzTable(net),
+		"degraded": fuzzDegradedTable(net),
+	} {
+		first, err := json.Marshal(tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := Load(first, net)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		second, err := json.Marshal(back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first, second) {
+			t.Errorf("%s round trip not exact:\n first: %s\nsecond: %s", name, first, second)
+		}
+	}
+}
+
+// TestLoadReconcilesDroppedCandidates: a degraded table loads back with
+// the same reduced candidate sets (searches over the loaded table see
+// exactly the survivors), entries for dropped candidates are rejected,
+// and a legacy table without a candidates field loads against the full
+// sets.
+func TestLoadReconcilesDroppedCandidates(t *testing.T) {
+	net := fuzzNet()
+	tab := fuzzDegradedTable(net)
+	data, err := json.Marshal(tab)
 	if err != nil {
 		t.Fatal(err)
 	}
-	back, err := Load(first, net)
+	back, err := Load(data, net)
 	if err != nil {
 		t.Fatal(err)
 	}
-	second, err := json.Marshal(back)
-	if err != nil {
-		t.Fatal(err)
+	full := fuzzTable(net)
+	for i := 1; i < tab.NumLayers(); i++ {
+		got, want := back.Candidates(i), tab.Candidates(i)
+		if len(got) != len(want) {
+			t.Fatalf("layer %d: loaded %d candidates, want %d", i, len(got), len(want))
+		}
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("layer %d candidate %d: %d != %d", i, k, got[k], want[k])
+			}
+		}
+		if len(got) >= len(full.Candidates(i)) {
+			t.Fatalf("layer %d: degradation did not shrink the candidate set", i)
+		}
 	}
-	if !bytes.Equal(first, second) {
-		t.Errorf("round trip not exact:\n first: %s\nsecond: %s", first, second)
+	// A time entry naming a dropped candidate must be rejected: the
+	// candidates field and the entries disagree about the table.
+	kept := map[primitives.ID]bool{}
+	for _, id := range tab.Candidates(1) {
+		kept[id] = true
+	}
+	var name string
+	for _, id := range full.Candidates(1) {
+		if !kept[id] {
+			name = primitives.ByID(id).Name
+			break
+		}
+	}
+	if name == "" {
+		t.Fatal("no dropped candidate found on layer 1")
+	}
+	forged := bytes.Replace(data, []byte(`{"layer":1,"times":[`),
+		[]byte(`{"layer":1,"times":[{"prim":"`+name+`","sec":0.5},`), 1)
+	if bytes.Equal(forged, data) {
+		t.Fatal("forgery did not change the bytes")
+	}
+	if _, err := Load(forged, net); err == nil {
+		t.Error("Load accepted a time entry for a dropped candidate")
+	}
+	// Legacy tables (no candidates field) still load with full sets.
+	legacy, err := Load(legacyNoCands(data), net)
+	if err != nil {
+		t.Fatalf("legacy table: %v", err)
+	}
+	for i := 1; i < legacy.NumLayers(); i++ {
+		if len(legacy.Candidates(i)) != len(full.Candidates(i)) {
+			t.Fatalf("legacy layer %d: %d candidates, want full %d",
+				i, len(legacy.Candidates(i)), len(full.Candidates(i)))
+		}
+	}
+	// A candidates array of the wrong length is rejected.
+	truncated := bytes.Replace(data, []byte(`"candidates":[[`), []byte(`"candidates":[`), 1)
+	if _, err := Load(truncated, net); err == nil {
+		t.Error("Load accepted a truncated candidates array")
+	}
+	// A candidates list naming a non-candidate is rejected.
+	alien := bytes.Replace(data, []byte(`"candidates":[[`), []byte(`"candidates":[["warp-core",`), 1)
+	if _, err := Load(alien, net); err == nil {
+		t.Error("Load accepted an unknown candidate name")
 	}
 }
 

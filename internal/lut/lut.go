@@ -405,6 +405,39 @@ func Load(data []byte, net *nn.Network) (*Table, error) {
 		}
 		return nil
 	}
+	// Reconcile candidate sets with the serialized ones before loading
+	// entries: a table that was degraded (DropCandidate) at profiling
+	// time round-trips with the same reduced sets, not the network's
+	// full ones. Older tables without a candidates field load against
+	// the full sets as before. Every serialized name must still be a
+	// real candidate of its layer under this registry; the input
+	// pseudo-layer's candidate is immutable.
+	if in.Cands != nil {
+		if len(in.Cands) != t.numLayers {
+			return nil, fmt.Errorf("lut: table has %d candidate sets, network has %d layers", len(in.Cands), t.numLayers)
+		}
+		for i, names := range in.Cands {
+			keep := map[primitives.ID]bool{}
+			for _, name := range names {
+				id, err := byName(name)
+				if err != nil {
+					return nil, err
+				}
+				if !t.isCandidate(i, id) {
+					return nil, fmt.Errorf("lut: %q is not a candidate of layer %d", name, i)
+				}
+				keep[id] = true
+			}
+			if i == 0 {
+				continue
+			}
+			for _, id := range append([]primitives.ID(nil), t.candidates[i]...) {
+				if !keep[id] {
+					t.DropCandidate(i, id)
+				}
+			}
+		}
+	}
 	for _, lt := range in.Times {
 		if lt.Layer < 0 || lt.Layer >= t.numLayers {
 			return nil, fmt.Errorf("lut: time entry for out-of-range layer %d", lt.Layer)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/primitives"
@@ -51,6 +52,24 @@ type FaultConfig struct {
 	SpikeRate float64
 	// SpikeFactor is the outlier multiplier; 0 selects 25.
 	SpikeFactor float64
+	// FaultLibraries restricts the error schedule (transient,
+	// permanent, stall, NaN, spike) to the named libraries; empty
+	// targets all. Drift modes below have their own library lists.
+	FaultLibraries []string
+
+	// DriftStep names libraries whose sample latencies jump to
+	// DriftFactor times their true value once the drift round counter
+	// is advanced past zero — a thermal-throttling cliff.
+	DriftStep []string
+	// DriftRamp names libraries whose latencies ramp linearly from 1x
+	// to DriftFactor times over DriftRampRounds rounds, then saturate
+	// — gradual DVFS / co-located-load creep.
+	DriftRamp []string
+	// DriftFactor is the saturated drift multiplier; 0 selects 3.
+	DriftFactor float64
+	// DriftRampRounds is the number of rounds a ramp takes to
+	// saturate; 0 selects 4.
+	DriftRampRounds int
 }
 
 // DefaultFaults returns the schedule used by the CLI's -fault-seed
@@ -82,6 +101,12 @@ type FaultSource struct {
 	cfg FaultConfig
 	src FallibleSource
 
+	// round is the drift round counter. Like everything else in the
+	// schedule it is not wall-clock: the harness advances it
+	// explicitly (one advance per simulated environment shift), so a
+	// drifted run is replayed exactly by setting the same round.
+	round atomic.Int64
+
 	mu       sync.Mutex
 	attempts map[string]int
 }
@@ -91,6 +116,71 @@ type FaultSource struct {
 // to keep runs independent and deterministic.
 func NewFaultSource(src Source, cfg FaultConfig) *FaultSource {
 	return &FaultSource{cfg: cfg, src: AsFallible(src), attempts: map[string]int{}}
+}
+
+// AdvanceDrift advances the drift round counter by one and returns
+// the new round — one environment shift (the throttle tightening, the
+// neighbor workload growing).
+func (f *FaultSource) AdvanceDrift() int64 { return f.round.Add(1) }
+
+// SetDriftRound pins the drift round counter — how a reference run
+// reproduces the exact environment a live run drifted into.
+func (f *FaultSource) SetDriftRound(n int64) { f.round.Store(n) }
+
+// DriftRound returns the current drift round.
+func (f *FaultSource) DriftRound() int64 { return f.round.Load() }
+
+// driftFactor returns the latency multiplier the drift schedule
+// applies to lib at the current round: a pure function of (config,
+// round), identical for every measurement of the library within a
+// round, so a table profiled at round r is byte-identical to any
+// other table profiled at round r.
+func (f *FaultSource) driftFactor(lib string) float64 {
+	r := f.round.Load()
+	if r <= 0 {
+		return 1
+	}
+	sat := f.cfg.DriftFactor
+	if sat <= 0 {
+		sat = 3
+	}
+	if containsLib(f.cfg.DriftStep, lib) {
+		return sat
+	}
+	if containsLib(f.cfg.DriftRamp, lib) {
+		rounds := f.cfg.DriftRampRounds
+		if rounds <= 0 {
+			rounds = 4
+		}
+		if r >= int64(rounds) {
+			return sat
+		}
+		return 1 + (sat-1)*float64(r)/float64(rounds)
+	}
+	return 1
+}
+
+// targeted reports whether the error schedule applies to a
+// measurement touching libs.
+func (f *FaultSource) targeted(libs ...string) bool {
+	if len(f.cfg.FaultLibraries) == 0 {
+		return true
+	}
+	for _, lib := range libs {
+		if containsLib(f.cfg.FaultLibraries, lib) {
+			return true
+		}
+	}
+	return false
+}
+
+func containsLib(list []string, lib string) bool {
+	for _, l := range list {
+		if l == lib {
+			return true
+		}
+	}
+	return false
 }
 
 // nextAttempt returns and increments the attempt counter for key.
@@ -169,11 +259,17 @@ func (f *FaultSource) inject(ctx context.Context, kind string, permanentOK bool,
 // MeasureSample applies the full schedule to one latency sample.
 // Vanilla is exempt from permanent faults (it is the degradation
 // fallback), so injection can shrink candidate sets but never leave a
-// layer without a surviving primitive.
+// layer without a surviving primitive. Drift multiplies the valid
+// observation after error injection: a drifted library still
+// measures, it just measures slower.
 func (f *FaultSource) MeasureSample(ctx context.Context, i int, p *primitives.Primitive, sample int) (float64, error) {
-	poison, factor, err := f.inject(ctx, "sample", p.Idx != primitives.PVanilla.Idx, i, int(p.Idx), sample)
-	if err != nil {
-		return 0, err
+	poison, factor := false, 1.0
+	if f.targeted(p.Lib.String()) {
+		var err error
+		poison, factor, err = f.inject(ctx, "sample", p.Idx != primitives.PVanilla.Idx, i, int(p.Idx), sample)
+		if err != nil {
+			return 0, err
+		}
 	}
 	v, err := f.src.MeasureSample(ctx, i, p, sample)
 	if err != nil {
@@ -182,16 +278,20 @@ func (f *FaultSource) MeasureSample(ctx context.Context, i int, p *primitives.Pr
 	if poison {
 		return math.NaN(), nil
 	}
-	return v * factor, nil
+	return v * factor * f.driftFactor(p.Lib.String()), nil
 }
 
 // MeasureEdgePenalty applies the schedule minus permanent faults: a
 // persistently failing pair stays +Inf via the transient-burst path,
 // but the schedule cannot render an entire edge unmeasurable.
 func (f *FaultSource) MeasureEdgePenalty(ctx context.Context, producer int, fp, tp *primitives.Primitive) (float64, error) {
-	poison, _, err := f.inject(ctx, "edge", false, producer, int(fp.Idx), int(tp.Idx))
-	if err != nil {
-		return 0, err
+	var poison bool
+	if f.targeted(fp.Lib.String(), tp.Lib.String()) {
+		var err error
+		poison, _, err = f.inject(ctx, "edge", false, producer, int(fp.Idx), int(tp.Idx))
+		if err != nil {
+			return 0, err
+		}
 	}
 	v, err := f.src.MeasureEdgePenalty(ctx, producer, fp, tp)
 	if err != nil {
@@ -205,9 +305,13 @@ func (f *FaultSource) MeasureEdgePenalty(ctx context.Context, producer int, fp, 
 
 // MeasureOutputPenalty applies the schedule to the host-return cost.
 func (f *FaultSource) MeasureOutputPenalty(ctx context.Context, output int, p *primitives.Primitive) (float64, error) {
-	poison, _, err := f.inject(ctx, "output", false, output, int(p.Idx))
-	if err != nil {
-		return 0, err
+	var poison bool
+	if f.targeted(p.Lib.String()) {
+		var err error
+		poison, _, err = f.inject(ctx, "output", false, output, int(p.Idx))
+		if err != nil {
+			return 0, err
+		}
 	}
 	v, err := f.src.MeasureOutputPenalty(ctx, output, p)
 	if err != nil {

@@ -1,0 +1,27 @@
+package profile
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/primitives"
+)
+
+// RemeasureSample re-runs the robust measurement series for a single
+// (layer, primitive) table cell — the canary primitive of the serve
+// daemon's plan-health subsystem. It aggregates exactly like
+// RunFallible's phase 1a (same policy, same per-sample indices, same
+// outlier rejection), so against an unchanged deterministic source the
+// fresh estimate reproduces the stored baseline bit-for-bit; any
+// difference beyond the drift band is the environment moving, not the
+// estimator.
+func RemeasureSample(ctx context.Context, src FallibleSource, pol *Robust, i int, p *primitives.Primitive, samples int) (float64, error) {
+	if samples <= 0 {
+		return 0, fmt.Errorf("profile: Samples must be positive, got %d", samples)
+	}
+	m := &meter{policy: pol, report: &Report{}}
+	what := fmt.Sprintf("canary layer %d with %s", i, p.Name)
+	return m.series(ctx, what, samples, func(ctx context.Context, s int) (float64, error) {
+		return src.MeasureSample(ctx, i, p, s)
+	})
+}

@@ -63,6 +63,12 @@ type Report struct {
 	// DroppedSamples counts samples abandoned after retries while the
 	// measurement as a whole still succeeded.
 	DroppedSamples int `json:"dropped_samples"`
+	// FastFails counts attempts aborted by a non-retryable fast-fail
+	// (an open circuit breaker). Candidates dropped by fast-fails were
+	// never actually measured, so a table built with FastFails > 0 is
+	// worth re-profiling once the breaker closes — the serve daemon's
+	// plan-health canaries use this to evict degraded cached tables.
+	FastFails int `json:"fast_fails,omitempty"`
 }
 
 // Degraded reports whether any candidate or pair was excluded — i.e.

@@ -190,6 +190,7 @@ func (m *meter) attempt(ctx context.Context, what string, sample int, f func(con
 		// down only burns budget.
 		var nr interface{ NoRetry() bool }
 		if errors.As(err, &nr) && nr.NoRetry() {
+			m.report.FastFails++
 			return 0, fmt.Errorf("%s: %w", what, err)
 		}
 		if errors.Is(err, context.DeadlineExceeded) {

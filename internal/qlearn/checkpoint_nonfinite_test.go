@@ -1,0 +1,120 @@
+package qlearn
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// A search over a partially degraded table (unmeasurable pairs priced
+// +Inf) learns non-finite Q-values and rewards. Checkpoints must carry
+// them exactly — JSON cannot, so they ride in a sidecar — and healthy
+// checkpoints must not change shape.
+
+func TestCheckpointNonFiniteRoundTrip(t *testing.T) {
+	tab := NewTable(2, 3)
+	tab.Set(0, 0, 1, math.Inf(-1))
+	tab.Set(1, 2, 0, math.Inf(1))
+	tab.Set(1, 1, 1, math.NaN())
+	tab.Set(0, 1, 2, -0.5)
+	r := NewReplay(4)
+	r.Add([]Transition{
+		{Step: 0, Prim: 0, Action: 1, Reward: math.Inf(-1), NextAllowed: []int{0}},
+		{Step: 1, Prim: 1, Action: 2, Reward: -0.25},
+	})
+	r.Add([]Transition{{Step: 0, Prim: 2, Action: 0, Reward: math.NaN()}})
+	ck := &Checkpoint{Table: tab, Replay: r, Episode: 7}
+	data, err := ck.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Marshal must not mutate the live agent state it aliases.
+	if v := tab.Get(0, 0, 1); !math.IsInf(v, -1) {
+		t.Fatalf("Marshal mutated live Q: %v", v)
+	}
+	if v := r.buf[0][0].Reward; !math.IsInf(v, -1) {
+		t.Fatalf("Marshal mutated live replay reward: %v", v)
+	}
+	back, err := LoadCheckpoint(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := back.Table.Get(0, 0, 1); !math.IsInf(v, -1) {
+		t.Errorf("-Inf Q restored as %v", v)
+	}
+	if v := back.Table.Get(1, 2, 0); !math.IsInf(v, 1) {
+		t.Errorf("+Inf Q restored as %v", v)
+	}
+	if v := back.Table.Get(1, 1, 1); !math.IsNaN(v) {
+		t.Errorf("NaN Q restored as %v", v)
+	}
+	if v := back.Table.Get(0, 1, 2); v != -0.5 {
+		t.Errorf("finite Q restored as %v", v)
+	}
+	if v := back.Replay.buf[0][0].Reward; !math.IsInf(v, -1) {
+		t.Errorf("-Inf reward restored as %v", v)
+	}
+	if v := back.Replay.buf[0][1].Reward; v != -0.25 {
+		t.Errorf("finite reward restored as %v", v)
+	}
+	if v := back.Replay.buf[1][0].Reward; !math.IsNaN(v) {
+		t.Errorf("NaN reward restored as %v", v)
+	}
+	// Marshaling the restored state reproduces the bytes exactly.
+	again, err := back.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	again2, err := (&Checkpoint{Table: back.Table, Replay: back.Replay, Episode: 7}).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again2) {
+		t.Errorf("round trip not exact:\n first: %s\nsecond: %s", data, again2)
+	}
+	_ = again
+}
+
+func TestCheckpointFiniteHasNoSidecar(t *testing.T) {
+	tab := NewTable(2, 2)
+	tab.Set(0, 0, 1, -0.5)
+	r := NewReplay(2)
+	r.Add([]Transition{{Step: 0, Prim: 0, Action: 1, Reward: -0.5}})
+	data, err := Snapshot(tab, r, 3).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(data, []byte("nonfinite")) {
+		t.Fatalf("healthy checkpoint grew a sidecar: %s", data)
+	}
+}
+
+func TestCheckpointSidecarValidation(t *testing.T) {
+	tab := NewTable(1, 2)
+	tab.Set(0, 0, 1, math.Inf(-1))
+	r := NewReplay(2)
+	r.Add([]Transition{{Step: 0, Prim: 0, Action: 1, Reward: math.Inf(-1)}})
+	data, err := (&Checkpoint{Table: tab, Replay: r, Episode: 1}).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][2]string{
+		"q index out of range":    {`"q_nonfinite":[{"i":1`, `"q_nonfinite":[{"i":99`},
+		"replay pos out of range": {`"replay_nonfinite":[{"e":0,"t":0`, `"replay_nonfinite":[{"e":0,"t":9`},
+		"unknown q marker":        {`{"i":1,"v":"-inf"}`, `{"i":1,"v":"-huge"}`},
+		"unknown replay marker":   {`{"e":0,"t":0,"v":"-inf"}`, `{"e":0,"t":0,"v":"bogus"}`},
+		"negative replay episode": {`"replay_nonfinite":[{"e":0`, `"replay_nonfinite":[{"e":-1`},
+	}
+	for name, sub := range cases {
+		forged := bytes.Replace(data, []byte(sub[0]), []byte(sub[1]), 1)
+		if bytes.Equal(forged, data) {
+			t.Fatalf("%s: mutation did not change the bytes (%s)", name, data)
+		}
+		if _, err := LoadCheckpoint(forged); err == nil {
+			t.Errorf("%s: LoadCheckpoint accepted corrupt sidecar", name)
+		} else if !strings.Contains(err.Error(), "qlearn:") {
+			t.Errorf("%s: error missing package prefix: %v", name, err)
+		}
+	}
+}

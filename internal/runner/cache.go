@@ -151,6 +151,36 @@ func closedChan() chan struct{} {
 	return ch
 }
 
+// evict removes key's completed entry so the next get re-runs the
+// build — how the serve daemon's plan-health machinery forces a
+// re-profile of a table whose measurements drifted or whose candidates
+// were dropped by breaker fast-fails. An in-flight build is left
+// alone (its waiters must all observe the one result; the caller can
+// evict again once it completes). Returns whether an entry was
+// removed.
+func (c *tableCache) evict(key string) bool {
+	if c.seq {
+		if _, ok := c.entries[key]; ok {
+			delete(c.entries, key)
+			return true
+		}
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		return false
+	}
+	select {
+	case <-e.ready:
+	default:
+		return false
+	}
+	delete(c.entries, key)
+	return true
+}
+
 // stats returns the lookup counters: hits is the number of requests
 // served from (or coalesced into) an existing entry, misses the number
 // of distinct builds executed.

@@ -42,3 +42,8 @@ func (f *Flight) Get(key string, build BuildFunc) (*lut.Table, *searchplan.Plan,
 // from (or coalesced into) an existing entry, misses the number of
 // distinct builds executed.
 func (f *Flight) Stats() (hits, misses int) { return f.c.stats() }
+
+// Evict drops key's completed entry so the next Get re-profiles. An
+// in-flight build is not evicted (all of its waiters must share the
+// one result); Evict reports whether an entry was actually removed.
+func (f *Flight) Evict(key string) bool { return f.c.evict(key) }

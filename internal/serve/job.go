@@ -59,6 +59,11 @@ type job struct {
 	// obligation, or a resumed job.
 	waiters int
 	pinned  bool
+	// revalidate marks a self-healing re-optimization of an already
+	// cached plan: the worker skips the cached-plan fast path (the
+	// point is to replace it) and reports completion to the health
+	// monitor via healDone.
+	revalidate bool
 
 	// done is closed exactly once, at the terminal transition
 	// (done/failed/interrupted/canceled).

@@ -67,10 +67,12 @@ type Result struct {
 	Throughput float64       `json:"requests_per_second"`
 	// Degraded aggregates brownout substitutions ("degraded":true
 	// responses); BudgetExhausted aggregates best-effort plans returned
-	// at the deadline ("budget_exhausted":true). Both are zero-count on
-	// a healthy full-budget run.
+	// at the deadline ("budget_exhausted":true); Revalidating aggregates
+	// quarantined-but-served plans awaiting a self-healing re-search
+	// ("revalidating":true). All are zero-count on a healthy run.
 	Degraded        Class `json:"degraded"`
 	BudgetExhausted Class `json:"budget_exhausted"`
+	Revalidating    Class `json:"revalidating"`
 }
 
 // String renders the run for humans.
@@ -126,7 +128,7 @@ func Run(ctx context.Context, opt Options) (*Result, error) {
 
 	var mu sync.Mutex
 	durations := make([]time.Duration, 0, opt.Requests)
-	var degradedD, budgetD []time.Duration
+	var degradedD, budgetD, revalD []time.Duration
 	byStatus := map[int]int{}
 	errorsN := 0
 
@@ -162,6 +164,9 @@ func Run(ctx context.Context, opt Options) (*Result, error) {
 				}
 				if r.budget {
 					budgetD = append(budgetD, d)
+				}
+				if r.revalidating {
+					revalD = append(revalD, d)
 				}
 				if bad {
 					errorsN++
@@ -202,6 +207,7 @@ func Run(ctx context.Context, opt Options) (*Result, error) {
 	}
 	res.Degraded = classOf(degradedD)
 	res.BudgetExhausted = classOf(budgetD)
+	res.Revalidating = classOf(revalD)
 	return res, nil
 }
 
@@ -211,10 +217,11 @@ func Run(ctx context.Context, opt Options) (*Result, error) {
 // The flags are detected by substring, not a full unmarshal — the
 // fields are only ever emitted as literal true.
 type reply struct {
-	status     int
-	retryAfter bool
-	degraded   bool
-	budget     bool
+	status       int
+	retryAfter   bool
+	degraded     bool
+	budget       bool
+	revalidating bool
 }
 
 // post issues one request and classifies the response.
@@ -231,10 +238,11 @@ func post(ctx context.Context, client *http.Client, url string, body []byte) (re
 	defer resp.Body.Close()
 	payload, err := io.ReadAll(resp.Body)
 	r := reply{
-		status:     resp.StatusCode,
-		retryAfter: resp.Header.Get("Retry-After") != "",
-		degraded:   bytes.Contains(payload, []byte(`"degraded":true`)),
-		budget:     bytes.Contains(payload, []byte(`"budget_exhausted":true`)),
+		status:       resp.StatusCode,
+		retryAfter:   resp.Header.Get("Retry-After") != "",
+		degraded:     bytes.Contains(payload, []byte(`"degraded":true`)),
+		budget:       bytes.Contains(payload, []byte(`"budget_exhausted":true`)),
+		revalidating: bytes.Contains(payload, []byte(`"revalidating":true`)),
 	}
 	return r, err
 }

@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/health"
 	"repro/internal/profile"
 	"repro/internal/resilience"
 	"repro/internal/serve"
@@ -97,6 +98,103 @@ func TestLoadFaultyDeadline(t *testing.T) {
 	if st.BudgetExhausted == 0 {
 		t.Fatalf("daemon recorded no budget-exhausted completions: %+v", st)
 	}
+}
+
+// driftConfig is the shared chaos configuration of the drift load gate
+// and the drift bench record: ATLAS drifts in one step, NNPACK ramps
+// over 4 rounds, canaries cover every (layer, primitive) pair each
+// tick, and healing is manual (NoHeal) so the phase boundaries are
+// deterministic.
+func driftConfig() serve.Config {
+	return serve.Config{
+		MaxInflight: 2,
+		QueueDepth:  256,
+		Faults: &profile.FaultConfig{
+			Seed:            7,
+			DriftStep:       []string{"ATLAS"},
+			DriftRamp:       []string{"NNPACK"},
+			DriftFactor:     3,
+			DriftRampRounds: 4,
+		},
+		Health: &health.Config{Seed: 3, CanarySize: 1 << 20, NoHeal: true},
+	}
+}
+
+// runDriftPhase primes a plan, drifts the environment until the canary
+// pass quarantines the affected libraries, fires the load against the
+// quarantined daemon (every answer must be a 200 marked revalidating —
+// never a 500), then triggers the self-healing re-optimization and
+// measures how long it takes the fresh plan to land.
+func runDriftPhase(t *testing.T, clients, requests int) (*Result, time.Duration) {
+	t.Helper()
+	srv, err := serve.New(driftConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Drain(0)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	ctx := context.Background()
+	prime := []byte(`{"network":"lenet5","mode":"cpu","episodes":300,"samples":3,"seed":1,"wait":true}`)
+	if res, err := Run(ctx, Options{BaseURL: ts.URL, Clients: 1, Requests: 1, Bodies: [][]byte{prime}}); err != nil || res.Errors != 0 {
+		t.Fatalf("prime request failed: %v %+v", err, res)
+	}
+
+	for i := 0; i < 3; i++ {
+		srv.AdvanceDrift()
+	}
+	stats := srv.CanaryTick(ctx)
+	if stats.Quarantined == 0 {
+		t.Fatalf("canary pass confirmed no drift: %+v", stats)
+	}
+
+	res, err := Run(ctx, Options{
+		BaseURL: ts.URL, Clients: clients, Requests: requests, Bodies: [][]byte{prime},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(res.String())
+	if res.Errors != 0 {
+		t.Fatalf("%d client errors under quarantine: %+v", res.Errors, res.ByStatus)
+	}
+	if res.ByStatus[200] != requests {
+		t.Fatalf("status histogram under quarantine: %+v, want %d x 200", res.ByStatus, requests)
+	}
+	if res.Revalidating.Count != requests {
+		t.Fatalf("%d of %d responses marked revalidating; a quarantined plan must say so",
+			res.Revalidating.Count, requests)
+	}
+
+	t0 := time.Now()
+	if n := srv.HealNow(); n == 0 {
+		t.Fatal("HealNow enqueued no re-optimization")
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for srv.Status().Healed == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("heal never landed: %+v", srv.Status())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	timeToHeal := time.Since(t0)
+
+	after, err := Run(ctx, Options{BaseURL: ts.URL, Clients: 1, Requests: 1, Bodies: [][]byte{prime}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Errors != 0 || after.Revalidating.Count != 0 {
+		t.Fatalf("healed plan still served revalidating: %+v", after)
+	}
+	return res, timeToHeal
+}
+
+// TestLoadDriftChaos is the drift acceptance gate: 64 concurrent
+// clients against a daemon whose profiled environment has confirmably
+// drifted — zero errors, every response an honest revalidating 200,
+// and the self-healing re-optimization lands once triggered.
+func TestLoadDriftChaos(t *testing.T) {
+	runDriftPhase(t, 64, 256)
 }
 
 // TestLoad64Clients is the load acceptance gate: 64 concurrent clients,
@@ -200,22 +298,31 @@ func TestLoadRecord(t *testing.T) {
 		t.Fatalf("%d degraded-phase client errors: %+v", fres.Errors, fres.ByStatus)
 	}
 
+	// Third phase: the drift workload — confirmed environment drift,
+	// quarantined libraries, every answer a revalidating 200 — plus how
+	// long the triggered self-healing re-optimization took to land.
+	dres, timeToHeal := runDriftPhase(t, 16, 64)
+
 	ms := func(d time.Duration) float64 { return float64(d) / 1e6 }
 	payload, err := json.MarshalIndent(struct {
-		Workload string  `json:"workload"`
-		P50Ms    float64 `json:"p50_ms"`
-		P95Ms    float64 `json:"p95_ms"`
-		P99Ms    float64 `json:"p99_ms"`
-		MaxMs    float64 `json:"max_ms"`
-		RPS      float64 `json:"requests_per_second"`
-		Load     *Result `json:"load"`
-		Faulty   *Result `json:"faulty_load"`
+		Workload     string  `json:"workload"`
+		P50Ms        float64 `json:"p50_ms"`
+		P95Ms        float64 `json:"p95_ms"`
+		P99Ms        float64 `json:"p99_ms"`
+		MaxMs        float64 `json:"max_ms"`
+		RPS          float64 `json:"requests_per_second"`
+		Load         *Result `json:"load"`
+		Faulty       *Result `json:"faulty_load"`
+		Drift        *Result `json:"drift_load"`
+		TimeToHealMs float64 `json:"drift_time_to_heal_ms"`
 	}{
 		Workload: "lenet5 cpu e300 s3, 8 distinct seeds, wait:true",
 		P50Ms:    ms(res.P50), P95Ms: ms(res.P95), P99Ms: ms(res.P99), MaxMs: ms(res.Max),
-		RPS:    res.Throughput,
-		Load:   res,
-		Faulty: fres,
+		RPS:          res.Throughput,
+		Load:         res,
+		Faulty:       fres,
+		Drift:        dres,
+		TimeToHealMs: ms(timeToHeal),
 	}, "", "  ")
 	if err != nil {
 		t.Fatal(err)

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/health"
 	"repro/internal/lut"
 	"repro/internal/models"
 	"repro/internal/nn"
@@ -90,6 +91,11 @@ type Config struct {
 	// WatchdogMult is the learned-cadence multiple for the watchdog
 	// limit; <= 0 selects 8.
 	WatchdogMult float64
+	// Health configures the plan-health subsystem: canary re-profiling
+	// cadence, drift band, plan TTL, and self-healing. nil installs the
+	// defaults with no background canary loop (ticks can still be
+	// driven explicitly via CanaryTick).
+	Health *health.Config
 }
 
 // errStopped aborts a search at a checkpoint boundary during a hard
@@ -115,6 +121,33 @@ type Server struct {
 	store     *planStore // nil without Config.PlanStore
 	breakers  *resilience.BreakerSet
 	watchdog  *resilience.Watchdog
+
+	// Plan health. hcfg is never nil (defaults when Config.Health is
+	// nil); monitor is the drift/quarantine state machine. lutMu guards
+	// the LUT registrations, the plan index (lutKey -> plan keys), and
+	// the outstanding-heal bookkeeping; it is a leaf lock under s.mu —
+	// never acquire s.mu while holding it.
+	hcfg       *health.Config
+	monitor    *health.Monitor
+	canaryStop chan struct{}
+
+	lutMu       sync.Mutex
+	luts        map[string]*lutInfo
+	planIndex   map[string][]string
+	healPending map[string]int
+	healRolled  map[string]bool
+
+	// faultSrcs shares one fault injector per profiling key so injected
+	// drift persists across re-profiles; driftRound is the round new
+	// sources start at.
+	faultMu    sync.Mutex
+	faultSrcs  map[string]*profile.FaultSource
+	driftRound int64
+
+	// planMetas records each cached plan's health lineage (epoch,
+	// parent, fingerprints); planMu is a leaf lock.
+	planMu    sync.Mutex
+	planMetas map[string]planMeta
 
 	baseCtx context.Context
 	cancel  context.CancelFunc
@@ -156,6 +189,19 @@ type Server struct {
 	planHits        atomic.Int64
 	storeHits       atomic.Int64
 	planMisses      atomic.Int64
+
+	canaryRounds    atomic.Int64
+	canaryMeasured  atomic.Int64
+	driftedEntries  atomic.Int64
+	quarantines     atomic.Int64
+	healsEnqueued   atomic.Int64
+	healsDeferred   atomic.Int64
+	healedPairs     atomic.Int64
+	healedN         atomic.Int64
+	rolledBackN     atomic.Int64
+	revalServed     atomic.Int64
+	lutEvicted      atomic.Int64
+	degradedEvicted atomic.Int64
 }
 
 // defaultProfile profiles on the platform simulator, optionally under
@@ -186,20 +232,33 @@ func New(cfg Config) (*Server, error) {
 	if retain <= 0 {
 		retain = 1024
 	}
+	hcfg := cfg.Health
+	if hcfg == nil {
+		hcfg = &health.Config{}
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:       cfg,
-		every:     every,
-		retain:    retain,
-		profileFn: cfg.Profile,
-		flight:    runner.NewFlight(),
-		lru:       newLRU(cfg.CacheSize),
-		baseCtx:   ctx,
-		cancel:    cancel,
-		queue:     make(chan *job, cfg.QueueDepth),
-		jobs:      map[string]*job{},
-		byKey:     map[string]*job{},
-		family:    map[string]string{},
+		cfg:         cfg,
+		every:       every,
+		retain:      retain,
+		profileFn:   cfg.Profile,
+		flight:      runner.NewFlight(),
+		lru:         newLRU(cfg.CacheSize),
+		baseCtx:     ctx,
+		cancel:      cancel,
+		queue:       make(chan *job, cfg.QueueDepth),
+		jobs:        map[string]*job{},
+		byKey:       map[string]*job{},
+		family:      map[string]string{},
+		hcfg:        hcfg,
+		monitor:     health.NewMonitor(hcfg.ConfirmCount()),
+		canaryStop:  make(chan struct{}),
+		luts:        map[string]*lutInfo{},
+		planIndex:   map[string][]string{},
+		healPending: map[string]int{},
+		healRolled:  map[string]bool{},
+		faultSrcs:   map[string]*profile.FaultSource{},
+		planMetas:   map[string]planMeta{},
 	}
 	if cfg.Breaker != nil {
 		bcfg := *cfg.Breaker
@@ -248,18 +307,33 @@ func New(cfg Config) (*Server, error) {
 			s.queuedN.Add(1)
 			s.resumed.Add(1)
 		}
-		if cfg.Brownout {
-			// Rebuild the family index from the durable plans (oldest
-			// first, so the newest plan of each family wins) — brownout
-			// substitution survives restarts.
-			for _, key := range st.planKeys() {
+		// Rebuild the in-memory indexes from the durable plans (oldest
+		// first, so the newest plan of each family wins): the brownout
+		// family map, and the health plan index + lineage metadata, so
+		// quarantine and TTL accounting survive restarts.
+		for _, key := range st.planKeys() {
+			if cfg.Brownout {
 				s.noteFamily(key)
+			}
+			sp, err := specFromKey(key)
+			if err != nil {
+				continue
+			}
+			if _, meta, ok := st.getPlan(key); ok {
+				s.notePlan(key, sp, meta)
 			}
 		}
 	}
 	for w := 0; w < cfg.MaxInflight; w++ {
 		s.wg.Add(1)
 		go s.worker()
+	}
+	if hcfg.Interval > 0 {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.canaryLoop(hcfg.Interval)
+		}()
 	}
 	return s, nil
 }
@@ -307,7 +381,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	}
 	key := spec.key()
 	if payload, ok := s.lookupPlan(key); ok {
-		writeJSON(w, http.StatusOK, OptimizeResponse{State: StateDone, Cached: true, Plan: payload})
+		writeJSON(w, http.StatusOK, s.cachedResponse(spec, key, payload))
 		return
 	}
 	// The effective deadline budget: the client's, capped by the
@@ -341,7 +415,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	// without this, the race would admit a duplicate search.
 	if payload, ok := s.lookupPlan(key); ok {
 		s.mu.Unlock()
-		writeJSON(w, http.StatusOK, OptimizeResponse{State: StateDone, Cached: true, Plan: payload})
+		writeJSON(w, http.StatusOK, s.cachedResponse(spec, key, payload))
 		return
 	}
 	// Load shedding under a budget: when the queue alone is expected
@@ -572,6 +646,23 @@ type Statusz struct {
 	// breakers are not configured.
 	Breakers []resilience.BreakerStatus `json:"breakers,omitempty"`
 
+	// Plan health: the global profile epoch, every non-fresh
+	// (platform, library) pair's state, and the canary / quarantine /
+	// self-healing counters.
+	ProfileEpoch    int64           `json:"profile_epoch"`
+	Health          []health.Status `json:"health,omitempty"`
+	CanaryRounds    int64           `json:"canary_rounds"`
+	CanaryMeasured  int64           `json:"canary_measured"`
+	DriftedEntries  int64           `json:"drifted_entries"`
+	Quarantines     int64           `json:"quarantines"`
+	HealsEnqueued   int64           `json:"heals_enqueued"`
+	HealsDeferred   int64           `json:"heals_deferred"`
+	Healed          int64           `json:"healed"`
+	RolledBack      int64           `json:"rolled_back"`
+	RevalServed     int64           `json:"revalidating_served"`
+	LUTEvictions    int64           `json:"lut_evictions"`
+	DegradedLUTEvic int64           `json:"degraded_lut_evictions"`
+
 	PlanCacheHits   int64 `json:"plan_cache_hits"`
 	PlanStoreHits   int64 `json:"plan_store_hits"`
 	PlanCacheMisses int64 `json:"plan_cache_misses"`
@@ -612,6 +703,19 @@ func (s *Server) Status() Statusz {
 		PlanCacheSize:     s.lru.len(),
 		LUTCacheHits:      lh,
 		LUTCacheMisses:    lm,
+		ProfileEpoch:      s.monitor.Epoch(),
+		Health:            s.monitor.Snapshot(),
+		CanaryRounds:      s.canaryRounds.Load(),
+		CanaryMeasured:    s.canaryMeasured.Load(),
+		DriftedEntries:    s.driftedEntries.Load(),
+		Quarantines:       s.quarantines.Load(),
+		HealsEnqueued:     s.healsEnqueued.Load(),
+		HealsDeferred:     s.healsDeferred.Load(),
+		Healed:            s.healedN.Load(),
+		RolledBack:        s.rolledBackN.Load(),
+		RevalServed:       s.revalServed.Load(),
+		LUTEvictions:      s.lutEvicted.Load(),
+		DegradedLUTEvic:   s.degradedEvicted.Load(),
 	}
 	if s.breakers != nil {
 		st.Breakers = s.breakers.Snapshot()
@@ -630,14 +734,33 @@ func (s *Server) lookupPlan(key string) (json.RawMessage, bool) {
 		return p, true
 	}
 	if s.store != nil {
-		if p, ok := s.store.getPlan(key); ok {
+		if p, meta, ok := s.store.getPlan(key); ok {
 			s.storeHits.Add(1)
 			s.lru.add(key, p)
+			if sp, err := specFromKey(key); err == nil {
+				s.notePlan(key, sp, meta)
+			}
 			return p, true
 		}
 	}
 	s.planMisses.Add(1)
 	return nil, false
+}
+
+// previousPlan fetches the cached plan a heal job is about to replace,
+// with its lineage metadata — the rollback check's other input. The
+// store is consulted first (its metadata is authoritative across
+// restarts), the LRU + in-memory metadata second.
+func (s *Server) previousPlan(key string) (json.RawMessage, planMeta, bool) {
+	if s.store != nil {
+		if p, meta, ok := s.store.getPlan(key); ok {
+			return p, meta, true
+		}
+	}
+	if p, ok := s.lru.get(key); ok {
+		return p, s.planMetaFor(key), true
+	}
+	return nil, planMeta{}, false
 }
 
 // noteFamily records key as its family's newest full plan.
@@ -788,6 +911,14 @@ func (s *Server) exec(j *job) {
 	}
 	defer j.release()
 
+	// A heal job reports its completion — any terminal state — to the
+	// health monitor, so a platform's quarantine resolves only once all
+	// of its outstanding heals are accounted for.
+	var healRolledBack bool
+	if j.revalidate {
+		defer func() { s.healDone(spec, healRolledBack) }()
+	}
+
 	var hb *resilience.Heartbeat
 	if s.watchdog != nil {
 		hb = s.watchdog.Watch(j.id, func(cause error) {
@@ -798,13 +929,16 @@ func (s *Server) exec(j *job) {
 	}
 
 	// A resumed job whose plan was already persisted (crash between
-	// putPlan and dropJobRecord) finishes without searching.
-	if payload, ok := s.lookupPlan(key); ok {
-		if s.store != nil {
-			s.store.dropJobRecord(key)
+	// putPlan and dropJobRecord) finishes without searching. A heal job
+	// skips this fast path: replacing that cached plan is its purpose.
+	if !j.revalidate {
+		if payload, ok := s.lookupPlan(key); ok {
+			if s.store != nil {
+				s.store.dropJobRecord(key)
+			}
+			s.finishJob(j, StateDone, payload, nil)
+			return
 		}
-		s.finishJob(j, StateDone, payload, nil)
-		return
 	}
 	if j.ctx.Err() != nil && s.baseCtx.Err() == nil {
 		// Abandoned or out of budget while queued; nothing ran yet.
@@ -829,10 +963,11 @@ func (s *Server) exec(j *job) {
 	// next leader rebuilds under its own (live) context.
 	var tab *lut.Table
 	var plan *searchplan.Plan
+	var rep *profile.Report
 	for tries := 0; ; tries++ {
 		hb.Suspend() // parked on the flight: quiet time is not a stall
 		var perr error
-		tab, plan, _, perr = s.flight.Get(spec.lutKey(), func() (*lut.Table, *profile.Report, error) {
+		tab, plan, rep, perr = s.flight.Get(spec.lutKey(), func() (*lut.Table, *profile.Report, error) {
 			hb.Beat() // this job is the leader; its own work resumes
 			return s.profileJob(j, hb, net, board)
 		})
@@ -854,6 +989,7 @@ func (s *Server) exec(j *job) {
 		s.finishFailed(j, fmt.Errorf("profiling: %w", perr))
 		return
 	}
+	li := s.registerLUT(spec, net, board, tab, rep)
 
 	var from *core.Snapshot
 	if s.store != nil {
@@ -923,6 +1059,19 @@ func (s *Server) exec(j *job) {
 		}
 	}
 
+	meta := planMeta{Epoch: li.epoch, Fingerprints: li.fps}
+	if j.revalidate {
+		// Rollback guard: re-price the plan being replaced on the fresh
+		// table; if the re-search regressed against it, keep the parent
+		// assignment (re-priced on fresh measurements) instead.
+		if old, oldMeta, ok := s.previousPlan(key); ok {
+			meta.ParentEpoch = oldMeta.Epoch
+			if ids, t, rok := replayAssignment(old, tab); rok && t < res.Time {
+				res = &core.Result{Assignment: ids, Time: t, Episodes: res.Episodes}
+				meta.RolledBack = true
+			}
+		}
+	}
 	pr := buildPlanResponse(spec, net, tab, res)
 	payload, err := json.Marshal(pr)
 	if err != nil {
@@ -930,7 +1079,7 @@ func (s *Server) exec(j *job) {
 		return
 	}
 	if s.store != nil {
-		if err := s.store.putPlan(key, payload); err != nil {
+		if err := s.store.putPlan(key, payload, meta); err != nil {
 			s.finishJob(j, StateFailed, nil, fmt.Errorf("persisting plan: %w", err))
 			return
 		}
@@ -938,6 +1087,14 @@ func (s *Server) exec(j *job) {
 	}
 	s.lru.add(key, payload)
 	s.noteFamily(key)
+	s.notePlan(key, spec, meta)
+	if j.revalidate {
+		s.healedN.Add(1)
+		if meta.RolledBack {
+			s.rolledBackN.Add(1)
+		}
+		healRolledBack = meta.RolledBack
+	}
 	s.finishJob(j, StateDone, payload, nil)
 }
 
@@ -956,7 +1113,10 @@ func (s *Server) profileJob(j *job, hb *resilience.Heartbeat, net *nn.Network, b
 	robust := s.cfg.Robust
 	var src profile.FallibleSource = profile.AsFallible(sim)
 	if s.cfg.Faults != nil {
-		src = profile.NewFaultSource(sim, *s.cfg.Faults)
+		// One injector per profiling key, shared across re-profiles and
+		// canary measurements: the (injected) environment drifts, not
+		// the individual run.
+		src = s.faultSource(spec.lutKey(), sim)
 		if robust == nil {
 			robust = profile.DefaultRobust()
 		}
@@ -1096,6 +1256,7 @@ func (s *Server) Drain(timeout time.Duration) {
 	if !s.draining {
 		s.draining = true
 		close(s.queue)
+		close(s.canaryStop)
 	}
 	s.mu.Unlock()
 	done := make(chan struct{})

@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/health"
 	"repro/internal/lut"
 	"repro/internal/store"
 )
@@ -64,12 +65,28 @@ func (s *planStore) jobPath(key string) string {
 	return filepath.Join(s.dir, jobsSubdir, keyFile(key))
 }
 
+// planMeta is a durable plan's health lineage: the profile epoch its
+// LUT was measured under, the epoch of the plan it replaced (heal
+// lineage), whether the replacing search regressed and the parent
+// assignment was kept (rolled back), and the per-library measurement
+// fingerprints of the table that priced it. All fields are omitempty,
+// so pre-health plans (and epoch-zero plans) round-trip unchanged.
+type planMeta struct {
+	Epoch        int64                `json:"epoch,omitempty"`
+	ParentEpoch  int64                `json:"parent_epoch,omitempty"`
+	RolledBack   bool                 `json:"rolled_back,omitempty"`
+	Fingerprints []health.Fingerprint `json:"fingerprints,omitempty"`
+}
+
 // planEnvelope is the on-disk form of a finished plan. The key is
 // stored alongside the payload so a hash collision (or a manually
-// misplaced file) is detected instead of serving the wrong plan.
+// misplaced file) is detected instead of serving the wrong plan. The
+// embedded health metadata travels with the plan across restarts; the
+// plan bytes themselves stay exactly the bytes served.
 type planEnvelope struct {
 	Key  string          `json:"key"`
 	Plan json.RawMessage `json:"plan"`
+	planMeta
 }
 
 // jobRecord is the on-disk form of an admitted job: the normalized
@@ -82,9 +99,9 @@ type jobRecord struct {
 }
 
 // putPlan durably persists the marshaled plan for key with last-good
-// rotation.
-func (s *planStore) putPlan(key string, plan []byte) error {
-	payload, err := json.Marshal(planEnvelope{Key: key, Plan: plan})
+// rotation, alongside its health lineage metadata.
+func (s *planStore) putPlan(key string, plan []byte, meta planMeta) error {
+	payload, err := json.Marshal(planEnvelope{Key: key, Plan: plan, planMeta: meta})
 	if err != nil {
 		return err
 	}
@@ -95,7 +112,7 @@ func (s *planStore) putPlan(key string, plan []byte) error {
 // bit-flipped current generation falls back to the previous one; when
 // no valid generation exists the lookup is a miss, never an error —
 // the plan is deterministic, so the server just recomputes it.
-func (s *planStore) getPlan(key string) ([]byte, bool) {
+func (s *planStore) getPlan(key string) ([]byte, planMeta, bool) {
 	payload, _, _, err := store.LoadRotating(s.planPath(key), func(p []byte) error {
 		var env planEnvelope
 		if err := json.Unmarshal(p, &env); err != nil {
@@ -110,13 +127,13 @@ func (s *planStore) getPlan(key string) ([]byte, bool) {
 		return nil
 	})
 	if err != nil {
-		return nil, false
+		return nil, planMeta{}, false
 	}
 	var env planEnvelope
 	if json.Unmarshal(payload, &env) != nil {
-		return nil, false
+		return nil, planMeta{}, false
 	}
-	return env.Plan, true
+	return env.Plan, env.planMeta, true
 }
 
 // saveJobRecord durably records an admitted job; snapshot may be nil

@@ -38,27 +38,27 @@ func TestPlanStoreLastGoodRotation(t *testing.T) {
 		t.Fatal(err)
 	}
 	const key = "lenet5|tx2-like|cpu|latency|e200|s3|r1"
-	if _, ok := ps.getPlan(key); ok {
+	if _, _, ok := ps.getPlan(key); ok {
 		t.Fatal("empty store reported a plan")
 	}
 	v1 := []byte(`{"plan":"v1"}`)
 	v2 := []byte(`{"plan":"v2"}`)
-	if err := ps.putPlan(key, v1); err != nil {
+	if err := ps.putPlan(key, v1, planMeta{}); err != nil {
 		t.Fatal(err)
 	}
-	if got, ok := ps.getPlan(key); !ok || string(got) != string(v1) {
+	if got, _, ok := ps.getPlan(key); !ok || string(got) != string(v1) {
 		t.Fatalf("after put v1: got %q ok=%v", got, ok)
 	}
-	if err := ps.putPlan(key, v2); err != nil {
+	if err := ps.putPlan(key, v2, planMeta{}); err != nil {
 		t.Fatal(err)
 	}
-	if got, _ := ps.getPlan(key); string(got) != string(v2) {
+	if got, _, _ := ps.getPlan(key); string(got) != string(v2) {
 		t.Fatalf("after put v2: got %q", got)
 	}
 
 	// A torn current generation falls back to the previous one.
 	corruptTail(t, ps.planPath(key))
-	got, ok := ps.getPlan(key)
+	got, _, ok := ps.getPlan(key)
 	if !ok {
 		t.Fatal("torn current generation should fall back to previous, got miss")
 	}
@@ -68,19 +68,19 @@ func TestPlanStoreLastGoodRotation(t *testing.T) {
 
 	// Both generations torn: a miss, never an error or garbage.
 	corruptTail(t, store.PreviousPath(ps.planPath(key)))
-	if _, ok := ps.getPlan(key); ok {
+	if _, _, ok := ps.getPlan(key); ok {
 		t.Fatal("fully corrupted store served a plan")
 	}
 
 	// A stored plan under a different key must not satisfy this key
 	// (hash-collision / misplaced-file guard).
-	if err := ps.putPlan("other-key", v1); err != nil {
+	if err := ps.putPlan("other-key", v1, planMeta{}); err != nil {
 		t.Fatal(err)
 	}
 	if err := os.Rename(ps.planPath("other-key"), ps.planPath("stolen-key")); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := ps.getPlan("stolen-key"); ok {
+	if _, _, ok := ps.getPlan("stolen-key"); ok {
 		t.Fatal("plan stored under a different key was served")
 	}
 }

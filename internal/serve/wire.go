@@ -397,4 +397,54 @@ type OptimizeResponse struct {
 	Plan json.RawMessage `json:"plan,omitempty"`
 	// Error is the failure cause when State is "failed".
 	Error string `json:"error,omitempty"`
+	// PlanEpoch is the profile epoch the served plan's LUT was measured
+	// under; Age is how many epochs the measurement environment has
+	// advanced since (0 = current). Both live on the envelope, not the
+	// plan, so plan bytes stay byte-identical across epochs.
+	PlanEpoch int64 `json:"plan_epoch,omitempty"`
+	Age       int64 `json:"age,omitempty"`
+	// Revalidating marks a cached plan served while its measurements
+	// are quarantined (or past TTL) and a background re-optimization is
+	// pending or in flight: still a usable answer — never a 500 — but
+	// the client is told it may be superseded.
+	Revalidating bool `json:"revalidating,omitempty"`
+}
+
+// specFromKey inverts jobSpec.key(): it parses the canonical 7-part
+// coalescing key back into a validated spec. Used when rebuilding
+// health bookkeeping from durable plan keys at boot and when a heal
+// job is enqueued from a stored key rather than a live request.
+func specFromKey(key string) (*jobSpec, error) {
+	parts := strings.Split(key, "|")
+	if len(parts) != 7 {
+		return nil, fmt.Errorf("serve: plan key %q: want 7 fields, got %d", key, len(parts))
+	}
+	var episodes, samples int
+	var seed int64
+	if _, err := fmt.Sscanf(parts[4], "e%d", &episodes); err != nil {
+		return nil, fmt.Errorf("serve: plan key %q: bad episodes field %q", key, parts[4])
+	}
+	if _, err := fmt.Sscanf(parts[5], "s%d", &samples); err != nil {
+		return nil, fmt.Errorf("serve: plan key %q: bad samples field %q", key, parts[5])
+	}
+	if _, err := fmt.Sscanf(parts[6], "r%d", &seed); err != nil {
+		return nil, fmt.Errorf("serve: plan key %q: bad seed field %q", key, parts[6])
+	}
+	req := OptimizeRequest{
+		Network:   parts[0],
+		Platform:  parts[1],
+		Mode:      parts[2],
+		Objective: parts[3],
+		Episodes:  float64(episodes),
+		Samples:   float64(samples),
+		Seed:      seed,
+	}
+	spec, err := req.spec()
+	if err != nil {
+		return nil, fmt.Errorf("serve: plan key %q: %w", key, err)
+	}
+	if spec.key() != key {
+		return nil, fmt.Errorf("serve: plan key %q does not round-trip (got %q)", key, spec.key())
+	}
+	return spec, nil
 }
