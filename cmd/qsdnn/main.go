@@ -29,6 +29,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/gemm"
 	"repro/internal/health"
 	"repro/internal/lut"
 	"repro/internal/models"
@@ -36,6 +37,7 @@ import (
 	"repro/internal/platform"
 	"repro/internal/primitives"
 	"repro/internal/profile"
+	"repro/internal/qlearn"
 	"repro/internal/resilience"
 	"repro/internal/sched"
 	"repro/internal/serve"
@@ -86,6 +88,7 @@ func main() {
 	driftBand := fs.Float64("drift-band", 4, "serve: drift threshold in MAD-scaled band widths — a canary measurement further than this from its stored baseline counts as drifted")
 	planTTL := fs.Int64("plan-ttl", 0, "serve: profile epochs a cached plan stays fresh; older plans are served marked revalidating (0 = no TTL)")
 	noHeal := fs.Bool("no-heal", false, "serve: disable self-healing re-optimization; quarantined plans stay cached and are served marked revalidating")
+	batched := fs.Bool("batched-replay", false, "search: wave-ordered batched Bellman replay — deterministic and measurably faster, but the replay update ordering differs from the paper-faithful serial default")
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
 	}
@@ -99,6 +102,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	batchedReplay = *batched
 	ft := faultFlags{robust: *robust, retries: *retries, sampleTimeout: *sampleTimeout, faultSeed: *faultSeed}
 	df := durableFlags{manifest: *manifestDir, checkpoint: *checkpointDir, resume: *resume, every: *checkpointEvery}
 	ef := engineFlags{real: *realEngine, workers: *kernelWorkers, seed: *seed}
@@ -233,6 +237,19 @@ type serveFlags struct {
 	noHeal          bool
 }
 
+// batchedReplay mirrors the -batched-replay flag: search commands set
+// Agent.BatchedReplay from it. A package variable (not a runCtx
+// parameter) so the many positional test call sites stay put; tests
+// that want it set it directly.
+var batchedReplay bool
+
+// agentConfig returns the agent configuration the CLI search paths
+// share: paper hyper-parameters, with the replay ordering chosen by
+// -batched-replay.
+func agentConfig() qlearn.Config {
+	return qlearn.Config{BatchedReplay: batchedReplay}
+}
+
 // engineFlags bundles the real-engine profiling CLI flags.
 type engineFlags struct {
 	real    bool
@@ -286,6 +303,8 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: qsdnn <command> [flags]
 
 commands:
+  version    print build and runtime-dispatch info (Go version, GOOS/GOARCH,
+             selected GEMM micro-kernel)
   models     list the model zoo
   platforms  list the board presets
   space      show design-space sizes
@@ -308,6 +327,10 @@ commands:
 
 flags: -net NAME -mode cpu|gpgpu -platform NAME -episodes N -samples N -seed N -lut FILE
        -parallel N -seeds K (bench-all)
+       -batched-replay                          search: wave-ordered batched Bellman
+                                                replay (deterministic, faster; update
+                                                ordering differs from the serial
+                                                paper-faithful default)
        -engine -kernel-workers N                profile on the real host-CPU engine
                                                 (-mode cpu) with N kernel goroutines
                                                 (0 = one per CPU); kernel outputs are
@@ -538,6 +561,10 @@ func runCtx(ctx context.Context, cmd, netName, modeStr string, episodes, samples
 		return fmt.Errorf("unknown platform %q", platName)
 	}
 	switch cmd {
+	case "version":
+		fmt.Printf("qsdnn (QS-DNN reproduction) %s %s/%s\n", runtime.Version(), runtime.GOOS, runtime.GOARCH)
+		fmt.Printf("gemm kernel: %s\n", gemm.ActiveKernel())
+		return nil
 	case "serve":
 		return serveCmd(ctx, sf, ft, df)
 	case "bench-all":
@@ -825,7 +852,7 @@ func runCtx(ctx context.Context, cmd, netName, modeStr string, episodes, samples
 		}
 		var rep *qsdnn.Report
 		if df.checkpoint != "" {
-			res, err := searchDurable(tab, core.Config{Episodes: episodes, Seed: seed}, df)
+			res, err := searchDurable(tab, core.Config{Episodes: episodes, Seed: seed, Agent: agentConfig()}, df)
 			if err != nil {
 				return err
 			}
@@ -836,6 +863,7 @@ func runCtx(ctx context.Context, cmd, netName, modeStr string, episodes, samples
 		} else {
 			rep, err = qsdnn.OptimizeTable(net, tab, qsdnn.Options{
 				Mode: mode, Episodes: episodes, Samples: samples, Seed: seed,
+				Search: qsdnn.SearchConfig{Agent: agentConfig()},
 			})
 			if err != nil {
 				return err

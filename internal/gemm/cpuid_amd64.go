@@ -1,0 +1,48 @@
+//go:build amd64
+
+package gemm
+
+// Hand-rolled CPU feature probe (the module is dependency-free, so no
+// golang.org/x/sys/cpu). AVX2 use requires all three of:
+//
+//  1. CPUID.(EAX=1):ECX.OSXSAVE[27] — XGETBV is available and the OS
+//     has enabled XSAVE;
+//  2. XGETBV(XCR0) bits 1 and 2 — the OS preserves XMM and YMM state
+//     across context switches;
+//  3. CPUID.(EAX=7,ECX=0):EBX.AVX2[5] — the core executes AVX2.
+//
+// Checking only (3) is a classic real-world crash: a hypervisor or OS
+// that does not save YMM state leaves the bit set while VEX
+// instructions fault or corrupt registers.
+
+// cpuidex executes CPUID with the given leaf and subleaf.
+func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv0 reads extended control register XCR0.
+func xgetbv0() (eax, edx uint32)
+
+const (
+	cpuidOSXSAVEBit = 1 << 27 // leaf 1 ECX
+	cpuidAVX2Bit    = 1 << 5  // leaf 7 subleaf 0 EBX
+	xcr0XMMBit      = 1 << 1
+	xcr0YMMBit      = 1 << 2
+)
+
+// hasAVX2 reports whether both the CPU and the OS support executing
+// the AVX2 micro-kernel.
+func hasAVX2() bool {
+	maxLeaf, _, _, _ := cpuidex(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuidex(1, 0)
+	if ecx1&cpuidOSXSAVEBit == 0 {
+		return false
+	}
+	xlo, _ := xgetbv0()
+	if xlo&(xcr0XMMBit|xcr0YMMBit) != xcr0XMMBit|xcr0YMMBit {
+		return false
+	}
+	_, ebx7, _, _ := cpuidex(7, 0)
+	return ebx7&cpuidAVX2Bit != 0
+}

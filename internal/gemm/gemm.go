@@ -49,6 +49,16 @@ const blockSize = 64
 // enforces is the one Packed/Parallel state: for a given backend, the
 // output is bit-identical at every worker count, and all backends agree
 // with Naive within float32 tolerance.
+//
+// Demoted: Blocked is kept as a reference implementation and as a
+// latency-diversity entry for LUT experiments, NOT as a default
+// candidate for the tuned-library backend. Measured on the bench host
+// it is slower than Naive at both 128 (1.33ms vs 1.13ms) and 512
+// (92ms vs 75ms): square tiling re-streams C sub-rows per k-block
+// without the packing or register tiling that makes the cost pay off,
+// while Naive's ikj order already walks B and C with unit stride. The
+// tuned paths use Packed/Parallel exclusively (see DESIGN.md, "Why
+// Blocked lost its default slot").
 func Blocked(m, n, k int, a, b, c []float32) {
 	checkDims("A", a, m*k)
 	checkDims("B", b, k*n)

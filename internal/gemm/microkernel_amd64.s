@@ -81,3 +81,78 @@ store:
 	MOVUPS X6, 96(DX)
 	MOVUPS X7, 112(DX)
 	RET
+
+// func microKernelAVX2(k int, ap, bp, t *float32)
+//
+// AVX2 8x8 micro-kernel. Eight YMM accumulators hold the 8x8 tile
+// (Y0 = row 0, ..., Y7 = row 7, eight floats per register). Per k
+// step: load the nr=8 B values once into Y8, broadcast each of the
+// mr=8 A values, and do one VMULPS + one VADDPS per row. Each output
+// element sees exactly one IEEE-754 single multiply and one separate
+// add per step, in ascending p order — the same operation sequence as
+// microTileGo8x8, so the results are bit-identical. Deliberately no
+// VFMADD*: fused multiply-add skips the intermediate rounding and
+// would break the cross-kernel bit-equality contract (kernel.go).
+// Callers gate on hasAVX2 (CPUID + XGETBV), so no runtime check here.
+TEXT ·microKernelAVX2(SB), NOSPLIT, $0-32
+	MOVQ k+0(FP), CX
+	MOVQ ap+8(FP), SI
+	MOVQ bp+16(FP), DI
+	MOVQ t+24(FP), DX
+
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+	VXORPS Y4, Y4, Y4
+	VXORPS Y5, Y5, Y5
+	VXORPS Y6, Y6, Y6
+	VXORPS Y7, Y7, Y7
+
+	TESTQ CX, CX
+	JZ    avx2store
+
+avx2loop:
+	VMOVUPS (DI), Y8        // b[0:8]
+
+	VBROADCASTSS (SI), Y9   // a0
+	VMULPS       Y8, Y9, Y9
+	VADDPS       Y9, Y0, Y0
+	VBROADCASTSS 4(SI), Y9  // a1
+	VMULPS       Y8, Y9, Y9
+	VADDPS       Y9, Y1, Y1
+	VBROADCASTSS 8(SI), Y9  // a2
+	VMULPS       Y8, Y9, Y9
+	VADDPS       Y9, Y2, Y2
+	VBROADCASTSS 12(SI), Y9 // a3
+	VMULPS       Y8, Y9, Y9
+	VADDPS       Y9, Y3, Y3
+	VBROADCASTSS 16(SI), Y9 // a4
+	VMULPS       Y8, Y9, Y9
+	VADDPS       Y9, Y4, Y4
+	VBROADCASTSS 20(SI), Y9 // a5
+	VMULPS       Y8, Y9, Y9
+	VADDPS       Y9, Y5, Y5
+	VBROADCASTSS 24(SI), Y9 // a6
+	VMULPS       Y8, Y9, Y9
+	VADDPS       Y9, Y6, Y6
+	VBROADCASTSS 28(SI), Y9 // a7
+	VMULPS       Y8, Y9, Y9
+	VADDPS       Y9, Y7, Y7
+
+	ADDQ $32, SI
+	ADDQ $32, DI
+	DECQ CX
+	JNZ  avx2loop
+
+avx2store:
+	VMOVUPS Y0, (DX)
+	VMOVUPS Y1, 32(DX)
+	VMOVUPS Y2, 64(DX)
+	VMOVUPS Y3, 96(DX)
+	VMOVUPS Y4, 128(DX)
+	VMOVUPS Y5, 160(DX)
+	VMOVUPS Y6, 192(DX)
+	VMOVUPS Y7, 224(DX)
+	VZEROUPPER
+	RET

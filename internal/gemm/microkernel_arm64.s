@@ -1,0 +1,122 @@
+//go:build arm64
+
+#include "textflag.h"
+
+// func microKernelNEON(k int, ap, bp, t *float32)
+//
+// NEON 8x8 micro-kernel. Sixteen 128-bit accumulators hold the 8x8
+// tile (row ii: V(8+2ii) = cols 0-3, V(9+2ii) = cols 4-7). Per k
+// step: load the mr=8 A values (V0, V1) and the nr=8 B values
+// (V2, V3) once, broadcast each A lane, and do one vector FMUL + one
+// vector FADD per half-row. Each output element sees exactly one
+// IEEE-754 single multiply and one separate add per step, in
+// ascending p order — the same operation sequence as microTileGo8x8,
+// so the results are bit-identical. Deliberately no FMLA: the fused
+// op skips the intermediate rounding and would break the
+// cross-kernel bit-equality contract (kernel.go).
+//
+// The Go arm64 assembler has no mnemonic for the *unfused* vector
+// FMUL/FADD (only VFMLA), so those two instructions are WORD-encoded:
+//
+//	FMUL Vd.4S, Vn.4S, Vm.4S = 0x6E20DC00 | m<<16 | n<<5 | d
+//	FADD Vd.4S, Vn.4S, Vm.4S = 0x4E20D400 | m<<16 | n<<5 | d
+//
+// Every WORD below carries its disassembly; `go tool objdump` on an
+// arm64 build round-trips them (see TestNEONEncodings notes in
+// dispatch_test.go).
+//
+// ASIMD is baseline on ARMv8-A, so no feature detection is needed.
+TEXT ·microKernelNEON(SB), NOSPLIT, $0-32
+	MOVD k+0(FP), R0
+	MOVD ap+8(FP), R1
+	MOVD bp+16(FP), R2
+	MOVD t+24(FP), R3
+
+	VEOR V8.B16, V8.B16, V8.B16
+	VEOR V9.B16, V9.B16, V9.B16
+	VEOR V10.B16, V10.B16, V10.B16
+	VEOR V11.B16, V11.B16, V11.B16
+	VEOR V12.B16, V12.B16, V12.B16
+	VEOR V13.B16, V13.B16, V13.B16
+	VEOR V14.B16, V14.B16, V14.B16
+	VEOR V15.B16, V15.B16, V15.B16
+	VEOR V16.B16, V16.B16, V16.B16
+	VEOR V17.B16, V17.B16, V17.B16
+	VEOR V18.B16, V18.B16, V18.B16
+	VEOR V19.B16, V19.B16, V19.B16
+	VEOR V20.B16, V20.B16, V20.B16
+	VEOR V21.B16, V21.B16, V21.B16
+	VEOR V22.B16, V22.B16, V22.B16
+	VEOR V23.B16, V23.B16, V23.B16
+
+	CBZ R0, neonstore
+
+neonloop:
+	VLD1.P 32(R1), [V0.S4, V1.S4] // a[0:8]
+	VLD1.P 32(R2), [V2.S4, V3.S4] // b[0:8]
+
+	// row 0: broadcast a0
+	VDUP V0.S[0], V4.S4
+	WORD $0x6E22DC85 // FMUL V5.4S, V4.4S, V2.4S
+	WORD $0x4E25D508 // FADD V8.4S, V8.4S, V5.4S
+	WORD $0x6E23DC86 // FMUL V6.4S, V4.4S, V3.4S
+	WORD $0x4E26D529 // FADD V9.4S, V9.4S, V6.4S
+
+	// row 1: a1
+	VDUP V0.S[1], V4.S4
+	WORD $0x6E22DC85 // FMUL V5.4S, V4.4S, V2.4S
+	WORD $0x4E25D54A // FADD V10.4S, V10.4S, V5.4S
+	WORD $0x6E23DC86 // FMUL V6.4S, V4.4S, V3.4S
+	WORD $0x4E26D56B // FADD V11.4S, V11.4S, V6.4S
+
+	// row 2: a2
+	VDUP V0.S[2], V4.S4
+	WORD $0x6E22DC85 // FMUL V5.4S, V4.4S, V2.4S
+	WORD $0x4E25D58C // FADD V12.4S, V12.4S, V5.4S
+	WORD $0x6E23DC86 // FMUL V6.4S, V4.4S, V3.4S
+	WORD $0x4E26D5AD // FADD V13.4S, V13.4S, V6.4S
+
+	// row 3: a3
+	VDUP V0.S[3], V4.S4
+	WORD $0x6E22DC85 // FMUL V5.4S, V4.4S, V2.4S
+	WORD $0x4E25D5CE // FADD V14.4S, V14.4S, V5.4S
+	WORD $0x6E23DC86 // FMUL V6.4S, V4.4S, V3.4S
+	WORD $0x4E26D5EF // FADD V15.4S, V15.4S, V6.4S
+
+	// row 4: a4
+	VDUP V1.S[0], V4.S4
+	WORD $0x6E22DC85 // FMUL V5.4S, V4.4S, V2.4S
+	WORD $0x4E25D610 // FADD V16.4S, V16.4S, V5.4S
+	WORD $0x6E23DC86 // FMUL V6.4S, V4.4S, V3.4S
+	WORD $0x4E26D631 // FADD V17.4S, V17.4S, V6.4S
+
+	// row 5: a5
+	VDUP V1.S[1], V4.S4
+	WORD $0x6E22DC85 // FMUL V5.4S, V4.4S, V2.4S
+	WORD $0x4E25D652 // FADD V18.4S, V18.4S, V5.4S
+	WORD $0x6E23DC86 // FMUL V6.4S, V4.4S, V3.4S
+	WORD $0x4E26D673 // FADD V19.4S, V19.4S, V6.4S
+
+	// row 6: a6
+	VDUP V1.S[2], V4.S4
+	WORD $0x6E22DC85 // FMUL V5.4S, V4.4S, V2.4S
+	WORD $0x4E25D694 // FADD V20.4S, V20.4S, V5.4S
+	WORD $0x6E23DC86 // FMUL V6.4S, V4.4S, V3.4S
+	WORD $0x4E26D6B5 // FADD V21.4S, V21.4S, V6.4S
+
+	// row 7: a7
+	VDUP V1.S[3], V4.S4
+	WORD $0x6E22DC85 // FMUL V5.4S, V4.4S, V2.4S
+	WORD $0x4E25D6D6 // FADD V22.4S, V22.4S, V5.4S
+	WORD $0x6E23DC86 // FMUL V6.4S, V4.4S, V3.4S
+	WORD $0x4E26D6F7 // FADD V23.4S, V23.4S, V6.4S
+
+	SUBS $1, R0, R0
+	BNE  neonloop
+
+neonstore:
+	VST1.P [V8.S4, V9.S4, V10.S4, V11.S4], 64(R3)
+	VST1.P [V12.S4, V13.S4, V14.S4, V15.S4], 64(R3)
+	VST1.P [V16.S4, V17.S4, V18.S4, V19.S4], 64(R3)
+	VST1 [V20.S4, V21.S4, V22.S4, V23.S4], (R3)
+	RET

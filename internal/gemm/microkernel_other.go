@@ -1,12 +1,7 @@
-//go:build !amd64
+//go:build !amd64 && !arm64
 
 package gemm
 
-// microTile uses the portable micro-kernel on non-amd64 targets.
-func microTile(k int, ap, bp []float32, t *[mr * nr]float32) {
-	if k <= 0 {
-		*t = [mr * nr]float32{}
-		return
-	}
-	microTileGo(k, ap, bp, t)
-}
+// registerArchKernels registers nothing on architectures without a
+// hand-written micro-kernel; dispatch stays on the pure-Go fallback.
+func registerArchKernels() {}

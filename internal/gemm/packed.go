@@ -3,37 +3,36 @@ package gemm
 import "repro/internal/pool"
 
 // Packed / Parallel — the tuned-BLAS stand-in. The classic three-level
-// GEMM structure (Goto & van de Geijn): B is packed once into nr-wide
-// column panels, each mr-row strip of A is packed into a contiguous
-// column-major panel, and an mr x nr register-tiled micro-kernel walks
+// GEMM structure (Goto & van de Geijn): B is packed once into NR-wide
+// column panels, each MR-row strip of A is packed into a contiguous
+// column-major panel, and an MR x NR register-tiled micro-kernel walks
 // the two packed panels with unit stride, keeping the full output tile
 // in registers across the whole k reduction (no loads or stores of C
 // inside the loop). Packing plus register tiling is where the speedup
 // over Blocked comes from; Parallel only changes who computes which
 // strip.
 //
+// The pack geometry (MR, NR) is not fixed here: it comes from the
+// dispatched Kernel descriptor (kernel.go), so the SSE 4x8, AVX2 8x8,
+// NEON 8x8 and pure-Go kernels all flow through this one pipeline with
+// no per-call ISA branching — the descriptor is read once per GEMM
+// call.
+//
 // Correctness contract: every output element C[i,j] is accumulated in
 // strictly ascending p order into a single register, then added to
-// C[i,j] once. Each mr-row strip is computed by the same strip function
+// C[i,j] once. Each MR-row strip is computed by the same strip function
 // with the same packed inputs regardless of the worker count, and strip
 // ownership is exclusive, so Parallel's output is bit-identical to
-// Packed's at any worker count. (Like Blocked vs Naive, Packed differs
+// Packed's at any worker count — and, because per-element rounding
+// never depends on the tile geometry (see Kernel), identical across
+// every dispatched kernel too. (Like Blocked vs Naive, Packed differs
 // from Naive only by float32 rounding of the deferred C addition.)
-
-const (
-	// mr x nr is the register micro-tile: mr rows of A by nr columns
-	// of B. 4x8 fills the eight 4-wide XMM accumulators of the SSE
-	// micro-kernel exactly (microkernel_amd64.s) and is the fastest of
-	// the shapes measured (see EXPERIMENTS.md).
-	mr = 4
-	nr = 8
-)
 
 // packB packs row-major B (k x n) into ceil(n/nr) panels of nr columns.
 // Panel j0/nr holds k rows of nr consecutive values
 // b[p][j0..j0+nr), zero-padded past column n, so the micro-kernel reads
 // it with unit stride. dst must have k*roundUp(n, nr) elements.
-func packB(k, n int, b, dst []float32) {
+func packB(k, n, nr int, b, dst []float32) {
 	np := (n + nr - 1) / nr
 	for pj := 0; pj < np; pj++ {
 		j0 := pj * nr
@@ -57,7 +56,7 @@ func packB(k, n int, b, dst []float32) {
 // packStripA packs rows [i0, i0+mr) of row-major A (m x k) into a
 // column-major strip: dst[p*mr+ii] = A[i0+ii][p], zero-padded past row
 // m. dst must have k*mr elements.
-func packStripA(m, k, i0 int, a, dst []float32) {
+func packStripA(m, k, i0, mr int, a, dst []float32) {
 	rows := min(mr, m-i0)
 	for ii := 0; ii < rows; ii++ {
 		arow := a[(i0+ii)*k : (i0+ii)*k+k]
@@ -72,18 +71,20 @@ func packStripA(m, k, i0 int, a, dst []float32) {
 	}
 }
 
-// strip computes C rows [i0, min(i0+mr, m)) from the packed B panels,
-// packing its own A strip into apk (k*mr elements). This is the one
+// strip computes C rows [i0, min(i0+MR, m)) from the packed B panels,
+// packing its own A strip into apk (k*MR elements). This is the one
 // unit of work Parallel partitions; every worker count runs exactly
 // this code on exactly these inputs, which is what makes the output
 // worker-count-invariant.
-func strip(m, n, k, i0 int, a, bpk, c, apk []float32) {
-	packStripA(m, k, i0, a, apk)
+func strip(kn *Kernel, m, n, k, i0 int, a, bpk, c, apk []float32) {
+	mr, nr := kn.MR, kn.NR
+	packStripA(m, k, i0, mr, a, apk)
 	rows := min(mr, m-i0)
 	np := (n + nr - 1) / nr
-	var t [mr * nr]float32
+	var tbuf [maxTileElems]float32
+	t := tbuf[:mr*nr]
 	for pj := 0; pj < np; pj++ {
-		microTile(k, apk, bpk[pj*k*nr:(pj+1)*k*nr], &t)
+		kn.micro(k, apk, bpk[pj*k*nr:(pj+1)*k*nr], t)
 		j0 := pj * nr
 		cols := min(nr, n-j0)
 		for ii := 0; ii < rows; ii++ {
@@ -101,17 +102,33 @@ func strip(m, n, k, i0 int, a, bpk, c, apk []float32) {
 // sequential path of Parallel: Parallel(..., w) is bit-identical to
 // Packed for every w.
 func Packed(m, n, k int, a, b, c []float32) {
-	Parallel(m, n, k, a, b, c, 1)
+	parallelKernel(activeKernel(), m, n, k, a, b, c, 1)
 }
 
-// Parallel computes C = A*B + C, partitioning the mr-row strips of C
+// parallelFloorFlops is the problem size (counted as 2*m*n*k flops)
+// below which Parallel runs the packed path inline instead of fanning
+// out: at small shapes the pack-share handoff and goroutine wakeups
+// cost more than the multiply itself (BENCH_kernels.json had
+// parallel8/128 at 235µs vs 217µs single-threaded). 2*160³ sits just
+// under the floor; the 192-cube (14.2 Mflop) is comfortably past the
+// measured crossover. Exclusive strip ownership makes the fan-out
+// bit-identical either way, so the threshold is purely a latency knob.
+const parallelFloorFlops = 1 << 23 // 8.4 Mflop
+
+// Parallel computes C = A*B + C, partitioning the MR-row strips of C
 // across at most workers goroutines from a bounded pool. B is packed
 // once and shared read-only; each worker owns an exclusive set of
 // strips and its own A-strip buffer, so there is no write sharing and
 // the result is bit-identical to the sequential Packed at any worker
-// count. workers <= 1 (or a degenerate shape) runs inline with no
-// goroutines.
+// count. workers <= 1, a degenerate shape, or a problem below
+// parallelFloorFlops runs inline with no goroutines.
 func Parallel(m, n, k int, a, b, c []float32, workers int) {
+	parallelKernel(activeKernel(), m, n, k, a, b, c, workers)
+}
+
+// parallelKernel is Parallel over an explicit kernel descriptor; the
+// dispatch equality tests drive every variant through it.
+func parallelKernel(kn *Kernel, m, n, k int, a, b, c []float32, workers int) {
 	checkDims("A", a, m*k)
 	checkDims("B", b, k*n)
 	checkDims("C", c, m*n)
@@ -121,16 +138,20 @@ func Parallel(m, n, k int, a, b, c []float32, workers int) {
 	if k == 0 {
 		return // C += A*B adds nothing when the reduction is empty
 	}
+	mr, nr := kn.MR, kn.NR
 	bpk := make([]float32, k*((n+nr-1)/nr)*nr)
-	packB(k, n, b, bpk)
+	packB(k, n, nr, b, bpk)
 	strips := (m + mr - 1) / mr
 	if workers > strips {
 		workers = strips
 	}
+	if 2*m*n*k < parallelFloorFlops {
+		workers = 1
+	}
 	if workers <= 1 {
 		apk := make([]float32, k*mr)
 		for s := 0; s < strips; s++ {
-			strip(m, n, k, s*mr, a, bpk, c, apk)
+			strip(kn, m, n, k, s*mr, a, bpk, c, apk)
 		}
 		return
 	}
@@ -142,7 +163,7 @@ func Parallel(m, n, k int, a, b, c []float32, workers int) {
 		hi := (w + 1) * strips / workers
 		apk := make([]float32, k*mr)
 		for s := lo; s < hi; s++ {
-			strip(m, n, k, s*mr, a, bpk, c, apk)
+			strip(kn, m, n, k, s*mr, a, bpk, c, apk)
 		}
 	})
 }

@@ -25,9 +25,39 @@ func benchGemm(b *testing.B, size int, f func(m, n, k int, a, bb, c []float32)) 
 // strips the trailing -GOMAXPROCS suffix, never confuses a size for a
 // CPU count.
 func BenchmarkGEMMBackends(b *testing.B) {
+	b.Logf("active kernel: %s", ActiveKernel())
 	for _, size := range []int{128, 512} {
 		b.Run(fmt.Sprintf("naive/%d", size), func(b *testing.B) { benchGemm(b, size, Naive) })
 		b.Run(fmt.Sprintf("blocked/%d", size), func(b *testing.B) { benchGemm(b, size, Blocked) })
+		b.Run(fmt.Sprintf("packed/%d", size), func(b *testing.B) { benchGemm(b, size, Packed) })
+		b.Run(fmt.Sprintf("parallel8/%d", size), func(b *testing.B) {
+			benchGemm(b, size, func(m, n, k int, a, bb, c []float32) { Parallel(m, n, k, a, bb, c, 8) })
+		})
+	}
+}
+
+// BenchmarkGEMMKernelVariants runs the packed path once per registered
+// micro-kernel (AVX2 vs SSE vs pure-Go on amd64), quantifying what the
+// runtime dispatch buys on this host.
+func BenchmarkGEMMKernelVariants(b *testing.B) {
+	for _, kn := range variants {
+		kn := kn
+		for _, size := range []int{128, 512} {
+			b.Run(fmt.Sprintf("%s/%d", kn.Name, size), func(b *testing.B) {
+				benchGemm(b, size, func(m, n, k int, a, bb, c []float32) {
+					parallelKernel(kn, m, n, k, a, bb, c, 1)
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkGEMMParallelCrossover brackets parallelFloorFlops: sizes
+// around the measured crossover where fanning out starts beating the
+// inline packed path. parallel8 at 128 and 160 runs inline (below the
+// floor); 192 and 256 fan out.
+func BenchmarkGEMMParallelCrossover(b *testing.B) {
+	for _, size := range []int{128, 160, 192, 256} {
 		b.Run(fmt.Sprintf("packed/%d", size), func(b *testing.B) { benchGemm(b, size, Packed) })
 		b.Run(fmt.Sprintf("parallel8/%d", size), func(b *testing.B) {
 			benchGemm(b, size, func(m, n, k int, a, bb, c []float32) { Parallel(m, n, k, a, bb, c, 8) })

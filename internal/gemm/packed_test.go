@@ -22,16 +22,19 @@ func bitEqual(a, b []float32) bool {
 	return true
 }
 
-// edgeShapes are dimensions chosen to stress the tile/panel boundaries:
-// below one tile, exactly one tile, odd sizes straddling mr=4 / nr=8,
-// and empty reductions.
+// edgeShapes are dimensions chosen to stress the tile/panel boundaries
+// of every dispatched geometry: below one tile, exactly one tile, odd
+// sizes straddling both the 4x8 and 8x8 register tiles, and empty
+// reductions.
 var edgeShapes = [][3]int{
 	{1, 1, 1},
 	{1, 1, 0}, // k=0: C must be left untouched
 	{4, 8, 16},
+	{8, 8, 8},
 	{3, 7, 5},
 	{5, 9, 3},
 	{4, 8, 1},
+	{9, 17, 5},
 	{17, 23, 31},
 	{64, 64, 64},
 	{65, 130, 70},
@@ -88,22 +91,9 @@ func TestParallelKZeroLeavesCUntouched(t *testing.T) {
 	}
 }
 
-// TestMicroKernelMatchesGo pins the asm micro-kernel (on amd64) against
-// the portable Go reference, bit for bit, including k=0 and values that
-// expose accumulation-order differences.
-func TestMicroKernelMatchesGo(t *testing.T) {
-	rng := rand.New(rand.NewSource(13))
-	for _, k := range []int{0, 1, 2, 3, 7, 64, 513} {
-		ap := randomSlice(rng, max(1, k*mr))
-		bp := randomSlice(rng, max(1, k*nr))
-		var got, want [mr * nr]float32
-		microTile(k, ap, bp, &got)
-		microTileGo(k, ap, bp, &want)
-		if !bitEqual(got[:], want[:]) {
-			t.Errorf("k=%d: microTile not bit-identical to microTileGo:\n got %v\nwant %v", k, got, want)
-		}
-	}
-}
+// Per-variant micro-kernel and whole-GEMM bit-equality live in
+// dispatch_test.go (TestMicroKernelVariantsMatchGeneric,
+// TestDispatchVariantsBitEqual).
 
 // TestParallelMatchesNaiveProperty is the quick-check analogue of
 // TestBlockedMatchesNaiveProperty for the packed kernels, also
@@ -178,47 +168,52 @@ func TestPackedDimCheckPanics(t *testing.T) {
 	}
 }
 
-// TestPackBLayout pins the panel layout the micro-kernel assumes.
+// TestPackBLayout pins the panel layout the micro-kernels assume, at
+// both dispatched panel widths.
 func TestPackBLayout(t *testing.T) {
-	k, n := 2, 10 // nr=8 panel plus a ragged 2-wide edge
-	b := make([]float32, k*n)
-	for i := range b {
-		b[i] = float32(i + 1)
-	}
-	dst := make([]float32, k*2*nr)
-	packB(k, n, b, dst)
-	for p := 0; p < k; p++ {
-		for j := 0; j < n; j++ {
-			pj, jj := j/nr, j%nr
-			got := dst[pj*k*nr+p*nr+jj]
-			if got != b[p*n+j] {
-				t.Errorf("panel[%d] p=%d jj=%d = %v, want %v", pj, p, jj, got, b[p*n+j])
-			}
+	for _, nr := range []int{4, 8} {
+		k, n := 2, nr+2 // one full panel plus a ragged 2-wide edge
+		b := make([]float32, k*n)
+		for i := range b {
+			b[i] = float32(i + 1)
 		}
-		for jj := n % nr; jj < nr; jj++ {
-			if got := dst[(n/nr)*k*nr+p*nr+jj]; got != 0 {
-				t.Errorf("ragged pad p=%d jj=%d = %v, want 0", p, jj, got)
+		dst := make([]float32, k*2*nr)
+		packB(k, n, nr, b, dst)
+		for p := 0; p < k; p++ {
+			for j := 0; j < n; j++ {
+				pj, jj := j/nr, j%nr
+				got := dst[pj*k*nr+p*nr+jj]
+				if got != b[p*n+j] {
+					t.Errorf("nr=%d panel[%d] p=%d jj=%d = %v, want %v", nr, pj, p, jj, got, b[p*n+j])
+				}
+			}
+			for jj := n % nr; jj < nr; jj++ {
+				if got := dst[(n/nr)*k*nr+p*nr+jj]; got != 0 {
+					t.Errorf("nr=%d ragged pad p=%d jj=%d = %v, want 0", nr, p, jj, got)
+				}
 			}
 		}
 	}
 }
 
 func TestPackStripALayout(t *testing.T) {
-	m, k := 6, 3 // second strip is ragged: rows 4,5 then zero pad
-	a := make([]float32, m*k)
-	for i := range a {
-		a[i] = float32(i + 1)
-	}
-	dst := make([]float32, k*mr)
-	packStripA(m, k, 4, a, dst)
-	for p := 0; p < k; p++ {
-		for ii := 0; ii < mr; ii++ {
-			want := float32(0)
-			if 4+ii < m {
-				want = a[(4+ii)*k+p]
-			}
-			if got := dst[p*mr+ii]; got != want {
-				t.Errorf("dst[p=%d ii=%d] = %v, want %v", p, ii, got, want)
+	for _, mr := range []int{4, 8} {
+		m, k := mr+2, 3 // second strip is ragged: two rows then zero pad
+		a := make([]float32, m*k)
+		for i := range a {
+			a[i] = float32(i + 1)
+		}
+		dst := make([]float32, k*mr)
+		packStripA(m, k, mr, mr, a, dst)
+		for p := 0; p < k; p++ {
+			for ii := 0; ii < mr; ii++ {
+				want := float32(0)
+				if mr+ii < m {
+					want = a[(mr+ii)*k+p]
+				}
+				if got := dst[p*mr+ii]; got != want {
+					t.Errorf("mr=%d dst[p=%d ii=%d] = %v, want %v", mr, p, ii, got, want)
+				}
 			}
 		}
 	}

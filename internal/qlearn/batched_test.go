@@ -1,0 +1,413 @@
+package qlearn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// refCoeffs builds the collapsed-update coefficient tables exactly as
+// the batched path does: pow[c] = keepᶜ and geo[c] = α·(1+keep+…+keepᶜ⁻¹)
+// by the q·keep+α recurrence, so c = 1 reproduces a single serial
+// update bit-for-bit.
+func refCoeffs(cfg Config, n int) (pow, geo []float64) {
+	keep := 1 - cfg.Alpha
+	pow = make([]float64, n+1)
+	geo = make([]float64, n+1)
+	pow[0] = 1
+	for c := 1; c <= n; c++ {
+		pow[c] = pow[c-1] * keep
+		geo[c] = geo[c-1]*keep + cfg.Alpha
+	}
+	return pow, geo
+}
+
+// refBatchedPass is an independent implementation of the documented
+// batched-replay semantics, written against the public Table accessors
+// on a plain (unshaped) table: draw n slots with the same RNG stream,
+// then walk the trajectory positions in descending waves. With collapse
+// (the chain/pure fast path), duplicate transitions within a wave —
+// across slots as well as repeated draws — merge into one closed-form
+// update of total multiplicity; without it (the generic path), targets
+// are computed for every distinct slot first and the per-slot updates
+// then land in ascending slot order.
+func refBatchedPass(tab *Table, buf [][]Transition, cfg Config, n int, rng *rand.Rand, collapse bool) {
+	nb := len(buf)
+	counts := make([]int, nb)
+	for s := 0; s < n; s++ {
+		counts[rng.Intn(nb)]++
+	}
+	var order []int
+	for j := 0; j < nb; j++ {
+		if counts[j] > 0 {
+			order = append(order, j)
+		}
+	}
+	pow, geo := refCoeffs(cfg, n)
+	epLen := len(buf[0])
+	for i := epLen - 1; i >= 0; i-- {
+		if collapse {
+			type upd struct {
+				tr Transition
+				c  int
+			}
+			var merged []*upd
+			seen := map[[3]int]*upd{}
+			for _, j := range order {
+				tr := buf[j][i]
+				key := [3]int{tr.Step, tr.Prim, tr.Action}
+				if u, ok := seen[key]; ok {
+					u.c += counts[j]
+				} else {
+					u := &upd{tr: tr, c: counts[j]}
+					seen[key] = u
+					merged = append(merged, u)
+				}
+			}
+			for _, u := range merged {
+				tr := u.tr
+				target := tr.Reward
+				if len(tr.NextAllowed) > 0 {
+					target += cfg.Gamma * tab.MaxQ(tr.Step+1, tr.Action, tr.NextAllowed)
+				}
+				q := tab.Get(tr.Step, tr.Prim, tr.Action)
+				tab.Set(tr.Step, tr.Prim, tr.Action, q*pow[u.c]+target*geo[u.c])
+			}
+		} else {
+			targets := make([]float64, len(order))
+			for s, j := range order {
+				tr := buf[j][i]
+				targets[s] = tr.Reward
+				if len(tr.NextAllowed) > 0 {
+					targets[s] += cfg.Gamma * tab.MaxQ(tr.Step+1, tr.Action, tr.NextAllowed)
+				}
+			}
+			for s, j := range order {
+				tr := buf[j][i]
+				q := tab.Get(tr.Step, tr.Prim, tr.Action)
+				tab.Set(tr.Step, tr.Prim, tr.Action, q*pow[counts[j]]+targets[s]*geo[counts[j]])
+			}
+		}
+	}
+}
+
+// assertSameQ compares a (possibly shaped) table against a plain
+// reference table bit-for-bit in the canonical layout.
+func assertSameQ(t *testing.T, got, want *Table, ctx string) {
+	t.Helper()
+	canon := make([]float64, len(got.q))
+	got.canonicalQ(canon)
+	for i := range want.q {
+		if math.Float64bits(canon[i]) != math.Float64bits(want.q[i]) {
+			t.Fatalf("%s: q[%d] = %x, want %x", ctx, i,
+				math.Float64bits(canon[i]), math.Float64bits(want.q[i]))
+		}
+	}
+}
+
+// chainEpisode draws a trajectory like randomEpisode but with the
+// reward a pure function of the transition, as chain-network shaping
+// produces — the same (step, prim, action) always carries the same
+// reward, which the fast path's shared reward table requires.
+func chainEpisode(rng *rand.Rand, allowed [][]int, epLen int) []Transition {
+	traj := randomEpisode(rng, allowed, epLen)
+	for k := range traj {
+		tr := &traj[k]
+		h := uint64(tr.Step)*1000003 + uint64(tr.Prim)*10007 + uint64(tr.Action)
+		tr.Reward = -float64(h%1024) / 1024
+	}
+	return traj
+}
+
+// The fast path (shaped table, canonical chain trajectories, pure
+// rewards) must reproduce the documented wave semantics exactly —
+// including the cross-slot duplicate collapse, which small buffers
+// exercise on nearly every pass.
+func TestBatchedReplayFastPathMatchesReference(t *testing.T) {
+	const steps, prims, capacity, episodes, draws = 7, 9, 8, 120, 16
+	seedRng := rand.New(rand.NewSource(17))
+	allowed := randomVocab(seedRng, steps, prims)
+	epLen := steps - 1
+
+	tab := NewTable(steps, prims)
+	if err := tab.Shape(allowed); err != nil {
+		t.Fatalf("Shape: %v", err)
+	}
+	ref := NewTable(steps, prims)
+	r := NewReplay(capacity)
+	var refBuf [][]Transition
+	next := 0
+	cfg := PaperConfig()
+	cfg.BatchedReplay = true
+	rngB := rand.New(rand.NewSource(23))
+	rngR := rand.New(rand.NewSource(23))
+	trajRng := rand.New(rand.NewSource(5))
+
+	for ep := 0; ep < episodes; ep++ {
+		traj := chainEpisode(trajRng, allowed, epLen)
+		r.Add(traj)
+		cp := append([]Transition(nil), traj...)
+		if len(refBuf) < capacity {
+			refBuf = append(refBuf, cp)
+		} else {
+			refBuf[next] = cp
+			next = (next + 1) % capacity
+		}
+		r.ReplayInto(tab, cfg, draws, rngB)
+		refBatchedPass(ref, refBuf, cfg, draws, rngR, true)
+	}
+	// The point of the test is the fast path; make sure it was taken.
+	if !r.cdok || !r.crwPure || r.calgN != len(r.buf) || r.cuseN != len(r.buf) {
+		t.Fatalf("fast path not engaged: cdok=%v crwPure=%v calgN=%d cuseN=%d nb=%d",
+			r.cdok, r.crwPure, r.calgN, r.cuseN, len(r.buf))
+	}
+	assertSameQ(t, tab, ref, "fast path")
+}
+
+// Impure rewards — the same transition carried with different rewards,
+// as DAG incoming-edge penalties produce — must drop the pass to the
+// generic per-slot path, whose semantics the uncollapsed reference
+// pins.
+func TestBatchedReplayImpureRewardsGenericPath(t *testing.T) {
+	const steps, prims = 5, 6
+	allowed := make([][]int, steps)
+	for s := 0; s+1 < steps; s++ {
+		allowed[s] = []int{0, 1, 2, 3, 4, 5}
+	}
+	epLen := steps - 1
+
+	tab := NewTable(steps, prims)
+	if err := tab.Shape(allowed); err != nil {
+		t.Fatalf("Shape: %v", err)
+	}
+	ref := NewTable(steps, prims)
+	r := NewReplay(4)
+	var refBuf [][]Transition
+	mkTraj := func(reward float64) []Transition {
+		traj := make([]Transition, epLen)
+		prev := 0
+		for k := 0; k < epLen; k++ {
+			var next []int
+			if k+1 < epLen {
+				next = allowed[k+1]
+			}
+			traj[k] = Transition{Step: k, Prim: prev, Action: k % prims,
+				Reward: reward, NextAllowed: next}
+			prev = k % prims
+		}
+		return traj
+	}
+	// Identical transitions, conflicting rewards.
+	for _, rw := range []float64{-0.5, -0.7, -0.5, -0.9} {
+		traj := mkTraj(rw)
+		r.Add(traj)
+		refBuf = append(refBuf, append([]Transition(nil), traj...))
+	}
+	cfg := PaperConfig()
+	cfg.BatchedReplay = true
+	rngB := rand.New(rand.NewSource(9))
+	rngR := rand.New(rand.NewSource(9))
+	for pass := 0; pass < 30; pass++ {
+		r.ReplayInto(tab, cfg, 8, rngB)
+		refBatchedPass(ref, refBuf, cfg, 8, rngR, false)
+	}
+	if r.crwPure {
+		t.Fatal("conflicting rewards left crwPure set")
+	}
+	assertSameQ(t, tab, ref, "impure rewards")
+}
+
+// An unshaped table has no dense transition mapping, so canonical
+// trajectories still replay through the generic batched path.
+func TestBatchedReplayUnshapedGenericPath(t *testing.T) {
+	const steps, prims, capacity, episodes, draws = 6, 7, 4, 60, 8
+	seedRng := rand.New(rand.NewSource(41))
+	allowed := randomVocab(seedRng, steps, prims)
+	epLen := steps - 1
+
+	tab := NewTable(steps, prims)
+	ref := NewTable(steps, prims)
+	r := NewReplay(capacity)
+	var refBuf [][]Transition
+	next := 0
+	cfg := PaperConfig()
+	cfg.BatchedReplay = true
+	rngB := rand.New(rand.NewSource(6))
+	rngR := rand.New(rand.NewSource(6))
+	trajRng := rand.New(rand.NewSource(7))
+
+	for ep := 0; ep < episodes; ep++ {
+		traj := randomEpisode(trajRng, allowed, epLen)
+		r.Add(traj)
+		cp := append([]Transition(nil), traj...)
+		if len(refBuf) < capacity {
+			refBuf = append(refBuf, cp)
+		} else {
+			refBuf[next] = cp
+			next = (next + 1) % capacity
+		}
+		r.ReplayInto(tab, cfg, draws, rngB)
+		refBatchedPass(ref, refBuf, cfg, draws, rngR, false)
+	}
+	if r.cdok {
+		t.Fatal("unshaped table built a dense mapping")
+	}
+	assertSameQ(t, tab, ref, "unshaped generic path")
+}
+
+// When the compiled arrays cannot serve the drawn slots — here the
+// trajectories' NextAllowed slices are foreign copies, not the shaped
+// vocabulary — the whole pass must fall back to serial replay,
+// bit-identical to the default path on the same RNG stream.
+func TestBatchedReplayFallbackSerial(t *testing.T) {
+	const steps, prims, capacity, episodes, draws = 6, 8, 4, 40, 8
+	seedRng := rand.New(rand.NewSource(3))
+	allowed := randomVocab(seedRng, steps, prims)
+	epLen := steps - 1
+
+	batched := NewTable(steps, prims)
+	serial := NewTable(steps, prims)
+	if err := batched.Shape(allowed); err != nil {
+		t.Fatalf("Shape: %v", err)
+	}
+	if err := serial.Shape(allowed); err != nil {
+		t.Fatalf("Shape: %v", err)
+	}
+	rb := NewReplay(capacity)
+	rs := NewReplay(capacity)
+	cfgB := PaperConfig()
+	cfgB.BatchedReplay = true
+	cfgS := PaperConfig()
+	rngB := rand.New(rand.NewSource(12))
+	rngS := rand.New(rand.NewSource(12))
+	trajRng := rand.New(rand.NewSource(13))
+
+	for ep := 0; ep < episodes; ep++ {
+		traj := randomEpisode(trajRng, allowed, epLen)
+		for k := range traj {
+			// Foreign backing arrays defeat the shaped identity check.
+			traj[k].NextAllowed = append([]int(nil), traj[k].NextAllowed...)
+		}
+		rb.Add(traj)
+		rs.Add(traj)
+		rb.ReplayInto(batched, cfgB, draws, rngB)
+		rs.ReplayInto(serial, cfgS, draws, rngS)
+	}
+	if rb.cuseN != 0 {
+		t.Fatalf("foreign vocabularies left %d slots compiled-usable", rb.cuseN)
+	}
+	// Both tables are shaped identically, so raw storage must match
+	// bit-for-bit (assertSameQ expects an unshaped reference).
+	for i := range batched.q {
+		if math.Float64bits(batched.q[i]) != math.Float64bits(serial.q[i]) {
+			t.Fatalf("serial fallback diverged at q[%d]", i)
+		}
+	}
+}
+
+// Two identical runs must produce identical bytes: the batched path is
+// deterministic for a given RNG stream.
+func TestBatchedReplayDeterministic(t *testing.T) {
+	const steps, prims, capacity, episodes, draws = 7, 9, 8, 60, 12
+	run := func() *Table {
+		seedRng := rand.New(rand.NewSource(17))
+		allowed := randomVocab(seedRng, steps, prims)
+		tab := NewTable(steps, prims)
+		if err := tab.Shape(allowed); err != nil {
+			t.Fatalf("Shape: %v", err)
+		}
+		r := NewReplay(capacity)
+		cfg := PaperConfig()
+		cfg.BatchedReplay = true
+		rng := rand.New(rand.NewSource(23))
+		trajRng := rand.New(rand.NewSource(5))
+		for ep := 0; ep < episodes; ep++ {
+			r.Add(randomEpisode(trajRng, allowed, steps-1))
+			r.ReplayInto(tab, cfg, draws, rng)
+		}
+		return tab
+	}
+	a, b := run(), run()
+	for i := range a.q {
+		if math.Float64bits(a.q[i]) != math.Float64bits(b.q[i]) {
+			t.Fatalf("non-deterministic at q[%d]", i)
+		}
+	}
+}
+
+// Counter and scratch invariants across ring wrap and mixed-length
+// evictions: cuseN/calgN/cnd must equal their flag recounts, and bmult
+// must return to all-zero after every pass.
+func TestBatchedReplayCountersAndScratchInvariants(t *testing.T) {
+	const steps, prims, capacity = 6, 8, 4
+	seedRng := rand.New(rand.NewSource(61))
+	allowed := randomVocab(seedRng, steps, prims)
+	tab := NewTable(steps, prims)
+	if err := tab.Shape(allowed); err != nil {
+		t.Fatalf("Shape: %v", err)
+	}
+	r := NewReplay(capacity)
+	cfg := PaperConfig()
+	cfg.BatchedReplay = true
+	rng := rand.New(rand.NewSource(2))
+	trajRng := rand.New(rand.NewSource(3))
+	for ep := 0; ep < 4*capacity; ep++ {
+		epLen := steps - 1
+		if ep%3 == 1 {
+			epLen = 3 // off-slab length, evicts a compiled slot in place
+		}
+		r.Add(randomEpisode(trajRng, allowed, epLen))
+		r.ReplayInto(tab, cfg, 6, rng)
+
+		nUse, nAlg, nDirty := 0, 0, 0
+		for j := range r.cuse {
+			if r.cuse[j] {
+				nUse++
+			}
+			if r.calg[j] {
+				nAlg++
+			}
+			if r.cdirty[j] {
+				nDirty++
+			}
+		}
+		if nUse != r.cuseN || nAlg != r.calgN || nDirty != r.cnd {
+			t.Fatalf("ep %d: counters drifted: cuseN %d/%d calgN %d/%d cnd %d/%d",
+				ep, r.cuseN, nUse, r.calgN, nAlg, r.cnd, nDirty)
+		}
+		for o, v := range r.bmult {
+			if v != 0 {
+				t.Fatalf("ep %d: bmult[%d] = %d after pass", ep, o, v)
+			}
+		}
+	}
+}
+
+// The batched path must be allocation-free in the steady state, like
+// the serial path it replaces.
+func TestBatchedReplayZeroAllocSteadyState(t *testing.T) {
+	const steps, prims, capacity, draws = 7, 9, 8, 16
+	seedRng := rand.New(rand.NewSource(17))
+	allowed := randomVocab(seedRng, steps, prims)
+	tab := NewTable(steps, prims)
+	if err := tab.Shape(allowed); err != nil {
+		t.Fatalf("Shape: %v", err)
+	}
+	r := NewReplay(capacity)
+	cfg := PaperConfig()
+	cfg.BatchedReplay = true
+	rng := rand.New(rand.NewSource(23))
+	trajRng := rand.New(rand.NewSource(5))
+	traj := randomEpisode(trajRng, allowed, steps-1)
+	for ep := 0; ep < 2*capacity; ep++ {
+		r.Add(traj)
+		r.ReplayInto(tab, cfg, draws, rng)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		r.Add(traj)
+		r.ReplayInto(tab, cfg, draws, rng)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state batched replay allocates %v times per episode", allocs)
+	}
+}

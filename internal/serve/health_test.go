@@ -573,6 +573,9 @@ func TestStatuszDuringDrain(t *testing.T) {
 	if !st.Draining {
 		t.Fatalf("statusz during drain: %+v", st)
 	}
+	if st.GemmKernel == "" {
+		t.Fatal("statusz did not report the dispatched GEMM kernel")
+	}
 
 	close(gate)
 	select {

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/gemm"
 	"repro/internal/health"
 	"repro/internal/lut"
 	"repro/internal/models"
@@ -669,6 +670,12 @@ type Statusz struct {
 	PlanCacheSize   int   `json:"plan_cache_size"`
 	LUTCacheHits    int   `json:"lut_cache_hits"`
 	LUTCacheMisses  int   `json:"lut_cache_misses"`
+
+	// GemmKernel is the micro-kernel the runtime CPU dispatch selected
+	// for the GEMM-backed engine paths (e.g. "avx2", "go") — recorded
+	// so fleet monitoring can spot hosts that silently fell back to
+	// the portable kernel.
+	GemmKernel string `json:"gemm_kernel"`
 }
 
 // Status snapshots the daemon counters.
@@ -703,6 +710,7 @@ func (s *Server) Status() Statusz {
 		PlanCacheSize:     s.lru.len(),
 		LUTCacheHits:      lh,
 		LUTCacheMisses:    lm,
+		GemmKernel:        gemm.ActiveKernel(),
 		ProfileEpoch:      s.monitor.Epoch(),
 		Health:            s.monitor.Snapshot(),
 		CanaryRounds:      s.canaryRounds.Load(),

@@ -30,11 +30,16 @@ SRAW="${SRAW:-bench/latest_serve.txt}"
 
 mkdir -p "$(dirname "$RAW")"
 
+# The dispatched GEMM micro-kernel (ISA) the numbers were measured
+# with; recorded in every JSON so perf records from different hosts
+# (or QSDNN_DISABLE_SIMD runs) are never compared apples-to-oranges.
+KERNEL="$(go run ./cmd/qsdnn version | awk -F': ' '/^gemm kernel/ {print $2}')"
+
 # emit_json RAWFILE OUTFILE: reduce benchmark text to one JSON object
 # per benchmark. Averages over COUNT repetitions; carries every
-# reported metric through.
+# reported metric through. The header records the dispatched kernel.
 emit_json() {
-    awk -v out="$2" '
+    awk -v out="$2" -v kern="$KERNEL" '
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)
@@ -50,7 +55,7 @@ emit_json() {
     if (!(name in order_seen)) { order[++no] = name; order_seen[name] = 1 }
 }
 END {
-    printf "{\n  \"benchmarks\": [\n" > out
+    printf "{\n  \"gemm_kernel\": \"%s\",\n  \"benchmarks\": [\n", kern > out
     for (b = 1; b <= no; b++) {
         name = order[b]
         printf "    {\"name\": \"%s\", \"count\": %d", name, n[name] >> out
