@@ -89,6 +89,9 @@ func main() {
 	planTTL := fs.Int64("plan-ttl", 0, "serve: profile epochs a cached plan stays fresh; older plans are served marked revalidating (0 = no TTL)")
 	noHeal := fs.Bool("no-heal", false, "serve: disable self-healing re-optimization; quarantined plans stay cached and are served marked revalidating")
 	batched := fs.Bool("batched-replay", false, "search: wave-ordered batched Bellman replay — deterministic and measurably faster, but the replay update ordering differs from the paper-faithful serial default")
+	autotune := fs.Bool("autotune", false, "profile/search: run the per-layer kernel autotuner on the real engine (requires -engine -mode cpu); tuned variants join the LUT as extra candidates")
+	tunerBudget := fs.Int("tuner-budget", 16, "autotune: real measurements per (layer, primitive) pair; the surrogate model shortlists this many variants out of the full space")
+	tunerCache := fs.String("tuner-cache", "", "durable tuned-variant cache file: reused when it matches the network/mode/budget, written after a fresh -autotune run; serve feeds it into every matching table")
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
 	}
@@ -103,6 +106,7 @@ func main() {
 	defer stop()
 
 	batchedReplay = *batched
+	tunerCfg = tunerFlags{autotune: *autotune, budget: *tunerBudget, cache: *tunerCache}
 	ft := faultFlags{robust: *robust, retries: *retries, sampleTimeout: *sampleTimeout, faultSeed: *faultSeed}
 	df := durableFlags{manifest: *manifestDir, checkpoint: *checkpointDir, resume: *resume, every: *checkpointEvery}
 	ef := engineFlags{real: *realEngine, workers: *kernelWorkers, seed: *seed}
@@ -114,6 +118,7 @@ func main() {
 		watchdogStall: *watchdogStall, watchdogMult: *watchdogMult,
 		canaryInterval: *canaryInterval, driftBand: *driftBand,
 		planTTL: *planTTL, noHeal: *noHeal,
+		tunerCache: *tunerCache,
 	}
 	if err := runCtx(ctx, cmd, *netName, *modeStr, *episodes, *samples, *seed, *lutFile, *platName, *parallel, *seeds, ft, df, ef, sf); err != nil {
 		fmt.Fprintln(os.Stderr, "qsdnn:", err)
@@ -205,6 +210,10 @@ func validateFlags(fs *flag.FlagSet) error {
 			if get().(int64) < 0 {
 				err = fmt.Errorf("-plan-ttl must be >= 0 (got %s)", f.Value)
 			}
+		case "tuner-budget":
+			if get().(int) < 2 {
+				err = fmt.Errorf("-tuner-budget must be >= 2 — the default variant plus at least one challenger (got %s)", f.Value)
+			}
 		}
 	})
 	return err
@@ -235,6 +244,7 @@ type serveFlags struct {
 	driftBand       float64
 	planTTL         int64
 	noHeal          bool
+	tunerCache      string
 }
 
 // batchedReplay mirrors the -batched-replay flag: search commands set
@@ -375,6 +385,16 @@ flags: -net NAME -mode cpu|gpgpu -platform NAME -episodes N -samples N -seed N -
                                                 epochs serve marked revalidating; -no-heal
                                                 disables the background re-optimization of
                                                 quarantined plans
+       -autotune -tuner-budget N                per-layer kernel autotuning on the real
+                                                engine (-engine -mode cpu): block sizes,
+                                                micro-kernel, panel width, worker count;
+                                                a surrogate cost model shortlists N real
+                                                measurements per (layer, primitive) and
+                                                winners join the LUT as extra candidates
+       -tuner-cache FILE                        durable tuned-variant cache: written after
+                                                -autotune, reused when it matches, fed into
+                                                matching tables by profile/search/serve;
+                                                "qsdnn version -tuner-cache FILE" prints it
 SIGINT/SIGTERM interrupt cleanly: a running bench-all flushes its partial results;
 a running serve drains, checkpoints what cannot finish, and resumes on restart.`)
 }
@@ -416,6 +436,7 @@ func serveCmd(ctx context.Context, sf serveFlags, ft faultFlags, df durableFlags
 		Faults:        ft.faults(),
 		MaxDeadline:   sf.maxDeadline,
 		Brownout:      sf.brownout,
+		TunerCache:    sf.tunerCache,
 		WatchdogStall: sf.watchdogStall,
 		WatchdogMult:  sf.watchdogMult,
 		Health: &health.Config{
@@ -522,8 +543,14 @@ func searchDurable(tab *lut.Table, cfg core.Config, df durableFlags) (*core.Resu
 // With ef.real it measures on the actual host-CPU engine (kernels run
 // with -kernel-workers goroutines) instead of the platform simulator.
 func profileTable(ctx context.Context, ft faultFlags, ef engineFlags, net *qsdnn.Network, board *platform.Platform, mode primitives.Mode, samples int) (*lut.Table, error) {
+	if tunerCfg.enabled() {
+		// Twins must exist before the table is built so tuned ids fit
+		// the candidate bounds.
+		primitives.EnableTunedVariants()
+	}
 	var base profile.Source
 	var src profile.FallibleSource
+	var es *engine.Source
 	if ef.real {
 		if mode != primitives.ModeCPU {
 			return nil, fmt.Errorf("-engine measures on the host CPU, which cannot run GPU primitives; use -mode cpu")
@@ -531,7 +558,8 @@ func profileTable(ctx context.Context, ft faultFlags, ef engineFlags, net *qsdnn
 		eng := engine.New(net, ef.seed, 0, engine.Parallelism(ef.kernelWorkers()))
 		in := tensor.New(net.InputShape, tensor.NCHW)
 		in.FillRandom(rand.New(rand.NewSource(ef.seed)), 1)
-		es, err := engine.NewSource(eng, in)
+		var err error
+		es, err = engine.NewSource(eng, in)
 		if err != nil {
 			return nil, err
 		}
@@ -552,6 +580,11 @@ func profileTable(ctx context.Context, ft faultFlags, ef engineFlags, net *qsdnn
 	if rep != nil && (rep.Flaky() || rep.Degraded()) {
 		fmt.Print(rep.Render())
 	}
+	if tunerCfg.enabled() {
+		if err := applyTuning(ctx, ft, net, tab, es, ef.seed); err != nil {
+			return nil, err
+		}
+	}
 	return tab, nil
 }
 
@@ -563,7 +596,8 @@ func runCtx(ctx context.Context, cmd, netName, modeStr string, episodes, samples
 	switch cmd {
 	case "version":
 		fmt.Printf("qsdnn (QS-DNN reproduction) %s %s/%s\n", runtime.Version(), runtime.GOOS, runtime.GOARCH)
-		fmt.Printf("gemm kernel: %s\n", gemm.ActiveKernel())
+		fmt.Printf("gemm kernel: %s (variants: %s)\n", gemm.ActiveKernel(), strings.Join(gemm.KernelVariants(), ", "))
+		tunerVersionInfo()
 		return nil
 	case "serve":
 		return serveCmd(ctx, sf, ft, df)

@@ -44,6 +44,9 @@ type Engine struct {
 
 	params  []layerParams
 	workers int
+	// tuned maps (layer, tuned-twin) to the execution config the
+	// autotuner selected; see SetTuned.
+	tuned map[tunedKey]kernels.ConvTuned
 }
 
 // Option configures an Engine at construction time.
@@ -203,8 +206,14 @@ func checkExecutable(l *nn.Layer, p *primitives.Primitive) error {
 	if p.Proc == primitives.GPU {
 		return fmt.Errorf("engine: %s targets the GPU; the real engine executes CPU primitives only (use the platform simulator for GPGPU studies)", p.Name)
 	}
+	// A tuned twin is executable wherever its base is — candidate sets
+	// deliberately never contain twins (see primitives.Candidates).
+	target := p
+	if p.Tuned {
+		target = primitives.ByID(p.Base)
+	}
 	for _, c := range primitives.Candidates(l, primitives.ModeCPU) {
-		if c == p {
+		if c == target {
 			return nil
 		}
 	}
@@ -214,6 +223,9 @@ func checkExecutable(l *nn.Layer, p *primitives.Primitive) error {
 // exec dispatches one layer to the kernel implementing the primitive.
 // Inputs are already in p.Layout.
 func (e *Engine) exec(i int, l *nn.Layer, p *primitives.Primitive, in []*tensor.Tensor) (*tensor.Tensor, error) {
+	if p.Tuned {
+		return e.execTuned(i, l, p, in)
+	}
 	x := in[0]
 	par := e.params[i]
 	switch l.Kind {

@@ -45,6 +45,10 @@ func NewSource(e *Engine, input *tensor.Tensor) (*Source, error) {
 	return s, nil
 }
 
+// Engine returns the engine the source profiles on — the autotuner
+// needs it to install tuned-variant configs after measuring.
+func (s *Source) Engine() *Engine { return s.eng }
+
 // Sample times one execution of layer i under primitive p on the
 // cached activations. The sample index is accepted for interface
 // compatibility; real time naturally varies between calls. Execution

@@ -1,0 +1,110 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/gemm"
+	"repro/internal/kernels"
+	"repro/internal/nn"
+	"repro/internal/primitives"
+	"repro/internal/tensor"
+)
+
+// tunedKey addresses one tuned-variant assignment: configs are
+// per-(layer, twin) because the autotuner tunes each layer's shape
+// independently.
+type tunedKey struct {
+	layer int
+	id    primitives.ID
+}
+
+// SetTuned records the execution config a tuned twin uses at the given
+// layer. Run consults these when an assignment selects a tuned twin
+// (see primitives.EnableTunedVariants); a twin with no recorded config
+// executes with the defaults, so a partially-applied tuning cache is
+// only ever a missed optimization, never an error. SetTuned may only be
+// called while the engine is being configured, not concurrently with
+// Run — the same single-writer discipline as lut.Table population.
+func (e *Engine) SetTuned(i int, id primitives.ID, cfg kernels.ConvTuned) {
+	if e.tuned == nil {
+		e.tuned = map[tunedKey]kernels.ConvTuned{}
+	}
+	e.tuned[tunedKey{i, id}] = cfg
+}
+
+// TunedConfig reports the config recorded for a (layer, twin) pair.
+func (e *Engine) TunedConfig(i int, id primitives.ID) (kernels.ConvTuned, bool) {
+	cfg, ok := e.tuned[tunedKey{i, id}]
+	return cfg, ok
+}
+
+// execTuned executes layer i under a tuned twin using its recorded
+// config (defaults when none was recorded).
+func (e *Engine) execTuned(i int, l *nn.Layer, p *primitives.Primitive, in []*tensor.Tensor) (*tensor.Tensor, error) {
+	cfg := e.tuned[tunedKey{i, p.Idx}]
+	return e.execTunedCfg(i, l, primitives.ByID(p.Base), in, cfg)
+}
+
+// execTunedCfg executes layer i as the base primitive would, but
+// through the parameterized kernel paths under an explicit config. It
+// is the race-free entry point the tuner measures through: nothing
+// here reads or writes the engine's tuned map.
+func (e *Engine) execTunedCfg(i int, l *nn.Layer, base *primitives.Primitive, in []*tensor.Tensor, cfg kernels.ConvTuned) (*tensor.Tensor, error) {
+	if base.Tuned {
+		return nil, fmt.Errorf("engine: tuned base %s is itself tuned", base.Name)
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = e.workers
+	}
+	x := in[0]
+	par := e.params[i]
+	switch l.Kind {
+	case nn.OpConv:
+		if kernels.IsGrouped(l.Conv) {
+			// Grouped convs have no panel-tiled lowering; the tunables
+			// are the GEMM config and the fan-out.
+			w := cfg.Workers
+			blk := cfg.Block
+			mul := kernels.Gemm(func(m, n, k int, a, b, c []float32) {
+				gemm.ParallelCfg(m, n, k, a, b, c, w, blk)
+			})
+			return kernels.ConvGroupedIm2colPar(x, par.w, par.bias, l.Conv, mul, w), nil
+		}
+		switch base.Lower {
+		case primitives.Im2col:
+			return kernels.ConvIm2colTuned(x, par.w, par.bias, l.Conv, cfg), nil
+		case primitives.Im2row:
+			return kernels.ConvIm2rowTuned(x, par.w, par.bias, l.Conv, cfg), nil
+		case primitives.Kn2row:
+			return kernels.ConvKn2rowTuned(x, par.w, par.bias, l.Conv, cfg), nil
+		}
+		return nil, fmt.Errorf("engine: no tuned conv path for %s", base.Name)
+	case nn.OpDepthwiseConv:
+		return kernels.DepthwiseDirectPar(x, par.w, par.bias, l.Conv, cfg.Workers), nil
+	}
+	// Any other layer kind a tuned base can serve runs its default path.
+	return e.exec(i, l, base, in)
+}
+
+// MeasureTuned times one execution of layer i as base would run it,
+// under an explicit tuned config, on the cached canonical activations.
+// Unlike MeasureSample with a tuned twin it never touches the engine's
+// tuned-config map, so concurrent measurement fan-outs with different
+// configs are race-free.
+func (s *Source) MeasureTuned(ctx context.Context, i int, base *primitives.Primitive, cfg kernels.ConvTuned) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	l := s.eng.Net.Layers[i]
+	inputs := make([]*tensor.Tensor, len(l.Inputs))
+	for k, src := range l.Inputs {
+		inputs[k] = s.acts[src].ToLayout(base.Layout)
+	}
+	t0 := time.Now()
+	if _, err := s.eng.execTunedCfg(i, l, base, inputs, cfg); err != nil {
+		return 0, fmt.Errorf("tuning %s with %s: %w", l.Name, base.Name, err)
+	}
+	return time.Since(t0).Seconds(), nil
+}

@@ -115,13 +115,55 @@ func Packed(m, n, k int, a, b, c []float32) {
 // bit-identical either way, so the threshold is purely a latency knob.
 const parallelFloorFlops = 1 << 23 // 8.4 Mflop
 
+// minStripsPerWorker is the smallest strip chunk worth waking a worker
+// for: a worker that owns a single strip spends a pack-share handoff
+// and a wakeup on one micro-kernel sweep, which the crossover
+// measurements put below break-even.
+const minStripsPerWorker = 2
+
+// effectiveWorkers resolves the strip fan-out Parallel actually uses.
+// Three thresholds, each a pure function of the shape so the choice is
+// deterministic:
+//
+//   - workers never exceeds maxprocs: goroutines beyond the schedulable
+//     parallelism only add handoff and wakeup latency (the measured
+//     parallel8-vs-packed regression at 512 on a 1-CPU host — 5.71 ms
+//     vs 5.63 ms — was exactly this, 8 goroutines time-slicing 1 core);
+//   - a problem below parallelFloorFlops runs inline (see above);
+//   - each worker must own at least minStripsPerWorker strips, so thin
+//     fan-outs shrink instead of waking workers for one strip each.
+//
+// Exclusive strip ownership makes every choice bit-identical, so these
+// are purely latency thresholds — falling back to the sequential packed
+// path never changes the result.
+func effectiveWorkers(m, n, k, strips, workers, maxprocs int) int {
+	if workers > maxprocs {
+		workers = maxprocs
+	}
+	if workers > strips {
+		workers = strips
+	}
+	if 2*m*n*k < parallelFloorFlops {
+		return 1
+	}
+	if workers > 1 && strips < workers*minStripsPerWorker {
+		workers = strips / minStripsPerWorker
+		if workers < 1 {
+			workers = 1
+		}
+	}
+	return workers
+}
+
 // Parallel computes C = A*B + C, partitioning the MR-row strips of C
 // across at most workers goroutines from a bounded pool. B is packed
 // once and shared read-only; each worker owns an exclusive set of
 // strips and its own A-strip buffer, so there is no write sharing and
 // the result is bit-identical to the sequential Packed at any worker
 // count. workers <= 1, a degenerate shape, or a problem below
-// parallelFloorFlops runs inline with no goroutines.
+// parallelFloorFlops runs inline with no goroutines; workers beyond
+// GOMAXPROCS or beyond one per minStripsPerWorker strips are clamped
+// (see effectiveWorkers) — over-subscription only adds latency.
 func Parallel(m, n, k int, a, b, c []float32, workers int) {
 	parallelKernel(activeKernel(), m, n, k, a, b, c, workers)
 }
@@ -142,12 +184,7 @@ func parallelKernel(kn *Kernel, m, n, k int, a, b, c []float32, workers int) {
 	bpk := make([]float32, k*((n+nr-1)/nr)*nr)
 	packB(k, n, nr, b, bpk)
 	strips := (m + mr - 1) / mr
-	if workers > strips {
-		workers = strips
-	}
-	if 2*m*n*k < parallelFloorFlops {
-		workers = 1
-	}
+	workers = effectiveWorkers(m, n, k, strips, workers, pool.DefaultWorkers())
 	if workers <= 1 {
 		apk := make([]float32, k*mr)
 		for s := 0; s < strips; s++ {

@@ -1,0 +1,111 @@
+package kernels
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gemm"
+	"repro/internal/tensor"
+)
+
+func bitEqualTensors(a, b *tensor.Tensor) bool {
+	da, db := a.Data(), b.Data()
+	if len(da) != len(db) {
+		return false
+	}
+	for i := range da {
+		if da[i] != db[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestConvTunedZeroConfigBitIdentical pins the golden-safety contract:
+// a zero-Block ConvTuned config is bit-identical to the default
+// lowering paths at every Panel and Workers setting, because panel
+// tiling only splits GEMM calls between output columns.
+func TestConvTunedZeroConfigBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	par := func(m, n, k int, a, b, c []float32) { gemm.Parallel(m, n, k, a, b, c, 1) }
+	for _, g := range convGeometries {
+		x, w, b := randConv(rng, g.in, g.p)
+		refCol := ConvIm2col(x, w, b, g.p, par)
+		refRow := ConvIm2row(x, w, b, g.p, par)
+		refKn := ConvKn2row(x, w, b, g.p, par)
+		for _, panel := range []int{0, 1, 2, 3, 100} {
+			for _, workers := range []int{1, 3} {
+				cfg := ConvTuned{Panel: panel, Workers: workers}
+				if got := ConvIm2colTuned(x, w, b, g.p, cfg); !bitEqualTensors(refCol, got) {
+					t.Errorf("%s im2col panel=%d workers=%d: not bit-identical to default", g.name, panel, workers)
+				}
+				if got := ConvIm2rowTuned(x, w, b, g.p, cfg); !bitEqualTensors(refRow, got) {
+					t.Errorf("%s im2row panel=%d workers=%d: not bit-identical to default", g.name, panel, workers)
+				}
+				if got := ConvKn2rowTuned(x, w, b, g.p, cfg); !bitEqualTensors(refKn, got) {
+					t.Errorf("%s kn2row workers=%d: not bit-identical to default", g.name, workers)
+				}
+			}
+		}
+	}
+}
+
+// TestConvTunedBlockedMatchesDirect: blocked GEMM configs stay within
+// float32 tolerance of the direct convolution on every geometry.
+func TestConvTunedBlockedMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	cfgs := []ConvTuned{
+		{Block: gemm.BlockConfig{KC: 8}},
+		{Panel: 2, Block: gemm.BlockConfig{KC: 8, NC: 16}},
+		{Panel: 3, Workers: 2, Block: gemm.BlockConfig{NC: 8, Workers: 2}},
+		{Panel: 1, Block: gemm.BlockConfig{Kernel: "go-4x8", KC: 16}},
+	}
+	for _, g := range convGeometries {
+		x, w, b := randConv(rng, g.in, g.p)
+		ref := ConvDirect(x, w, b, g.p)
+		for i, cfg := range cfgs {
+			for name, run := range map[string]func() *tensor.Tensor{
+				"im2col": func() *tensor.Tensor { return ConvIm2colTuned(x, w, b, g.p, cfg) },
+				"im2row": func() *tensor.Tensor { return ConvIm2rowTuned(x, w, b, g.p, cfg) },
+				"kn2row": func() *tensor.Tensor { return ConvKn2rowTuned(x, w, b, g.p, cfg) },
+			} {
+				if d := tensor.MaxAbsDiff(ref, run()); d > convTol {
+					t.Errorf("%s %s cfg#%d: max diff %g > %g", g.name, name, i, d, convTol)
+				}
+			}
+		}
+	}
+}
+
+// TestConvTunedWorkerInvariance: a tuned config (including blocked
+// GEMMs) produces bit-identical output at any worker count — the
+// contract that keeps tuner measurements valid for serving at a
+// different fan-out.
+func TestConvTunedWorkerInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	g := convGeometries[2] // strided 3x3 with padding
+	x, w, b := randConv(rng, g.in, g.p)
+	cfgs := []ConvTuned{
+		{Panel: 2, Block: gemm.BlockConfig{KC: 8, NC: 8}},
+		{Panel: 3, Block: gemm.BlockConfig{KC: 5}},
+	}
+	for i, base := range cfgs {
+		base.Workers = 1
+		refCol := ConvIm2colTuned(x, w, b, g.p, base)
+		refRow := ConvIm2rowTuned(x, w, b, g.p, base)
+		refKn := ConvKn2rowTuned(x, w, b, g.p, base)
+		for _, workers := range []int{2, 4, 8} {
+			cfg := base
+			cfg.Workers = workers
+			if got := ConvIm2colTuned(x, w, b, g.p, cfg); !bitEqualTensors(refCol, got) {
+				t.Errorf("cfg#%d im2col workers=%d: not bit-identical to workers=1", i, workers)
+			}
+			if got := ConvIm2rowTuned(x, w, b, g.p, cfg); !bitEqualTensors(refRow, got) {
+				t.Errorf("cfg#%d im2row workers=%d: not bit-identical to workers=1", i, workers)
+			}
+			if got := ConvKn2rowTuned(x, w, b, g.p, cfg); !bitEqualTensors(refKn, got) {
+				t.Errorf("cfg#%d kn2row workers=%d: not bit-identical to workers=1", i, workers)
+			}
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package lut
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/primitives"
+)
+
+// tunedConvTwin enables tuned variants and returns (base, twin) for the
+// openblas im2col conv path — the twin every tuned-candidate test uses.
+func tunedConvTwin(t *testing.T) (primitives.ID, primitives.ID) {
+	t.Helper()
+	primitives.EnableTunedVariants()
+	base := primitives.POpenIm2col.Idx
+	twin, ok := primitives.TunedOf(base)
+	if !ok {
+		t.Fatal("openblas-gemm-im2col has no tuned twin")
+	}
+	return base, twin
+}
+
+func TestAddCandidateTunedTwin(t *testing.T) {
+	base, twin := tunedConvTwin(t)
+	tab := New(chainNet(t), primitives.ModeCPU)
+	fill(tab)
+
+	if !tab.AddCandidate(1, twin) {
+		t.Fatal("AddCandidate refused a fresh tuned twin")
+	}
+	if tab.AddCandidate(1, twin) {
+		t.Error("AddCandidate accepted a duplicate")
+	}
+	if tab.AddCandidate(0, twin) {
+		t.Error("AddCandidate accepted the input pseudo-layer")
+	}
+	if tab.AddCandidate(1, primitives.ID(primitives.Count()+5)) {
+		t.Error("AddCandidate accepted an out-of-range id")
+	}
+	found := false
+	for _, c := range tab.Candidates(1) {
+		if c == twin {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("twin missing from candidates after AddCandidate")
+	}
+
+	// Times start unmeasured; the tuner sets them after measuring.
+	if !math.IsInf(tab.Time(1, twin), 1) {
+		t.Error("fresh twin should be unmeasured (+Inf)")
+	}
+	tab.SetTime(1, twin, 0.001)
+
+	// MirrorCandidate copies every penalty the base had.
+	tab.MirrorCandidate(1, base, twin)
+	for _, ed := range tab.Edges() {
+		if ed.To == 1 {
+			for _, fp := range tab.Candidates(ed.From) {
+				if got, want := tab.Penalty(ed.From, ed.To, fp, twin), tab.Penalty(ed.From, ed.To, fp, base); got != want {
+					t.Errorf("incoming penalty (%d,%d) = %v, want %v", fp, twin, got, want)
+				}
+			}
+		}
+		if ed.From == 1 {
+			for _, tp := range tab.Candidates(ed.To) {
+				if got, want := tab.Penalty(ed.From, ed.To, twin, tp), tab.Penalty(ed.From, ed.To, base, tp); got != want {
+					t.Errorf("outgoing penalty (%d,%d) = %v, want %v", twin, tp, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestMirrorCoversTwinTwinPairs: when both endpoints of an edge gain
+// twins (add+mirror in ascending layer order), the (twin, twin) pair is
+// mirrored too.
+func TestMirrorCoversTwinTwinPairs(t *testing.T) {
+	base, twin := tunedConvTwin(t)
+	tab := New(branchNet(t), primitives.ModeCPU)
+	fill(tab)
+	// Layers 1 (stem) and 2 (left) are conv layers joined by an edge.
+	for _, layer := range []int{1, 2} {
+		if !tab.AddCandidate(layer, twin) {
+			t.Fatalf("AddCandidate(%d) failed", layer)
+		}
+		tab.MirrorCandidate(layer, base, twin)
+	}
+	if got, want := tab.Penalty(1, 2, twin, twin), tab.Penalty(1, 2, base, base); got != want {
+		t.Errorf("twin-twin penalty = %v, want %v", got, want)
+	}
+}
+
+// TestTunedTableRoundTrip: a table with tuned candidates, times and
+// mirrored penalties survives MarshalJSON -> Load byte-exactly.
+func TestTunedTableRoundTrip(t *testing.T) {
+	base, twin := tunedConvTwin(t)
+	net := chainNet(t)
+	tab := New(net, primitives.ModeCPU)
+	fill(tab)
+	tab.AddCandidate(1, twin)
+	tab.MirrorCandidate(1, base, twin)
+	tab.SetTime(1, twin, 0.0007)
+
+	data, err := tab.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(data, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := back.Time(1, twin); got != 0.0007 {
+		t.Errorf("twin time after round trip = %v", got)
+	}
+	for _, ed := range back.Edges() {
+		if ed.To != 1 {
+			continue
+		}
+		for _, fp := range back.Candidates(ed.From) {
+			if got, want := back.Penalty(ed.From, ed.To, fp, twin), tab.Penalty(ed.From, ed.To, fp, twin); got != want {
+				t.Errorf("penalty (%d,%d) after round trip = %v, want %v", fp, twin, got, want)
+			}
+		}
+	}
+	// The assignment using the twin prices like the original table.
+	a := vanillaAssignment(tab)
+	a[1] = twin
+	if got, want := back.TotalTime(a), tab.TotalTime(a); got != want {
+		t.Errorf("TotalTime with twin = %v, want %v", got, want)
+	}
+}
+
+// TestLoadRejectsTunedForWrongLayer: a tuned name whose base is not a
+// candidate of the layer is a forgery and must be rejected.
+func TestLoadRejectsTunedForWrongLayer(t *testing.T) {
+	_, twin := tunedConvTwin(t)
+	net := chainNet(t)
+	tab := New(net, primitives.ModeCPU)
+	fill(tab)
+	// Layer 2 is ReLU: openblas-gemm-im2col is not a candidate there,
+	// so neither is its twin.
+	tab.candidates[2] = append(tab.candidates[2], twin)
+	data, err := tab.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(data, net); err == nil {
+		t.Error("Load accepted a tuned twin on a layer its base cannot serve")
+	}
+}

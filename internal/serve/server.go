@@ -25,6 +25,7 @@ import (
 	"repro/internal/resilience"
 	"repro/internal/runner"
 	"repro/internal/searchplan"
+	"repro/internal/tune"
 )
 
 // ProfileFunc builds the look-up table for one validated request. The
@@ -97,6 +98,14 @@ type Config struct {
 	// defaults with no background canary loop (ticks can still be
 	// driven explicitly via CanaryTick).
 	Health *health.Config
+	// TunerCache, when set, loads a kernel-autotuner cache file
+	// (written by `qsdnn profile -engine -autotune -tuner-cache`) at
+	// startup and feeds its tuned-variant candidates into every
+	// profiled table whose network and mode match, so searches can
+	// select the tuned kernels. An unreadable or corrupt cache is
+	// reported in /statusz and ignored — the server starts and serves
+	// defaults.
+	TunerCache string
 }
 
 // errStopped aborts a search at a checkpoint boundary during a hard
@@ -191,6 +200,14 @@ type Server struct {
 	storeHits       atomic.Int64
 	planMisses      atomic.Int64
 
+	// tuner is the loaded autotuner cache (nil when Config.TunerCache
+	// is empty or the file was rejected); tunerErr records why a
+	// configured cache did not load.
+	tuner        *tune.Cache
+	tunerErr     string
+	tunerApplied atomic.Int64
+	tunerSkipped atomic.Int64
+
 	canaryRounds    atomic.Int64
 	canaryMeasured  atomic.Int64
 	driftedEntries  atomic.Int64
@@ -260,6 +277,16 @@ func New(cfg Config) (*Server, error) {
 		healRolled:  map[string]bool{},
 		faultSrcs:   map[string]*profile.FaultSource{},
 		planMetas:   map[string]planMeta{},
+	}
+	if cfg.TunerCache != "" {
+		if c, err := tune.LoadCache(cfg.TunerCache); err != nil {
+			s.tunerErr = err.Error()
+		} else {
+			// Twins must exist before any table is built so tuned ids
+			// fit the tables' candidate bounds.
+			primitives.EnableTunedVariants()
+			s.tuner = c
+		}
 	}
 	if cfg.Breaker != nil {
 		bcfg := *cfg.Breaker
@@ -676,6 +703,34 @@ type Statusz struct {
 	// so fleet monitoring can spot hosts that silently fell back to
 	// the portable kernel.
 	GemmKernel string `json:"gemm_kernel"`
+
+	// Tuner reports the kernel-autotuner cache state; omitted when no
+	// Config.TunerCache is configured.
+	Tuner *TunerStatus `json:"tuner,omitempty"`
+}
+
+// TunerStatus is the /statusz view of the autotuner cache.
+type TunerStatus struct {
+	// CachePath is the configured cache file.
+	CachePath string `json:"cache_path"`
+	// Loaded reports whether the cache passed the codec checks.
+	Loaded bool `json:"loaded"`
+	// Error is why a configured cache did not load (corrupt, torn,
+	// missing); empty when Loaded.
+	Error string `json:"error,omitempty"`
+	// Network and Mode identify what the cache tunes.
+	Network string `json:"network,omitempty"`
+	Mode    string `json:"mode,omitempty"`
+	// Entries is the tuned-variant count in the cache.
+	Entries int `json:"entries"`
+	// Applied and Skipped count per-profile application outcomes since
+	// start: candidates fed into tables vs entries rejected (wrong
+	// network/mode, stale layer, forged values).
+	Applied int64 `json:"applied"`
+	Skipped int64 `json:"skipped"`
+	// Stats echoes the tuning run's recorded statistics (variants
+	// generated/measured, surrogate shortlist hits, best speedup).
+	Stats tune.Stats `json:"stats"`
 }
 
 // Status snapshots the daemon counters.
@@ -727,6 +782,22 @@ func (s *Server) Status() Statusz {
 	}
 	if s.breakers != nil {
 		st.Breakers = s.breakers.Snapshot()
+	}
+	if s.cfg.TunerCache != "" {
+		ts := &TunerStatus{
+			CachePath: s.cfg.TunerCache,
+			Loaded:    s.tuner != nil,
+			Error:     s.tunerErr,
+			Applied:   s.tunerApplied.Load(),
+			Skipped:   s.tunerSkipped.Load(),
+		}
+		if s.tuner != nil {
+			ts.Network = s.tuner.Network
+			ts.Mode = s.tuner.Mode
+			ts.Entries = len(s.tuner.Entries)
+			ts.Stats = s.tuner.Stats
+		}
+		st.Tuner = ts
 	}
 	return st
 }
@@ -1113,6 +1184,18 @@ func (s *Server) exec(j *job) {
 // breaker fast-fail still beats (fast-failing is progress; stalling
 // is not).
 func (s *Server) profileJob(j *job, hb *resilience.Heartbeat, net *nn.Network, board *platform.Platform) (*lut.Table, *profile.Report, error) {
+	tab, rep, err := s.profileJobInner(j, hb, net, board)
+	if err == nil && s.tuner != nil {
+		// Feed tuned-variant candidates in before the flight builds the
+		// shared search plan; a mismatched cache just skips.
+		applied, skipped := s.tuner.Apply(tab, net)
+		s.tunerApplied.Add(int64(len(applied)))
+		s.tunerSkipped.Add(int64(skipped))
+	}
+	return tab, rep, err
+}
+
+func (s *Server) profileJobInner(j *job, hb *resilience.Heartbeat, net *nn.Network, board *platform.Platform) (*lut.Table, *profile.Report, error) {
 	spec := j.spec
 	if s.profileFn != nil {
 		return s.profileFn(j.ctx, net, board, spec.Mode, spec.Samples)

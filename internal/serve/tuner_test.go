@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/primitives"
+	"repro/internal/tune"
+)
+
+// TestServeTunerCache: a server configured with a tuned-variant cache
+// feeds the tuned twins into every matching profiled table, the search
+// can select them, and /statusz reports the tuner state.
+func TestServeTunerCache(t *testing.T) {
+	cachePath := filepath.Join(t.TempDir(), "tuned.qsd")
+	// A tuned conv1 variant with a time no search can refuse, plus a
+	// forged entry the apply layer must skip.
+	c := &tune.Cache{
+		Network: "lenet5",
+		Mode:    primitives.ModeCPU.String(),
+		Budget:  8,
+		Entries: []tune.Entry{
+			{Layer: 1, Base: "openblas-gemm-im2col", Variant: tune.Variant{KC: 32}, Seconds: 1e-7, DefaultSec: 1e-3},
+			{Layer: 999, Base: "openblas-gemm-im2col", Variant: tune.Variant{KC: 32}, Seconds: 1e-7, DefaultSec: 1e-3},
+		},
+	}
+	c.Stats = tune.Stats{PairsTuned: 1, Generated: 100, Measured: 10, Entries: 1, BestSpeedup: 2}
+	if err := c.Save(cachePath); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, ts := newTestServer(t, Config{MaxInflight: 1, QueueDepth: 4, TunerCache: cachePath})
+	code, _, payload := postOptimize(t, ts.URL, fastBody(1))
+	if code != http.StatusOK {
+		t.Fatalf("optimize: %d %s", code, payload)
+	}
+	if !strings.Contains(string(payload), primitives.TunedSuffix) {
+		t.Errorf("searched plan did not select the tuned twin: %s", payload)
+	}
+
+	st := srv.Status()
+	if st.Tuner == nil || !st.Tuner.Loaded || st.Tuner.Error != "" {
+		t.Fatalf("tuner status: %+v", st.Tuner)
+	}
+	if st.Tuner.Network != "lenet5" || st.Tuner.Entries != 2 {
+		t.Errorf("tuner identity: %+v", st.Tuner)
+	}
+	if st.Tuner.Applied != 1 || st.Tuner.Skipped != 1 {
+		t.Errorf("applied/skipped = %d/%d, want 1/1", st.Tuner.Applied, st.Tuner.Skipped)
+	}
+	if st.Tuner.Stats.BestSpeedup != 2 {
+		t.Errorf("stats not echoed: %+v", st.Tuner.Stats)
+	}
+}
+
+// TestServeTunerCacheCorrupt: a torn or corrupt cache file must not
+// stop the daemon — it starts, reports the load error in /statusz, and
+// serves untuned defaults.
+func TestServeTunerCacheCorrupt(t *testing.T) {
+	cachePath := filepath.Join(t.TempDir(), "tuned.qsd")
+	if err := os.WriteFile(cachePath, []byte("QSD1 torn mid-write"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	srv, ts := newTestServer(t, Config{MaxInflight: 1, QueueDepth: 4, TunerCache: cachePath})
+	code, _, payload := postOptimize(t, ts.URL, fastBody(2))
+	if code != http.StatusOK {
+		t.Fatalf("optimize with corrupt tuner cache: %d %s", code, payload)
+	}
+	if strings.Contains(string(payload), primitives.TunedSuffix) {
+		t.Errorf("corrupt cache still applied tunings: %s", payload)
+	}
+	st := srv.Status()
+	if st.Tuner == nil || st.Tuner.Loaded || st.Tuner.Error == "" {
+		t.Fatalf("corrupt cache status: %+v", st.Tuner)
+	}
+}

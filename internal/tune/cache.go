@@ -1,0 +1,150 @@
+package tune
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/lut"
+	"repro/internal/nn"
+	"repro/internal/primitives"
+	"repro/internal/store"
+)
+
+// Entry records one tuned winner: the variant that beat the default
+// configuration of a base primitive on a layer, and both measured
+// times.
+type Entry struct {
+	// Layer is the network layer index.
+	Layer int `json:"layer"`
+	// Base is the stable name of the base primitive the variant
+	// parameterizes.
+	Base string `json:"base"`
+	// Variant is the winning configuration.
+	Variant Variant `json:"variant"`
+	// Seconds is the variant's measured time.
+	Seconds float64 `json:"sec"`
+	// DefaultSec is the default configuration's measured time.
+	DefaultSec float64 `json:"default_sec"`
+}
+
+// Cache is the durable result of one tuning run. It serializes to
+// canonical JSON inside the store envelope (CRC-framed, atomic
+// replace), so a cache file round-trips byte-identically and a torn or
+// corrupt file is detected at load instead of misconfiguring kernels.
+type Cache struct {
+	// Network is the architecture the tunings were measured for.
+	Network string `json:"network"`
+	// Mode is the processor mode of the table the tuner consulted.
+	Mode string `json:"mode"`
+	// Seed is the engine weight seed the measurements ran under.
+	Seed int64 `json:"seed"`
+	// Budget is the per-(layer, base) measurement budget used.
+	Budget int `json:"budget"`
+	// Entries holds the tuned winners, sorted by (Layer, Base).
+	Entries []Entry `json:"entries"`
+	// Stats summarizes the run.
+	Stats Stats `json:"stats"`
+}
+
+// Marshal serializes the cache canonically: entries sorted by
+// (Layer, Base), fixed field order. Equal caches yield equal bytes.
+func (c *Cache) Marshal() ([]byte, error) {
+	sort.SliceStable(c.Entries, func(a, b int) bool {
+		if c.Entries[a].Layer != c.Entries[b].Layer {
+			return c.Entries[a].Layer < c.Entries[b].Layer
+		}
+		return c.Entries[a].Base < c.Entries[b].Base
+	})
+	return json.Marshal(c)
+}
+
+// Save writes the cache durably (store envelope, atomic temp+fsync+
+// rename).
+func (c *Cache) Save(path string) error {
+	data, err := c.Marshal()
+	if err != nil {
+		return err
+	}
+	return store.Write(path, data)
+}
+
+// LoadCache reads a cache written by Save. Corrupt, torn or truncated
+// files return an error (store.ErrCorrupt underneath) — callers fall
+// back to untuned defaults, they never panic.
+func LoadCache(path string) (*Cache, error) {
+	payload, err := store.Read(path)
+	if err != nil {
+		return nil, err
+	}
+	var c Cache
+	if err := json.Unmarshal(payload, &c); err != nil {
+		return nil, fmt.Errorf("tune: cache payload: %w", err)
+	}
+	return &c, nil
+}
+
+// Apply feeds the cache into a LUT: it enables the tuned twin
+// primitives, adds each entry's twin as a candidate of its layer,
+// mirrors the base's conversion penalties onto the twin, and records
+// the tuned time — after which every search over the table can select
+// the tuned variant exactly like any other primitive. It returns the
+// per-(layer, twin) variant assignments the engine needs (feed them to
+// engine.Engine.SetTuned via their Conv() form).
+//
+// Entries that no longer fit — unknown base, layer out of range, base
+// not a candidate of the layer, invalid times, insane variants — are
+// skipped and counted, never fatal: a stale or forged cache degrades
+// to fewer tunings, it cannot corrupt a table.
+func (c *Cache) Apply(tab *lut.Table, net *nn.Network) (applied []Applied, skipped int) {
+	if c.Network != net.Name || c.Mode != tab.Mode.String() {
+		return nil, len(c.Entries)
+	}
+	primitives.EnableTunedVariants()
+	// Ascending layer order makes penalty mirroring cover twin-twin
+	// edge pairs (see lut.MirrorCandidate).
+	entries := append([]Entry(nil), c.Entries...)
+	sort.SliceStable(entries, func(a, b int) bool { return entries[a].Layer < entries[b].Layer })
+	for _, e := range entries {
+		base, ok := primitives.ByName(e.Base)
+		if !ok || base.Tuned {
+			skipped++
+			continue
+		}
+		twin, ok := primitives.TunedOf(base.Idx)
+		if !ok {
+			skipped++
+			continue
+		}
+		if e.Layer <= 0 || e.Layer >= tab.NumLayers() ||
+			!e.Variant.valid() || e.Variant.IsDefault() ||
+			!lut.ValidSeconds(e.Seconds) || !lut.ValidSeconds(e.DefaultSec) {
+			skipped++
+			continue
+		}
+		if !hasCandidate(tab, e.Layer, base.Idx) {
+			skipped++
+			continue
+		}
+		if !tab.AddCandidate(e.Layer, twin) {
+			// Already present (double apply): refresh the time only.
+			tab.SetTime(e.Layer, twin, e.Seconds)
+			applied = append(applied, Applied{Layer: e.Layer, Twin: twin, Variant: e.Variant})
+			continue
+		}
+		tab.MirrorCandidate(e.Layer, base.Idx, twin)
+		tab.SetTime(e.Layer, twin, e.Seconds)
+		applied = append(applied, Applied{Layer: e.Layer, Twin: twin, Variant: e.Variant})
+	}
+	return applied, skipped
+}
+
+// Applied is one (layer, twin, variant) assignment produced by Apply.
+type Applied struct {
+	// Layer is the network layer index.
+	Layer int
+	// Twin is the tuned twin primitive the variant executes as.
+	Twin primitives.ID
+	// Variant is the execution configuration.
+	Variant Variant
+}

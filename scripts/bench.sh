@@ -5,6 +5,9 @@
 #   BENCH_kernels.json  GEMM/conv kernel + engine benchmarks
 #   BENCH_serve.json    serving daemon: 64-client load percentiles
 #                       (p50/p95/p99 latency, throughput)
+#   BENCH_tuner.json    kernel autotuner: tuned-vs-default per-layer
+#                       times and the end-to-end searched engine
+#                       improvement on a real zoo network
 # The raw `go test -bench` text is preserved next to them for
 # benchstat (bench/latest.txt, bench/latest_kernels.txt,
 # bench/latest_serve.txt).
@@ -15,6 +18,9 @@
 #   OUT        search JSON path (default BENCH_search.json)
 #   KOUT       kernel JSON path (default BENCH_kernels.json)
 #   SOUT       serve JSON path (default BENCH_serve.json)
+#   TOUT       tuner JSON path (default BENCH_tuner.json)
+#   TUNER_BUDGET  autotuner measurements per (layer, primitive)
+#                 (default 8; CI smoke uses 4)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -24,6 +30,8 @@ COUNT="${COUNT:-1}"
 OUT="${OUT:-BENCH_search.json}"
 KOUT="${KOUT:-BENCH_kernels.json}"
 SOUT="${SOUT:-BENCH_serve.json}"
+TOUT="${TOUT:-BENCH_tuner.json}"
+TUNER_BUDGET="${TUNER_BUDGET:-8}"
 RAW="${RAW:-bench/latest.txt}"
 KRAW="${KRAW:-bench/latest_kernels.txt}"
 SRAW="${SRAW:-bench/latest_serve.txt}"
@@ -109,3 +117,15 @@ case "$SOUT" in
 esac
 QSDNN_LOADTEST_OUT="$sout_abs" go test -run 'TestLoadRecord' -count 1 ./internal/serve/loadtest/
 echo "wrote $SOUT"
+
+# Kernel autotuner: budgeted variant search on the real host engine
+# over a zoo network; records per-(layer, primitive) tuned-vs-default
+# times and the end-to-end searched engine improvement, and gates on
+# >= 10% best per-layer speedup.
+case "$TOUT" in
+/*) tout_abs="$TOUT" ;;
+*) tout_abs="$(pwd)/$TOUT" ;;
+esac
+QSDNN_TUNER_OUT="$tout_abs" QSDNN_TUNER_BUDGET="$TUNER_BUDGET" \
+    go test -run 'TestTunerRecord' -count 1 ./internal/tune/
+echo "wrote $TOUT"
